@@ -1,0 +1,52 @@
+"""Ablation bench: crowd-answer aggregation rules (DESIGN.md §4 item 5).
+
+Benchmarks probing under mean / median / trimmed-mean aggregation and
+asserts that all rules keep the probe error small (the paper's "multiple
+answers are integrated" step).
+"""
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import Aggregator
+from repro.crowd.market import CrowdMarket
+from repro.datasets import truth_oracle_for
+from repro.experiments import ablations
+from repro.experiments.common import ExperimentScale
+
+QUICK = ExperimentScale.QUICK
+
+
+@pytest.mark.parametrize("aggregator", list(Aggregator))
+def test_ablation_probe_with_aggregator(benchmark, aggregator, semisyn, semisyn_system):
+    truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
+    roads = list(semisyn.queried[:10])
+
+    def probe():
+        market = CrowdMarket(
+            semisyn.network,
+            semisyn.pool,
+            semisyn.cost_model,
+            aggregator=aggregator,
+            rng=np.random.default_rng(11),
+        )
+        return market.probe(roads, truth)
+
+    probes, receipts = benchmark(probe)
+    errors = [
+        abs(r.aggregated_kmh - r.true_kmh) / r.true_kmh for r in receipts
+    ]
+    assert float(np.mean(errors)) < 0.2
+
+
+def test_ablation_aggregation_comparison(benchmark):
+    rows = benchmark.pedantic(
+        ablations.aggregation_ablation,
+        kwargs=dict(scale=QUICK, n_trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    by_rule = {r.variant: r.value for r in rows}
+    assert set(by_rule) == {"mean", "median", "trimmed-mean"}
+    for value in by_rule.values():
+        assert value < 0.2

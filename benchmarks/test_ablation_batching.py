@@ -1,0 +1,77 @@
+"""Ablation bench: pooled multi-query answering vs the sequential loop.
+
+Extension beyond the paper (DESIGN.md §5): at equal total budget, pooling
+concurrent queries into one OCS + probe + propagation round should never
+lose to splitting the budget per query.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.batch import answer_batch, sequential_baseline
+from repro.datasets import truth_oracle_for
+from repro.experiments.common import market_for
+
+
+def _queries(semisyn, parts=3):
+    queried = list(semisyn.queried)
+    size = max(1, len(queried) // parts)
+    return [queried[k : k + size] for k in range(0, len(queried), size)]
+
+
+def test_batched_round(benchmark, semisyn, semisyn_system):
+    truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
+    queries = _queries(semisyn)
+
+    def run_batch():
+        market = market_for(semisyn, seed=21)
+        return answer_batch(
+            semisyn_system, queries, semisyn.slot, budget=45,
+            market=market, truth=truth,
+        )
+
+    batch = benchmark(run_batch)
+    assert batch.budget_spent <= 45
+
+
+def test_sequential_round(benchmark, semisyn, semisyn_system):
+    truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
+    queries = _queries(semisyn)
+
+    def run_sequential():
+        market = market_for(semisyn, seed=21)
+        return sequential_baseline(
+            semisyn_system, queries, semisyn.slot, budget=45,
+            market=market, truth=truth,
+        )
+
+    estimates, spent = benchmark(run_sequential)
+    assert spent <= 45
+
+
+def test_batching_quality_dominates(benchmark, semisyn, semisyn_system):
+    queries = _queries(semisyn)
+
+    def compare():
+        batch_err, seq_err = [], []
+        for day in range(3):
+            truth = truth_oracle_for(semisyn.test_history, day, semisyn.slot)
+            batch = answer_batch(
+                semisyn_system, queries, semisyn.slot, budget=45,
+                market=market_for(semisyn, seed=day), truth=truth,
+            )
+            seq, _ = sequential_baseline(
+                semisyn_system, queries, semisyn.slot, budget=45,
+                market=market_for(semisyn, seed=day), truth=truth,
+            )
+            for query, b, s in zip(queries, batch.per_query, seq):
+                truths = np.array([truth(q) for q in query])
+                batch_err.append(
+                    repro.mean_absolute_percentage_error(b, truths)
+                )
+                seq_err.append(repro.mean_absolute_percentage_error(s, truths))
+        return float(np.mean(batch_err)), float(np.mean(seq_err))
+
+    batch_mape, seq_mape = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert batch_mape <= seq_mape + 0.01

@@ -1,0 +1,71 @@
+"""Ablation bench: extra baselines (temporal kNN, hop-weighted) vs GSP.
+
+Not in the paper; isolates where GSP's advantage comes from.  kNN uses
+probes + history without graph structure; HopW uses probes + graph
+proximity without the statistical model.  GSP should beat both on MAPE.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EstimationContext,
+    GSPEstimator,
+    HopWeightedEstimator,
+)
+from repro.baselines.knn_temporal import TemporalKNNEstimator
+from repro.eval.metrics import mean_absolute_percentage_error
+
+_ESTIMATORS = {
+    "GSP": GSPEstimator,
+    "kNN": TemporalKNNEstimator,
+    "HopW": HopWeightedEstimator,
+}
+
+
+@pytest.fixture(scope="module")
+def context_and_truth(semisyn, semisyn_system):
+    from repro.datasets import truth_oracle_for
+    from repro.experiments.common import market_for
+
+    market = market_for(semisyn, seed=31)
+    truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
+    result = semisyn_system.answer_query(
+        semisyn.queried, semisyn.slot, budget=min(semisyn.budgets),
+        market=market, truth=truth,
+    )
+    context = EstimationContext(
+        network=semisyn.network,
+        history_samples=semisyn.train_history.slot_samples(semisyn.slot),
+        probes=result.probes,
+        slot_params=semisyn_system.model.slot(semisyn.slot),
+    )
+    return context, truth
+
+
+@pytest.mark.parametrize("name", sorted(_ESTIMATORS))
+def test_extra_baseline_quality(benchmark, name, semisyn, context_and_truth):
+    context, truth = context_and_truth
+    estimator = _ESTIMATORS[name]()
+    field = benchmark(estimator.estimate, context)
+    queried = list(semisyn.queried)
+    truths = np.array([truth(q) for q in queried])
+    mape = mean_absolute_percentage_error(field[queried], truths)
+    assert mape < 0.6
+
+
+def test_gsp_beats_structureless_baselines(benchmark, semisyn, context_and_truth):
+    context, truth = context_and_truth
+    queried = list(semisyn.queried)
+    truths = np.array([truth(q) for q in queried])
+
+    def compare():
+        scores = {}
+        for name, cls in _ESTIMATORS.items():
+            field = cls().estimate(context)
+            scores[name] = mean_absolute_percentage_error(field[queried], truths)
+        return scores
+
+    scores = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert scores["GSP"] <= scores["kNN"] + 0.02
+    assert scores["GSP"] <= scores["HopW"] + 0.02

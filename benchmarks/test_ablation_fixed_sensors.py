@@ -1,0 +1,26 @@
+"""Ablation bench: fixed detector placements vs OCS crowdsourcing.
+
+Verifies (at QUICK scale) the §II claim that query-aware probe selection
+dominates any static deployment at equal observation counts and
+measurement noise, and benchmarks the study's runtime.
+"""
+
+import pytest
+
+from repro.experiments import fixed_vs_crowd
+from repro.experiments.common import ExperimentScale
+
+QUICK = ExperimentScale.QUICK
+
+
+def test_fixed_vs_crowd_shapes(benchmark):
+    rows = benchmark.pedantic(
+        fixed_vs_crowd.run,
+        kwargs=dict(scale=QUICK, query_size=12, n_queries=6),
+        rounds=1,
+        iterations=1,
+    )
+    by_policy = {r.policy: r.mape for r in rows}
+    crowd = by_policy.pop("crowd (OCS)")
+    for policy, mape in by_policy.items():
+        assert crowd <= mape + 0.01, policy

@@ -1,0 +1,37 @@
+"""Ablation bench: RTF inference initialization (DESIGN.md §4 item 4).
+
+Paper Alg. 1 initializes with small random values; the closed-form
+empirical moments are the stationary point of the normalized objective.
+This bench quantifies the iteration gap.
+"""
+
+import pytest
+
+from repro.core.inference import RTFInferenceConfig, infer_slot_parameters
+from repro.experiments import ablations
+from repro.experiments.common import ExperimentScale
+
+QUICK = ExperimentScale.QUICK
+
+
+@pytest.mark.parametrize("init", ["empirical", "random"])
+def test_ablation_inference_init_cost(benchmark, init, semisyn):
+    samples = semisyn.train_history.slot_samples(semisyn.slot)
+    config = RTFInferenceConfig(
+        init=init, tol=0.05, max_iters=4000, seed=21
+    )
+    params, diag = benchmark(
+        infer_slot_parameters, semisyn.network, samples, semisyn.slot, config
+    )
+    assert diag.converged
+
+
+def test_ablation_inference_init_iteration_gap(benchmark):
+    rows = benchmark.pedantic(
+        ablations.inference_init_ablation, args=(QUICK,), rounds=1, iterations=1
+    )
+    iters = {r.variant: r.value for r in rows if r.metric == "iterations"}
+    converged = {r.variant: r.value for r in rows if r.metric == "converged"}
+    assert converged["empirical"] == 1.0
+    assert converged["random"] == 1.0
+    assert iters["random"] >= iters["empirical"]

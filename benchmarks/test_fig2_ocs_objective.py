@@ -1,0 +1,61 @@
+"""Figure 2 bench: OCS objective value versus budget.
+
+Benchmarks Hybrid-Greedy at the mid budget and regenerates the VO
+series, asserting the paper's qualitative shapes: monotone VO, Hybrid
+dominance, component convergence at large K, and a wider gap under the
+wide cost range C1 than under C2.
+"""
+
+import numpy as np
+
+from repro.core.ocs import hybrid_greedy
+from repro.experiments import figure2
+from repro.experiments.common import ExperimentScale, alt_cost_model, ocs_instance_for
+
+QUICK = ExperimentScale.QUICK
+
+
+def test_fig2_hybrid_solve(benchmark, semisyn, semisyn_system):
+    """Benchmark one Hybrid-Greedy solve (the paper's default selector)."""
+    budget = semisyn.budgets[len(semisyn.budgets) // 2]
+    cost_model = alt_cost_model(semisyn, 1, 10)
+    instance = ocs_instance_for(
+        semisyn, semisyn_system, budget, cost_model=cost_model
+    )
+    result = benchmark(hybrid_greedy, instance)
+    assert result.objective > 0
+    assert instance.is_feasible(result.selected)
+
+
+def test_fig2_series_shapes(benchmark):
+    """Regenerate the full Figure 2 sweep and check its shapes."""
+    points = benchmark.pedantic(figure2.run, args=(QUICK,), rounds=1, iterations=1)
+
+    series = {}
+    for p in points:
+        series.setdefault((p.cost_range, p.algorithm), []).append((p.budget, p.objective))
+    for key, pairs in series.items():
+        pairs.sort()
+        values = [v for _, v in pairs]
+        # Shape 1: VO monotone in K.
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), key
+
+    # Shape 2: Hybrid dominates at every (cost range, K).
+    by_budget = {}
+    for p in points:
+        by_budget.setdefault((p.cost_range, p.budget), {})[p.algorithm] = p.objective
+    for algos in by_budget.values():
+        assert algos["Hybrid"] >= max(algos["Ratio"], algos["OBJ"]) - 1e-9
+
+    # Shape 3: the lagging component converges to Hybrid at the largest K.
+    ratios = figure2.ratios_to_hybrid(points)
+    largest = max(r[1] for r in ratios)
+    assert max(r[3] for r in ratios if r[1] == largest) >= 0.99
+
+    # Shape 4: mean component/Hybrid gap is at least as wide under C1
+    # (costs 1-10) as under C2 (costs 1-5).
+    def mean_gap(cost_range):
+        vals = [1 - r[3] for r in ratios if r[0] == cost_range]
+        return float(np.mean(vals))
+
+    assert mean_gap("C1") >= mean_gap("C2") - 0.02

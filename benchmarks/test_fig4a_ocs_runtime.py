@@ -1,0 +1,46 @@
+"""Figure 4(a) bench: OCS solver running time versus budget.
+
+Benchmarks each of the three solvers and asserts the paper's claims:
+runtime grows (weakly) with budget, and even the slowest (Hybrid) stays
+far below one second.
+"""
+
+import pytest
+
+from repro.core.ocs import hybrid_greedy, objective_greedy, ratio_greedy
+from repro.experiments import figure4
+from repro.experiments.common import ExperimentScale, alt_cost_model, ocs_instance_for
+
+QUICK = ExperimentScale.QUICK
+_SOLVERS = {
+    "ratio": ratio_greedy,
+    "objective": objective_greedy,
+    "hybrid": hybrid_greedy,
+}
+
+
+@pytest.mark.parametrize("solver_name", sorted(_SOLVERS))
+def test_fig4a_solver_runtime(benchmark, solver_name, semisyn, semisyn_system):
+    """Benchmark one solver at the largest budget (worst case)."""
+    cost_model = alt_cost_model(semisyn, 1, 10)
+    instance = ocs_instance_for(
+        semisyn, semisyn_system, max(semisyn.budgets), cost_model=cost_model
+    )
+    result = benchmark(_SOLVERS[solver_name], instance)
+    assert instance.is_feasible(result.selected)
+    # Paper: Hybrid answers within one second even at max budget.
+    assert result.runtime_seconds < 1.0
+
+
+def test_fig4a_runtime_grows_with_budget(benchmark):
+    """Regenerate the panel; runtime at max K >= runtime at min K / 2."""
+    points = benchmark.pedantic(
+        figure4.run_ocs_runtime, args=(QUICK,), kwargs={"repeats": 2},
+        rounds=1, iterations=1,
+    )
+    for method in ("Ratio", "OBJ", "Hybrid"):
+        series = sorted(
+            ((p.budget, p.seconds) for p in points if p.method == method)
+        )
+        assert series[-1][1] >= series[0][1] * 0.5
+        assert all(s < 1.0 for _, s in series)

@@ -1,0 +1,38 @@
+"""Figure 4(b) bench: estimator running time versus budget.
+
+Asserts the paper's ordering — LASSO fastest, GRMC slowest, GSP nearly
+budget-independent and fast.
+"""
+
+import numpy as np
+
+from repro.experiments import figure4
+from repro.experiments.common import ExperimentScale
+
+QUICK = ExperimentScale.QUICK
+
+
+def test_fig4b_estimator_runtime_order(benchmark):
+    points = benchmark.pedantic(
+        figure4.run_estimator_runtime,
+        args=(QUICK,),
+        kwargs={"repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    by_method = {}
+    for p in points:
+        by_method.setdefault(p.method, []).append((p.budget, p.seconds))
+
+    mean = {m: float(np.mean([s for _, s in v])) for m, v in by_method.items()}
+    # Paper ordering: LASSO < GRMC, GSP < GRMC.
+    assert mean["LASSO"] < mean["GRMC"]
+    assert mean["GSP"] < mean["GRMC"]
+
+    # GSP nearly independent of budget: max/min ratio bounded.
+    gsp = sorted(by_method["GSP"])
+    gsp_times = [s for _, s in gsp]
+    assert max(gsp_times) < 10 * max(min(gsp_times), 1e-4)
+
+    # Paper: GSP always returns within half a second.
+    assert max(gsp_times) < 0.5

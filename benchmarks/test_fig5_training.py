@@ -1,0 +1,46 @@
+"""Figure 5 bench: RTF offline-training convergence versus network size.
+
+Benchmarks one random-init training run and regenerates the series,
+asserting the paper's finding that iterations-to-convergence grow with
+the network size but stay tolerable.
+"""
+
+import numpy as np
+
+from repro.core.inference import RTFInferenceConfig, infer_slot_parameters
+from repro.experiments import figure5
+from repro.experiments.common import ExperimentScale, default_semisyn
+
+QUICK = ExperimentScale.QUICK
+
+
+def test_fig5_single_training_run(benchmark, semisyn):
+    """Benchmark RTF training (random init) on a 60-road subcomponent."""
+    subnetwork = semisyn.network.connected_subcomponent(60)
+    history = semisyn.train_history.restrict_roads(subnetwork)
+    samples = history.slot_samples(semisyn.slot)
+    config = RTFInferenceConfig(
+        step=0.1, max_iters=3000, tol=0.05, init="random", seed=13
+    )
+
+    params, diag = benchmark(
+        infer_slot_parameters, subnetwork, samples, semisyn.slot, config
+    )
+    assert diag.converged
+    assert np.all(params.sigma > 0)
+
+
+def test_fig5_iterations_grow_with_size(benchmark):
+    sizes = (20, 50, 80, 110)
+    points = benchmark.pedantic(
+        figure5.run,
+        kwargs=dict(scale=QUICK, sizes=sizes, tol=0.05, max_iters=4000),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(p.converged for p in points)
+    iterations = [p.iterations for p in points]
+    # Paper: roughly linear growth — the largest network needs at least
+    # as many iterations as the smallest, and none explodes.
+    assert iterations[-1] >= iterations[0]
+    assert max(iterations) < 4000

@@ -1,0 +1,36 @@
+"""Table II bench: dataset construction and statistics.
+
+Regenerates the dataset-statistics table and benchmarks the
+semi-synthesized dataset build (the offline data substrate).
+"""
+
+import repro
+from repro.experiments import table2
+from repro.experiments.common import ExperimentScale
+
+
+def test_table2_rows_and_build_cost(benchmark):
+    """Build the semisyn world end-to-end; assert Table II's shape."""
+
+    def build():
+        return repro.build_semisyn(
+            repro.SemiSynConfig(
+                n_roads=120,
+                n_queried=20,
+                n_train_days=12,
+                n_test_days=4,
+                n_slots=8,
+                seed=1,
+            )
+        )
+
+    data = benchmark(build)
+    assert data.n_roads == 120
+    assert len(data.worker_roads) == data.n_roads  # R^w = R
+
+    rows = table2.run(ExperimentScale.QUICK)
+    by_name = {r.dataset: r for r in rows}
+    # Table II shape: gMission is worker-scarce, semisyn fully covered.
+    assert by_name["semisyn"].n_worker_roads == by_name["semisyn"].n_roads
+    assert by_name["gmission"].n_worker_roads < by_name["gmission"].n_queried
+    assert by_name["semisyn"].theta == 0.92

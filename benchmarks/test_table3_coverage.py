@@ -1,0 +1,31 @@
+"""Table III bench: 1-hop / 2-hop coverage of the queried roads.
+
+Regenerates the coverage table and asserts its shapes: Hybrid covers at
+least as much as Random everywhere, coverage grows with budget, and
+2-hop coverage dominates 1-hop coverage.
+"""
+
+from repro.experiments import table3
+from repro.experiments.common import ExperimentScale
+
+QUICK = ExperimentScale.QUICK
+
+
+def test_table3_coverage_shapes(benchmark):
+    rows = benchmark.pedantic(
+        table3.run, args=(QUICK,), kwargs={"random_trials": 3}, rounds=1, iterations=1
+    )
+    by_budget = {}
+    for r in rows:
+        assert 0 <= r.one_hop <= r.two_hop <= r.n_queried
+        by_budget.setdefault(r.budget, {})[r.strategy] = r
+
+    for strategies in by_budget.values():
+        assert strategies["Hybrid"].two_hop >= strategies["Rand"].two_hop
+        assert strategies["Hybrid"].one_hop >= strategies["Rand"].one_hop
+
+    hybrid = sorted(
+        (r.budget, r.two_hop) for r in rows if r.strategy == "Hybrid"
+    )
+    values = [v for _, v in hybrid]
+    assert values[-1] >= values[0]

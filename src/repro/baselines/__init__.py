@@ -1,0 +1,42 @@
+"""Baseline estimators the paper compares against (§VII-C).
+
+* :class:`PeriodicEstimator` ("Per") — historical periodic means only.
+* :class:`LassoEstimator` ("LASSO") — per-road L1 regression on the
+  probed roads, solved with our own coordinate-descent lasso.
+* :class:`GRMCEstimator` ("GRMC") — graph-regularized matrix completion
+  via alternating least squares with a Laplacian smoothness term.
+* :class:`GSPEstimator` — the paper's method wrapped in the same
+  interface, so harnesses can iterate over all estimators uniformly.
+* :class:`HopWeightedEstimator` — an extra distance-decay baseline used
+  by the ablation benches (not in the paper).
+"""
+
+from repro.baselines.base import BaseEstimator, EstimationContext
+from repro.baselines.periodic import PeriodicEstimator
+from repro.baselines.lasso import (
+    LassoEstimator,
+    LassoModel,
+    fit_lasso,
+    lasso_coordinate_descent,
+    lasso_coordinate_descent_multi,
+)
+from repro.baselines.grmc import GRMCEstimator, graph_laplacian
+from repro.baselines.gsp_wrapper import GSPEstimator
+from repro.baselines.hopweighted import HopWeightedEstimator
+from repro.baselines.knn_temporal import TemporalKNNEstimator
+
+__all__ = [
+    "TemporalKNNEstimator",
+    "BaseEstimator",
+    "EstimationContext",
+    "PeriodicEstimator",
+    "LassoEstimator",
+    "LassoModel",
+    "fit_lasso",
+    "lasso_coordinate_descent",
+    "lasso_coordinate_descent_multi",
+    "GRMCEstimator",
+    "graph_laplacian",
+    "GSPEstimator",
+    "HopWeightedEstimator",
+]

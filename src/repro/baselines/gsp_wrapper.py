@@ -1,0 +1,42 @@
+"""GSP exposed through the common estimator interface.
+
+Lets experiment harnesses iterate over ``[GSP, LASSO, GRMC, Per]``
+uniformly (paper Fig. 3/6 compare exactly these four).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseEstimator, EstimationContext
+from repro.core.gsp import GSPConfig, propagate
+from repro.core.inference import empirical_slot_parameters
+
+
+class GSPEstimator(BaseEstimator):
+    """The paper's Graph-based Speed Propagation as an estimator.
+
+    Uses the context's fitted RTF slot parameters when present; when
+    absent, falls back to closed-form empirical parameters derived from
+    the context history (so the estimator is usable standalone).
+    """
+
+    name = "GSP"
+
+    def __init__(self, config: Optional[GSPConfig] = None) -> None:
+        self._config = config or GSPConfig()
+
+    def estimate(self, context: EstimationContext) -> np.ndarray:
+        params = context.slot_params
+        if params is None:
+            params = empirical_slot_parameters(
+                context.network,
+                np.asarray(context.history_samples, dtype=np.float64),
+                slot=0,
+            )
+        result = propagate(
+            context.network, params, dict(context.probes), self._config
+        )
+        return result.speeds

@@ -1,0 +1,55 @@
+"""Temporal k-NN baseline: estimate from the most similar historical days.
+
+A classic data-driven estimator from the traffic literature (not in the
+paper's comparison, added for the ablation benches): find the ``k``
+historical days whose speeds on the *probed* roads best match today's
+probes, and answer with their (inverse-distance weighted) average.  It
+uses the probes and the history but neither the graph structure nor a
+model — isolating how much RTF's structure adds over pure analogy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.baselines.base import BaseEstimator, EstimationContext
+
+
+class TemporalKNNEstimator(BaseEstimator):
+    """k-nearest historical days, matched on the probed roads.
+
+    Args:
+        k: Neighbours to average (clamped to the history size).
+        epsilon: Distance floor for the inverse-distance weights.
+    """
+
+    name = "kNN"
+
+    def __init__(self, k: int = 5, epsilon: float = 1e-6) -> None:
+        if k < 1:
+            raise ModelError(f"k must be >= 1, got {k}")
+        if epsilon <= 0:
+            raise ModelError(f"epsilon must be positive, got {epsilon}")
+        self._k = k
+        self._epsilon = epsilon
+
+    def estimate(self, context: EstimationContext) -> np.ndarray:
+        samples = np.asarray(context.history_samples, dtype=np.float64)
+        observed = context.observed_indices
+        if observed.size == 0:
+            return samples.mean(axis=0)
+        probe_vector = context.observed_values
+        # Distance of each historical day to today's probe pattern,
+        # normalized per road so fast roads don't dominate.
+        scale = np.maximum(samples[:, observed].std(axis=0), 1e-6)
+        diffs = (samples[:, observed] - probe_vector[None, :]) / scale[None, :]
+        distances = np.sqrt((diffs * diffs).mean(axis=1))
+        k = min(self._k, samples.shape[0])
+        nearest = np.argsort(distances)[:k]
+        weights = 1.0 / (distances[nearest] + self._epsilon)
+        weights /= weights.sum()
+        estimates = weights @ samples[nearest]
+        for road, value in context.probes.items():
+            estimates[int(road)] = float(value)
+        return np.maximum(estimates, 0.5)

@@ -1,0 +1,33 @@
+"""The "Per" baseline: purely periodic estimation.
+
+Returns the per-road historical mean of the query slot (or the fitted
+RTF mean when available), ignoring the crowdsourced probes entirely —
+exactly the paper's Per, which "purely relies on the periodicity"
+(§VII-C).  It is the strongest possible method when days repeat
+perfectly and the weakest when incidents strike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseEstimator, EstimationContext
+
+
+class PeriodicEstimator(BaseEstimator):
+    """Historical periodic mean, no realtime data."""
+
+    name = "Per"
+
+    def __init__(self, use_model_mu: bool = True) -> None:
+        """Args:
+            use_model_mu: Prefer the fitted RTF ``mu`` when the context
+                carries slot parameters; otherwise (or when False) fall
+                back to the raw history mean.
+        """
+        self._use_model_mu = use_model_mu
+
+    def estimate(self, context: EstimationContext) -> np.ndarray:
+        if self._use_model_mu and context.slot_params is not None:
+            return context.slot_params.mu.astype(np.float64).copy()
+        return np.asarray(context.history_samples, dtype=np.float64).mean(axis=0)

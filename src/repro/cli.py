@@ -1,0 +1,226 @@
+"""Command-line interface for the CrowdRTSE reproduction.
+
+Subcommands:
+
+* ``dataset`` — build a dataset, print its Table II statistics, and
+  optionally save the network / histories to disk.
+* ``fit``     — run the offline stage and save the RTF model.
+* ``query``   — answer one realtime query end to end and print the
+  selection, spend, and quality against the simulated ground truth.
+* ``experiment`` — run one of the paper's tables/figures.
+
+Examples::
+
+    python -m repro.cli dataset --name semisyn --roads 150
+    python -m repro.cli query --budget 30 --selector hybrid
+    python -m repro.cli experiment figure2 --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+import repro
+from repro.experiments.common import ExperimentScale
+
+
+def _build_dataset(args: argparse.Namespace) -> "repro.Dataset":
+    if args.name == "semisyn":
+        return repro.build_semisyn(
+            repro.SemiSynConfig(
+                n_roads=args.roads,
+                n_queried=args.queried,
+                n_train_days=args.train_days,
+                n_test_days=args.test_days,
+                n_slots=args.slots,
+                seed=args.seed,
+            )
+        )
+    return repro.build_gmission(
+        repro.GMissionConfig(
+            n_train_days=args.train_days,
+            n_test_days=args.test_days,
+            n_slots=args.slots,
+            seed=args.seed,
+        )
+    )
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--name", choices=("semisyn", "gmission"), default="semisyn",
+        help="which Table II dataset to build",
+    )
+    parser.add_argument("--roads", type=int, default=150, help="network size (semisyn)")
+    parser.add_argument("--queried", type=int, default=25, help="|R^q| (semisyn)")
+    parser.add_argument("--train-days", type=int, default=20)
+    parser.add_argument("--test-days", type=int, default=5)
+    parser.add_argument("--slots", type=int, default=12, help="simulated slots per day")
+    parser.add_argument("--seed", type=int, default=2018)
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    """``dataset`` subcommand."""
+    data = _build_dataset(args)
+    print(data.summary())
+    print(
+        f"train: {data.train_history.n_days} days x {data.train_history.n_slots} "
+        f"slots ({data.train_history.n_records} records); "
+        f"test: {data.test_history.n_days} days"
+    )
+    if args.save_network:
+        repro.network_to_json(data.network, args.save_network)
+        print(f"network written to {args.save_network}")
+    if args.save_history:
+        data.train_history.save(args.save_history)
+        print(f"training history written to {args.save_history}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    """``fit`` subcommand."""
+    data = _build_dataset(args)
+    config = repro.RTFInferenceConfig(init=args.init, seed=args.seed)
+    model, diags = repro.fit_rtf(
+        data.network, data.train_history, slots=[data.slot], config=config
+    )
+    diag = diags[data.slot]
+    print(
+        f"fitted slot {data.slot}: {diag.iterations} iterations, "
+        f"converged={diag.converged}, max|grad mu|={diag.final_grad_mu:.4g}"
+    )
+    if args.output:
+        model.save(args.output)
+        print(f"model written to {args.output}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``query`` subcommand."""
+    data = _build_dataset(args)
+    system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=[data.slot])
+    market = repro.CrowdMarket(
+        data.network, data.pool, data.cost_model,
+        rng=np.random.default_rng(args.seed),
+    )
+    truth = repro.truth_oracle_for(data.test_history, args.day, data.slot)
+    result = system.answer_query(
+        data.queried,
+        data.slot,
+        budget=args.budget,
+        market=market,
+        truth=truth,
+        theta=args.theta,
+        selector=args.selector,
+        rng=np.random.default_rng(args.seed),
+    )
+    truths = np.array([truth(q) for q in data.queried])
+    mape = repro.mean_absolute_percentage_error(result.estimates_kmh, truths)
+    fer = repro.false_estimation_rate(result.estimates_kmh, truths)
+    print(
+        f"selected {len(result.selection.selected)} roads "
+        f"({result.selection.algorithm}), spent {result.budget_spent}/{args.budget}"
+    )
+    print(f"GSP sweeps: {result.gsp.sweeps} (converged={result.gsp.converged})")
+    print(f"quality over R^q: MAPE {mape:.4f}, FER {fer:.4f}")
+    if args.verbose:
+        print("\nroad      estimate   truth")
+        for road, estimate in zip(data.queried, result.estimates_kmh):
+            print(f"r{road:<8} {estimate:7.1f}   {truth(road):7.1f}")
+    return 0
+
+
+#: Experiment registry: name -> module path inside repro.experiments.
+EXPERIMENTS = (
+    "table2",
+    "table3",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "ablations",
+    "theta_sweep",
+    "query_patterns",
+    "scalability",
+    "allocation_study",
+    "fixed_vs_crowd",
+    "noise_sensitivity",
+)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``experiment`` subcommand."""
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.which}")
+    if args.scale == "paper":
+        module.main()
+        return 0
+    # Quick scale: call run() explicitly and print with the module's
+    # formatter (main() defaults to paper scale).
+    scale = ExperimentScale.QUICK
+    if args.which == "figure4":
+        print(module.format_table(module.run_ocs_runtime(scale)))
+        print(module.format_table(module.run_estimator_runtime(scale)))
+    elif args.which == "ablations":
+        print(module.format_table(module.run_all(scale)))
+    else:
+        print(module.format_table(module.run(scale)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CrowdRTSE (ICDE 2018) reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = subparsers.add_parser("dataset", help="build and describe a dataset")
+    _add_dataset_args(p_dataset)
+    p_dataset.add_argument("--save-network", help="write the network JSON here")
+    p_dataset.add_argument("--save-history", help="write the training history .npz here")
+    p_dataset.set_defaults(func=cmd_dataset)
+
+    p_fit = subparsers.add_parser("fit", help="run the offline stage")
+    _add_dataset_args(p_fit)
+    p_fit.add_argument("--init", choices=("empirical", "random"), default="empirical")
+    p_fit.add_argument("--output", help="write the fitted RTF model .npz here")
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_query = subparsers.add_parser("query", help="answer one realtime query")
+    _add_dataset_args(p_query)
+    p_query.add_argument("--budget", type=int, default=30, help="crowdsourcing budget K")
+    p_query.add_argument("--theta", type=float, default=0.92, help="redundancy bound")
+    p_query.add_argument(
+        "--selector",
+        choices=("hybrid", "ratio", "objective", "random"),
+        default="hybrid",
+    )
+    p_query.add_argument("--day", type=int, default=0, help="test day to query")
+    p_query.add_argument("--verbose", action="store_true", help="print per-road rows")
+    p_query.set_defaults(func=cmd_query)
+
+    p_exp = subparsers.add_parser("experiment", help="run a paper table/figure")
+    p_exp.add_argument("which", choices=EXPERIMENTS)
+    p_exp.add_argument("--scale", choices=("paper", "quick"), default="quick")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Batched query answering: many concurrent queries, one crowd probe.
+
+A deployed RTSE service receives many queries per 5-minute slot.  Naively
+running Fig. 1's loop per query wastes budget: two queries about nearby
+roads would buy the same probes twice.  :func:`answer_batch` pools the
+queries — one OCS instance over the *union* of queried roads (each
+road's periodicity weight counted once, however many queries want it),
+one crowd probe, one GSP propagation — then slices per-query answers out
+of the shared field.
+
+This is an extension beyond the paper (which treats one query at a
+time); the batched loop strictly dominates the sequential one at equal
+total budget, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SelectionError
+from repro.core.gsp import GSPConfig
+from repro.core.pipeline import CrowdRTSE, QueryResult
+from repro.crowd.market import CrowdMarket, TruthOracle
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a pooled multi-query round.
+
+    Attributes:
+        shared: The pooled :class:`QueryResult` over the union of
+            queried roads.
+        per_query: One estimate array per input query, aligned with the
+            input order.
+    """
+
+    shared: QueryResult
+    per_query: Tuple[np.ndarray, ...]
+
+    @property
+    def budget_spent(self) -> int:
+        """Units paid for the whole batch."""
+        return self.shared.budget_spent
+
+
+def answer_batch(
+    system: CrowdRTSE,
+    queries: Sequence[Sequence[int]],
+    slot: int,
+    budget: float,
+    market: CrowdMarket,
+    truth: TruthOracle,
+    theta: float = 0.92,
+    selector: str = "hybrid",
+    gsp_config: Optional[GSPConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BatchResult:
+    """Answer several queries with one pooled crowdsourcing round.
+
+    Args:
+        system: Fitted CrowdRTSE.
+        queries: The concurrent queries' road sets (each non-empty).
+        slot: Query time slot.
+        budget: Total budget for the whole batch.
+        market: Crowd marketplace.
+        truth: Ground-truth oracle for the simulated workers.
+        theta: Redundancy threshold.
+        selector: OCS solver name.
+        gsp_config: Propagation knobs.
+        rng: RNG for the random selector.
+
+    Returns:
+        A :class:`BatchResult`.
+
+    Raises:
+        SelectionError: On an empty batch or an empty query.
+    """
+    if not queries:
+        raise SelectionError("query batch must not be empty")
+    for k, query in enumerate(queries):
+        if not query:
+            raise SelectionError(f"query {k} is empty")
+    union: List[int] = sorted({int(r) for query in queries for r in query})
+    shared = system.answer_query(
+        union,
+        slot,
+        budget=budget,
+        market=market,
+        truth=truth,
+        theta=theta,
+        selector=selector,
+        gsp_config=gsp_config,
+        rng=rng,
+    )
+    per_query = tuple(
+        shared.full_field_kmh[np.asarray([int(r) for r in query], dtype=int)]
+        for query in queries
+    )
+    return BatchResult(shared=shared, per_query=per_query)
+
+
+def sequential_baseline(
+    system: CrowdRTSE,
+    queries: Sequence[Sequence[int]],
+    slot: int,
+    budget: float,
+    market: CrowdMarket,
+    truth: TruthOracle,
+    theta: float = 0.92,
+    selector: str = "hybrid",
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[List[np.ndarray], int]:
+    """The naive per-query loop with the *same total* budget, split evenly.
+
+    Provided for comparison benches: returns per-query estimates and the
+    total units spent.
+    """
+    if not queries:
+        raise SelectionError("query batch must not be empty")
+    share = budget / len(queries)
+    if share < 1:
+        raise SelectionError(
+            f"budget {budget} too small to split over {len(queries)} queries"
+        )
+    estimates: List[np.ndarray] = []
+    spent = 0
+    for query in queries:
+        result = system.answer_query(
+            query,
+            slot,
+            budget=share,
+            market=market,
+            truth=truth,
+            theta=theta,
+            selector=selector,
+            rng=rng,
+        )
+        estimates.append(result.estimates_kmh)
+        spent += result.budget_spent
+    return estimates, spent

@@ -1,0 +1,157 @@
+"""Online (streaming) RTF parameter maintenance.
+
+The paper fits RTF offline from a fixed three-month crawl.  A deployed
+system keeps receiving new days of data, and traffic statistics drift
+(roadworks, seasonal shifts).  :class:`OnlineRTFUpdater` maintains the
+per-slot parameters incrementally with exponential forgetting:
+
+.. math::
+
+    m_i \\leftarrow (1-\\eta)\\, m_i + \\eta\\, v_i, \\qquad
+    s_i \\leftarrow (1-\\eta)\\, s_i + \\eta\\,(v_i - m_i)^2, \\qquad
+    c_{ij} \\leftarrow (1-\\eta)\\, c_{ij} + \\eta\\,(v_i - m_i)(v_j - m_j)
+
+so the effective memory is about ``1/eta`` days.  Because the
+normalized pseudo-likelihood's stationary point *is* the (weighted)
+moment set (see :mod:`repro.core.inference`), these running moments stay
+the maximum-likelihood parameters of the drifting model — no gradient
+loop is needed per day.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.rtf import RTFModel, RTFSlot, SIGMA_FLOOR
+from repro.network.graph import TrafficNetwork
+
+
+class OnlineRTFUpdater:
+    """Maintains one slot's RTF parameters from a stream of daily samples.
+
+    Args:
+        network: Road graph.
+        initial: Starting parameters (e.g. from the offline fit).
+        learning_rate: Forgetting factor η in (0, 1); memory ≈ 1/η days.
+        sigma_floor: Lower bound kept on σ.
+    """
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        initial: RTFSlot,
+        learning_rate: float = 0.05,
+        sigma_floor: float = SIGMA_FLOOR,
+    ) -> None:
+        if not 0.0 < learning_rate < 1.0:
+            raise ModelError(
+                f"learning_rate must be in (0, 1), got {learning_rate}"
+            )
+        initial.check_against(network)
+        self._network = network
+        self._eta = learning_rate
+        self._sigma_floor = sigma_floor
+        self._slot = initial.slot
+        self._mean = initial.mu.astype(np.float64).copy()
+        self._var = (initial.sigma.astype(np.float64) ** 2).copy()
+        if network.edges:
+            ei, ej = np.array(network.edges).T
+            self._ei, self._ej = ei, ej
+            self._cov = (
+                initial.rho * initial.sigma[ei] * initial.sigma[ej]
+            ).astype(np.float64)
+        else:
+            self._ei = np.zeros(0, dtype=int)
+            self._ej = np.zeros(0, dtype=int)
+            self._cov = np.zeros(0)
+        self._n_updates = 0
+
+    @property
+    def n_updates(self) -> int:
+        """Number of daily samples absorbed so far."""
+        return self._n_updates
+
+    @property
+    def learning_rate(self) -> float:
+        """The forgetting factor η."""
+        return self._eta
+
+    def update(self, sample: np.ndarray) -> RTFSlot:
+        """Absorb one day's speeds for this slot and return new params.
+
+        Args:
+            sample: Speeds of every road in this slot today, shape
+                ``(n_roads,)``.
+
+        Returns:
+            The refreshed :class:`RTFSlot`.
+        """
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.shape != (self._network.n_roads,):
+            raise ModelError(
+                f"sample must have shape ({self._network.n_roads},), "
+                f"got {sample.shape}"
+            )
+        if np.any(~np.isfinite(sample)) or np.any(sample <= 0):
+            raise ModelError("sample speeds must be finite and positive")
+        eta = self._eta
+        residual = sample - self._mean
+        self._mean += eta * residual
+        # Use the post-update mean for the second moments (EW moments).
+        centered = sample - self._mean
+        self._var = (1 - eta) * self._var + eta * centered * centered
+        if self._ei.size:
+            self._cov = (1 - eta) * self._cov + eta * (
+                centered[self._ei] * centered[self._ej]
+            )
+        self._n_updates += 1
+        return self.current()
+
+    def update_many(self, samples: Iterable[np.ndarray]) -> RTFSlot:
+        """Absorb several days in order; returns the final parameters."""
+        params = self.current()
+        for sample in samples:
+            params = self.update(sample)
+        return params
+
+    def current(self) -> RTFSlot:
+        """The present parameters as an :class:`RTFSlot`."""
+        sigma = np.sqrt(np.maximum(self._var, self._sigma_floor**2))
+        if self._ei.size:
+            rho = np.clip(
+                self._cov / (sigma[self._ei] * sigma[self._ej]), 0.0, 1.0
+            )
+        else:
+            rho = np.zeros(0)
+        return RTFSlot(slot=self._slot, mu=self._mean.copy(), sigma=sigma, rho=rho)
+
+
+def refresh_model(
+    network: TrafficNetwork,
+    model: RTFModel,
+    day_samples: Dict[int, np.ndarray],
+    learning_rate: float = 0.05,
+) -> RTFModel:
+    """One-shot convenience: absorb one new day into several slots.
+
+    Args:
+        network: Road graph.
+        model: Current RTF model.
+        day_samples: Mapping slot → today's speed vector for that slot.
+            Slots absent from the mapping keep their parameters.
+        learning_rate: Forgetting factor η.
+
+    Returns:
+        A new :class:`RTFModel` with the refreshed slots.
+    """
+    refreshed = []
+    for slot in model.slots:
+        params = model.slot(slot)
+        if slot in day_samples:
+            updater = OnlineRTFUpdater(network, params, learning_rate)
+            params = updater.update(day_samples[slot])
+        refreshed.append(params)
+    return RTFModel(network, refreshed)

@@ -1,0 +1,234 @@
+"""The CrowdRTSE facade — the hybrid offline/online workflow of Fig. 1.
+
+Offline, :meth:`CrowdRTSE.fit` trains the RTF model from history and
+precomputes the correlation table Γ_R.  Online, :meth:`answer_query`
+runs the three-step loop: OCS selects the crowdsourced roads, the crowd
+market probes them, and GSP propagates the probes into a full-network
+speed field from which the queried roads are answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, SelectionError
+from repro.core.correlation import CorrelationTable, PathWeightMode
+from repro.core.gsp import GSPConfig, GSPResult, propagate
+from repro.core.inference import RTFInferenceConfig, fit_rtf
+from repro.core.ocs import (
+    OCSInstance,
+    OCSResult,
+    hybrid_greedy,
+    objective_greedy,
+    random_selection,
+    ratio_greedy,
+    trivial_solution,
+)
+from repro.core.rtf import RTFModel
+from repro.crowd.market import BudgetLedger, CrowdMarket, ProbeReceipt, TruthOracle
+from repro.network.graph import TrafficNetwork
+from repro.traffic.history import SpeedHistory
+
+#: Named OCS solvers accepted by :meth:`CrowdRTSE.answer_query`.
+SELECTORS: Mapping[str, Callable[[OCSInstance], OCSResult]] = {
+    "hybrid": hybrid_greedy,
+    "ratio": ratio_greedy,
+    "objective": objective_greedy,
+}
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one realtime traffic-speed query.
+
+    Attributes:
+        queried: Queried road indices, in request order.
+        estimates_kmh: Estimated speed per queried road, aligned with
+            ``queried``.
+        full_field_kmh: Inferred speed for every road in the network.
+        selection: The OCS outcome (which roads were crowdsourced).
+        probes: Aggregated crowd answers per crowdsourced road.
+        receipts: Detailed probe receipts (answers, payments).
+        gsp: The propagation diagnostics.
+        budget_spent: Units actually paid.
+    """
+
+    queried: Tuple[int, ...]
+    estimates_kmh: np.ndarray
+    full_field_kmh: np.ndarray
+    selection: OCSResult
+    probes: Dict[int, float]
+    receipts: Tuple[ProbeReceipt, ...]
+    gsp: GSPResult
+    budget_spent: int
+
+    def estimate_of(self, road_index: int) -> float:
+        """Estimated speed of one queried road."""
+        try:
+            pos = self.queried.index(road_index)
+        except ValueError:
+            raise ModelError(f"road {road_index} was not part of the query") from None
+        return float(self.estimates_kmh[pos])
+
+
+class CrowdRTSE:
+    """End-to-end CrowdRTSE system (paper Fig. 1).
+
+    Build it offline with :meth:`fit` (or construct directly from a
+    fitted :class:`RTFModel` and :class:`CorrelationTable`), then answer
+    queries online with :meth:`answer_query`.
+    """
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        model: RTFModel,
+        correlations: CorrelationTable,
+    ) -> None:
+        if model.network is not network and model.network != network:
+            raise ModelError("model was fitted on a different network")
+        if correlations.network is not network and correlations.network != network:
+            raise ModelError("correlation table belongs to a different network")
+        self._network = network
+        self._model = model
+        self._correlations = correlations
+
+    @classmethod
+    def fit(
+        cls,
+        network: TrafficNetwork,
+        history: SpeedHistory,
+        slots: Optional[Sequence[int]] = None,
+        inference_config: Optional[RTFInferenceConfig] = None,
+        path_mode: PathWeightMode = PathWeightMode.LOG,
+    ) -> "CrowdRTSE":
+        """Offline stage: train RTF and precompute Γ_R.
+
+        Args:
+            network: Road graph.
+            history: Offline speed record.
+            slots: Slots to fit (default: all covered by the history).
+            inference_config: Alg. 1 knobs.
+            path_mode: Path-weight transform for the correlation table.
+        """
+        model, _ = fit_rtf(network, history, slots, inference_config)
+        table = CorrelationTable.precompute(model, mode=path_mode)
+        return cls(network, model, table)
+
+    @property
+    def network(self) -> TrafficNetwork:
+        """The road graph."""
+        return self._network
+
+    @property
+    def model(self) -> RTFModel:
+        """The fitted RTF model."""
+        return self._model
+
+    @property
+    def correlations(self) -> CorrelationTable:
+        """The precomputed correlation table Γ_R."""
+        return self._correlations
+
+    # ------------------------------------------------------------------
+    # Online stage
+    # ------------------------------------------------------------------
+
+    def build_ocs_instance(
+        self,
+        queried: Sequence[int],
+        slot: int,
+        budget: float,
+        market: CrowdMarket,
+        theta: float = 0.92,
+    ) -> OCSInstance:
+        """Assemble the OCS problem for one query.
+
+        Candidates are the roads that currently have workers; costs come
+        from the market's cost model; σ weights from the RTF slot.
+        """
+        candidates = market.candidate_roads()
+        if not candidates:
+            raise SelectionError("no roads currently have workers (R^w is empty)")
+        params = self._model.slot(slot)
+        return OCSInstance(
+            queried=tuple(int(q) for q in queried),
+            candidates=candidates,
+            costs=market.cost_model.costs_of(candidates).astype(float),
+            budget=float(budget),
+            theta=theta,
+            corr=self._correlations.matrix(slot),
+            sigma=params.sigma,
+        )
+
+    def answer_query(
+        self,
+        queried: Sequence[int],
+        slot: int,
+        budget: float,
+        market: CrowdMarket,
+        truth: TruthOracle,
+        theta: float = 0.92,
+        selector: str = "hybrid",
+        gsp_config: Optional[GSPConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        use_trivial_fast_path: bool = True,
+    ) -> QueryResult:
+        """Online stage: OCS → crowd probe → GSP → answer (Fig. 1).
+
+        Args:
+            queried: Queried road indices ``R^q``.
+            slot: Global time slot of the query.
+            budget: Crowdsourcing budget ``K``.
+            market: The crowd marketplace.
+            truth: Ground-truth oracle the (simulated) workers measure.
+            theta: Redundancy threshold θ.
+            selector: ``"hybrid"``, ``"ratio"``, ``"objective"`` or
+                ``"random"``.
+            gsp_config: Propagation knobs.
+            rng: RNG for the random selector.
+            use_trivial_fast_path: Apply Remark 2's closed-form optima
+                when they apply (θ = 1, unit costs, over-adequate budget
+                or few queried roads) instead of running the greedy.
+
+        Returns:
+            A :class:`QueryResult`.
+        """
+        instance = self.build_ocs_instance(queried, slot, budget, market, theta)
+        selection: Optional[OCSResult] = None
+        if use_trivial_fast_path and selector != "random":
+            selection = trivial_solution(instance)
+        if selection is None:
+            if selector == "random":
+                selection = random_selection(instance, rng)
+            else:
+                try:
+                    solve = SELECTORS[selector]
+                except KeyError:
+                    raise SelectionError(
+                        f"unknown selector {selector!r}; choose from "
+                        f"{sorted(SELECTORS) + ['random']}"
+                    ) from None
+                selection = solve(instance)
+
+        ledger = BudgetLedger(budget)
+        probes, receipts = market.probe(selection.selected, truth, ledger)
+
+        params = self._model.slot(slot)
+        gsp_result = propagate(self._network, params, probes, gsp_config)
+
+        queried_tuple = tuple(int(q) for q in queried)
+        estimates = gsp_result.speeds[np.asarray(queried_tuple, dtype=int)]
+        return QueryResult(
+            queried=queried_tuple,
+            estimates_kmh=estimates,
+            full_field_kmh=gsp_result.speeds,
+            selection=selection,
+            probes=probes,
+            receipts=tuple(receipts),
+            gsp=gsp_result,
+            budget_spent=ledger.spent,
+        )

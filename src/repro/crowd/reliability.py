@@ -1,0 +1,155 @@
+"""Data-driven road costs and worker reliability estimation.
+
+The paper defines a road's *cost* as the minimum number of answers
+needed for a reliable aggregate and notes that "many existing approaches
+(e.g. [28], [29]) can be adopted to determine the cost of each road,
+which estimate the exact value from the historical answers of crowd"
+(§V-A).  This module implements that estimation pipeline:
+
+* :func:`estimate_worker_noise` — per-worker relative measurement noise
+  from historical (answer, truth) pairs;
+* :func:`required_answers` — how many answers must be averaged so the
+  aggregate's relative standard error drops below a target;
+* :func:`estimate_costs_from_answers` — a :class:`CostModel` derived
+  from each road's historical answer dispersion, replacing the paper's
+  synthetic uniform costs with the data-driven variant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CrowdError
+from repro.crowd.cost import CostModel
+from repro.network.graph import TrafficNetwork
+
+
+def estimate_worker_noise(
+    answers: Sequence[float],
+    truths: Sequence[float],
+) -> float:
+    """Relative noise (std of answer/truth − 1) of one worker.
+
+    Args:
+        answers: The worker's historical answers.
+        truths: Matching ground truths (e.g. from loop detectors used
+            for calibration).
+
+    Returns:
+        The estimated relative noise standard deviation.
+
+    Raises:
+        CrowdError: On empty or mismatched inputs, or non-positive
+            truths.
+    """
+    answer_arr = np.asarray(list(answers), dtype=np.float64)
+    truth_arr = np.asarray(list(truths), dtype=np.float64)
+    if answer_arr.size == 0 or answer_arr.shape != truth_arr.shape:
+        raise CrowdError(
+            f"need matching non-empty answers/truths, got "
+            f"{answer_arr.shape} vs {truth_arr.shape}"
+        )
+    if np.any(truth_arr <= 0):
+        raise CrowdError("truths must be positive speeds")
+    ratios = answer_arr / truth_arr - 1.0
+    if ratios.size == 1:
+        return float(abs(ratios[0]))
+    return float(ratios.std(ddof=1))
+
+
+def required_answers(
+    answer_noise: float,
+    target_relative_error: float = 0.05,
+    max_answers: int = 10,
+) -> int:
+    """Answers needed so the mean's relative standard error ≤ target.
+
+    Averaging ``n`` independent answers with relative noise ``s`` gives
+    standard error ``s / sqrt(n)``; solve for the smallest ``n``.
+
+    Args:
+        answer_noise: Relative std dev of one answer.
+        target_relative_error: Acceptable relative standard error of the
+            aggregate.
+        max_answers: Cap (a road never costs more than this).
+
+    Returns:
+        The road cost: an integer in ``1..max_answers``.
+    """
+    if answer_noise < 0:
+        raise CrowdError("answer_noise must be >= 0")
+    if target_relative_error <= 0:
+        raise CrowdError("target_relative_error must be positive")
+    if max_answers < 1:
+        raise CrowdError("max_answers must be >= 1")
+    if answer_noise == 0:
+        return 1
+    needed = math.ceil((answer_noise / target_relative_error) ** 2)
+    return int(min(max(needed, 1), max_answers))
+
+
+def estimate_costs_from_answers(
+    network: TrafficNetwork,
+    historical_answers: Mapping[int, Sequence[float]],
+    historical_truths: Mapping[int, float],
+    target_relative_error: float = 0.05,
+    max_answers: int = 10,
+    default_cost: int = 5,
+) -> CostModel:
+    """Build a :class:`CostModel` from historical crowd answers.
+
+    For every road with history, the per-answer relative noise is
+    estimated from the dispersion of its answers around the recorded
+    truth, then converted to a minimum answer count.  Roads with no
+    history get ``default_cost`` — the conservative choice for unknown
+    roads.
+
+    Args:
+        network: Road graph.
+        historical_answers: road index → past raw answers for that road.
+        historical_truths: road index → the true speed those answers
+            measured.
+        target_relative_error: Aggregate accuracy target.
+        max_answers: Cost cap.
+        default_cost: Cost assigned to roads without history.
+
+    Returns:
+        The data-driven :class:`CostModel`.
+    """
+    if not 1 <= default_cost <= max_answers:
+        raise CrowdError("default_cost must be within 1..max_answers")
+    costs = np.full(network.n_roads, default_cost, dtype=np.int64)
+    for road, answers in historical_answers.items():
+        road = int(road)
+        if not 0 <= road < network.n_roads:
+            raise CrowdError(f"road {road} outside the network")
+        if road not in historical_truths:
+            raise CrowdError(f"no recorded truth for road {road}")
+        truth = float(historical_truths[road])
+        noise = estimate_worker_noise(answers, [truth] * len(list(answers)))
+        costs[road] = required_answers(noise, target_relative_error, max_answers)
+    return CostModel(network, costs)
+
+
+def collect_answer_history(
+    receipts: Iterable,
+) -> Tuple[Dict[int, List[float]], Dict[int, float]]:
+    """Turn probe receipts into the history maps the estimator consumes.
+
+    Args:
+        receipts: :class:`~repro.crowd.market.ProbeReceipt` records from
+            past crowdsourcing rounds.
+
+    Returns:
+        ``(answers_by_road, truth_by_road)``; multiple receipts for one
+        road concatenate their answers and keep the latest truth.
+    """
+    answers: Dict[int, List[float]] = {}
+    truths: Dict[int, float] = {}
+    for receipt in receipts:
+        answers.setdefault(receipt.road_index, []).extend(receipt.answers)
+        truths[receipt.road_index] = receipt.true_kmh
+    return answers, truths

@@ -1,0 +1,113 @@
+"""Trajectory-based probing: crowd answers derived from GPS traces.
+
+The basic :class:`~repro.crowd.market.CrowdMarket` models a worker's
+answer as a noisy point read of the true speed.  In a deployed system
+the answer is *derived from the worker's own movement*: she keeps
+driving her road and the platform computes speed from consecutive GPS
+fixes.  :class:`TrajectoryProbeCollector` implements that pipeline using
+the :mod:`repro.traffic.trajectories` substrate, so experiments can
+check that CrowdRTSE's quality survives realistic measurement noise
+(fix quantization, GPS jitter, short dwell times).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CrowdError
+from repro.crowd.aggregation import Aggregator, aggregate_answers
+from repro.network.graph import TrafficNetwork
+from repro.traffic.trajectories import TrajectoryGenerator, extract_road_speeds
+
+
+class TrajectoryProbeCollector:
+    """Collects per-road crowd answers by simulating worker drives.
+
+    Args:
+        network: Road graph.
+        drive_duration_s: How long each worker drives to produce one
+            answer.
+        fix_interval_s: GPS sampling period.
+        gps_noise_fraction: Relative GPS position noise.
+        aggregator: Rule combining a road's multiple answers.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        drive_duration_s: float = 120.0,
+        fix_interval_s: float = 10.0,
+        gps_noise_fraction: float = 0.02,
+        aggregator: Aggregator = Aggregator.MEAN,
+        seed: Optional[int] = None,
+    ) -> None:
+        if drive_duration_s <= 0:
+            raise CrowdError("drive_duration_s must be positive")
+        self._network = network
+        self._duration = drive_duration_s
+        self._fix_interval = fix_interval_s
+        self._noise = gps_noise_fraction
+        self._aggregator = aggregator
+        self._seed = seed
+
+    def probe(
+        self,
+        roads: Sequence[int],
+        true_speeds_kmh: np.ndarray,
+        answers_per_road: Mapping[int, int],
+    ) -> Tuple[Dict[int, float], Dict[int, List[float]]]:
+        """Collect trace-derived answers for the selected roads.
+
+        For each road, ``answers_per_road[road]`` workers each drive for
+        :attr:`drive_duration_s` starting on that road; each usable trace
+        segment on the road yields one answer.  Workers whose trace
+        leaves the road too quickly retry up to three times (a platform
+        would simply ask another worker).
+
+        Args:
+            roads: Crowdsourced roads ``R^c``.
+            true_speeds_kmh: Current ground-truth speed per road.
+            answers_per_road: Answers required per road (the cost).
+
+        Returns:
+            ``(aggregated, raw)``: the per-road aggregated probe value
+            and the raw answer lists.
+
+        Raises:
+            CrowdError: When a road yields no usable answer at all.
+        """
+        generator = TrajectoryGenerator(
+            self._network,
+            true_speeds_kmh,
+            fix_interval_s=self._fix_interval,
+            gps_noise_fraction=self._noise,
+            seed=self._seed,
+        )
+        aggregated: Dict[int, float] = {}
+        raw: Dict[int, List[float]] = {}
+        for road in roads:
+            road = int(road)
+            required = int(answers_per_road.get(road, 1))
+            if required <= 0:
+                raise CrowdError(f"answers required for road {road} must be positive")
+            answers: List[float] = []
+            attempts = 0
+            while len(answers) < required and attempts < 3 * required + 3:
+                attempts += 1
+                trace = generator.drive(
+                    f"probe_{road}_{attempts}", road, self._duration
+                )
+                observed = extract_road_speeds(self._network, trace)
+                if road in observed:
+                    answers.append(observed[road])
+            if not answers:
+                raise CrowdError(
+                    f"no usable trajectory answer for road {road} after "
+                    f"{attempts} drives (road too short for the fix interval?)"
+                )
+            raw[road] = answers
+            aggregated[road] = aggregate_answers(answers, self._aggregator)
+        return aggregated, raw

@@ -1,0 +1,185 @@
+"""Workers and their spatial distribution.
+
+A :class:`Worker` is a participant who announced a task demand together
+with her current road (paper §III-A).  The :class:`WorkerPool` answers
+the one question OCS needs — *which roads currently have workers*
+(``R^w``) — and hands out the workers on a road when the market probes
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CrowdError, NoWorkersError
+from repro.network.graph import TrafficNetwork
+
+
+@dataclass(frozen=True)
+class Worker:
+    """One crowdsourcing participant.
+
+    Attributes:
+        worker_id: Unique identifier.
+        road_index: Road the worker is currently on.
+        noise_std_fraction: Std dev of the worker's measurement error as
+            a fraction of the true speed (GPS-speed estimates are
+            proportional-error).
+        bias_fraction: Systematic per-worker bias as a fraction of the
+            true speed (e.g. a pedestrian reporting slightly low).
+    """
+
+    worker_id: str
+    road_index: int
+    noise_std_fraction: float = 0.08
+    bias_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise CrowdError("worker_id must be non-empty")
+        if self.noise_std_fraction < 0:
+            raise CrowdError("noise_std_fraction must be >= 0")
+
+    def measure(self, true_speed: float, rng: np.random.Generator) -> float:
+        """One noisy speed measurement, floored at 0.5 km/h."""
+        if true_speed <= 0:
+            raise CrowdError(f"true speed must be positive, got {true_speed}")
+        noise = rng.normal(0.0, self.noise_std_fraction)
+        reading = true_speed * (1.0 + self.bias_fraction + noise)
+        return max(reading, 0.5)
+
+
+class WorkerPool:
+    """All workers currently available, indexed by road."""
+
+    def __init__(self, network: TrafficNetwork, workers: Iterable[Worker]) -> None:
+        self._network = network
+        self._by_road: Dict[int, List[Worker]] = {}
+        self._workers: Tuple[Worker, ...] = tuple(workers)
+        for worker in self._workers:
+            if not 0 <= worker.road_index < network.n_roads:
+                raise CrowdError(
+                    f"worker {worker.worker_id!r} on unknown road {worker.road_index}"
+                )
+            self._by_road.setdefault(worker.road_index, []).append(worker)
+
+    @property
+    def n_workers(self) -> int:
+        """Total number of workers in the pool."""
+        return len(self._workers)
+
+    @property
+    def workers(self) -> Tuple[Worker, ...]:
+        """All workers."""
+        return self._workers
+
+    def roads_with_workers(self) -> Tuple[int, ...]:
+        """The candidate set ``R^w``, sorted by road index."""
+        return tuple(sorted(self._by_road))
+
+    def workers_on(self, road_index: int) -> Tuple[Worker, ...]:
+        """Workers currently on one road.
+
+        Raises:
+            NoWorkersError: When the road has no workers.
+        """
+        try:
+            return tuple(self._by_road[road_index])
+        except KeyError:
+            raise NoWorkersError(f"no workers on road index {road_index}") from None
+
+    def count_on(self, road_index: int) -> int:
+        """Number of workers on one road (0 when none)."""
+        return len(self._by_road.get(road_index, []))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def cover_all_roads(
+        cls,
+        network: TrafficNetwork,
+        workers_per_road: int = 10,
+        noise_std_fraction: float = 0.08,
+        seed: Optional[int] = None,
+    ) -> "WorkerPool":
+        """A pool with workers on every road.
+
+        This is the semi-synthetic dataset's assumption (paper §VII-A:
+        "workers are assumed to cover all the tested roads").
+        """
+        if workers_per_road <= 0:
+            raise CrowdError("workers_per_road must be positive")
+        rng = np.random.default_rng(seed)
+        workers: List[Worker] = []
+        for road in range(network.n_roads):
+            for k in range(workers_per_road):
+                workers.append(
+                    Worker(
+                        worker_id=f"w{road}_{k}",
+                        road_index=road,
+                        noise_std_fraction=float(
+                            abs(rng.normal(noise_std_fraction, noise_std_fraction / 4))
+                        ),
+                        bias_fraction=float(rng.normal(0.0, 0.01)),
+                    )
+                )
+        return cls(network, workers)
+
+    @classmethod
+    def on_roads(
+        cls,
+        network: TrafficNetwork,
+        road_indices: Sequence[int],
+        workers_per_road: int = 10,
+        noise_std_fraction: float = 0.08,
+        seed: Optional[int] = None,
+    ) -> "WorkerPool":
+        """A pool whose workers sit only on the given roads.
+
+        This is the gMission dataset's shape (``R^w ⊂ R^q``).
+        """
+        if workers_per_road <= 0:
+            raise CrowdError("workers_per_road must be positive")
+        rng = np.random.default_rng(seed)
+        workers: List[Worker] = []
+        for road in road_indices:
+            for k in range(workers_per_road):
+                workers.append(
+                    Worker(
+                        worker_id=f"w{road}_{k}",
+                        road_index=int(road),
+                        noise_std_fraction=float(
+                            abs(rng.normal(noise_std_fraction, noise_std_fraction / 4))
+                        ),
+                        bias_fraction=float(rng.normal(0.0, 0.01)),
+                    )
+                )
+        return cls(network, workers)
+
+    @classmethod
+    def random_distribution(
+        cls,
+        network: TrafficNetwork,
+        n_workers: int,
+        noise_std_fraction: float = 0.08,
+        seed: Optional[int] = None,
+    ) -> "WorkerPool":
+        """Workers scattered uniformly at random over the roads."""
+        if n_workers <= 0:
+            raise CrowdError("n_workers must be positive")
+        rng = np.random.default_rng(seed)
+        roads = rng.integers(0, network.n_roads, size=n_workers)
+        workers = [
+            Worker(
+                worker_id=f"w{k}",
+                road_index=int(roads[k]),
+                noise_std_fraction=noise_std_fraction,
+            )
+            for k in range(n_workers)
+        ]
+        return cls(network, workers)

@@ -1,0 +1,30 @@
+"""Benchmark datasets (paper §VII-A, Table II).
+
+* :func:`build_semisyn` — the semi-synthesized dataset: a 607-road
+  network with workers covering every road (``R^w = R``) and queried
+  roads sampled uniformly.
+* :func:`build_gmission` — the gMission-like dataset: a 50-road
+  connected subcomponent queried in full, with workers on only 30 of
+  its roads (``R^w ⊂ R^q``).
+"""
+
+from repro.datasets.bundle import Dataset, truth_oracle_for
+from repro.datasets.semisyn import SemiSynConfig, build_semisyn
+from repro.datasets.gmission import GMissionConfig, build_gmission
+from repro.datasets.loaders import (
+    history_from_csv,
+    history_from_records,
+    history_to_csv,
+)
+
+__all__ = [
+    "history_from_csv",
+    "history_from_records",
+    "history_to_csv",
+    "Dataset",
+    "truth_oracle_for",
+    "SemiSynConfig",
+    "build_semisyn",
+    "GMissionConfig",
+    "build_gmission",
+]

@@ -1,0 +1,95 @@
+"""The dataset bundle shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+
+from repro.errors import DatasetError
+from repro.crowd.cost import CostModel
+from repro.crowd.workers import WorkerPool
+from repro.network.graph import TrafficNetwork
+from repro.traffic.history import SpeedHistory
+from repro.traffic.profiles import DailyProfile
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Everything one experiment needs.
+
+    Attributes:
+        name: Dataset label ("semisyn", "gmission").
+        network: Road graph.
+        profiles: Generative per-road daily profiles (ground truth of
+            the simulator — useful for validating inference).
+        train_history: Offline record used to fit RTF / baselines.
+        test_history: Held-out days providing query-time ground truth.
+        queried: The queried roads ``R^q``.
+        worker_roads: Roads with workers, ``R^w``.
+        pool: The worker pool realizing ``worker_roads``.
+        cost_model: Per-road answer costs.
+        theta: Redundancy threshold used by the paper for this dataset.
+        budgets: The budget sweep ``K`` values of the paper.
+        slot: Representative global query slot.
+    """
+
+    name: str
+    network: TrafficNetwork
+    profiles: Tuple[DailyProfile, ...]
+    train_history: SpeedHistory
+    test_history: SpeedHistory
+    queried: Tuple[int, ...]
+    worker_roads: Tuple[int, ...]
+    pool: WorkerPool
+    cost_model: CostModel
+    theta: float
+    budgets: Tuple[int, ...]
+    slot: int
+
+    def __post_init__(self) -> None:
+        n = self.network.n_roads
+        for road in self.queried:
+            if not 0 <= road < n:
+                raise DatasetError(f"queried road {road} outside the network")
+        for road in self.worker_roads:
+            if not 0 <= road < n:
+                raise DatasetError(f"worker road {road} outside the network")
+        if not self.queried:
+            raise DatasetError("queried set must not be empty")
+        if not self.worker_roads:
+            raise DatasetError("worker road set must not be empty")
+        if self.slot not in self.train_history.global_slots:
+            raise DatasetError(
+                f"slot {self.slot} not covered by the training history"
+            )
+
+    @property
+    def n_roads(self) -> int:
+        """Number of roads in the network."""
+        return self.network.n_roads
+
+    def summary(self) -> str:
+        """One-line Table II style description."""
+        lo, hi = self.cost_model.cost_range
+        return (
+            f"{self.name}: |R|={self.n_roads}, |R^w|={len(self.worker_roads)}, "
+            f"|R^q|={len(self.queried)}, cost {lo}~{hi}, "
+            f"K {min(self.budgets)}~{max(self.budgets)}, theta={self.theta}"
+        )
+
+
+def truth_oracle_for(
+    history: SpeedHistory, day: int, slot: int
+) -> Callable[[int], float]:
+    """Ground-truth oracle over one (day, slot) of a history.
+
+    The returned callable maps a road index to its true speed; this is
+    what the simulated crowd workers measure.
+    """
+    snapshot = history.slot_samples(slot)[day]
+
+    def oracle(road_index: int) -> float:
+        return float(snapshot[road_index])
+
+    return oracle

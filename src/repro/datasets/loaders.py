@@ -1,0 +1,141 @@
+"""Loading external speed records into :class:`SpeedHistory`.
+
+Users with access to a real feed (e.g. the Hong Kong PSI data the paper
+crawled) can bring their own records as CSV and run the full pipeline on
+them.  The expected long format is one observation per line::
+
+    road_id,day,slot,speed_kmh
+    r17,0,96,43.5
+
+``day`` is a 0-based day index, ``slot`` the global 5-minute slot
+(0..287).  The loader validates coverage: every (day, slot, road) cell
+in the record's bounding box must be present exactly once (traffic feeds
+publish complete snapshots; silent gaps would corrupt the moment
+estimates).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.network.graph import TrafficNetwork
+from repro.traffic.history import SpeedHistory
+from repro.traffic.profiles import N_SLOTS_PER_DAY
+
+#: Required CSV header columns, in any order.
+REQUIRED_COLUMNS = ("road_id", "day", "slot", "speed_kmh")
+
+
+def history_from_records(
+    records: Sequence[Tuple[str, int, int, float]],
+    network: Optional[TrafficNetwork] = None,
+) -> SpeedHistory:
+    """Build a :class:`SpeedHistory` from (road_id, day, slot, speed) rows.
+
+    Args:
+        records: Observations; must tile a complete day × slot × road
+            box with one observation per cell.
+        network: When given, the history's road axis follows the
+            network's road order and every network road must be covered.
+
+    Raises:
+        DatasetError: On gaps, duplicates, or invalid values.
+    """
+    if not records:
+        raise DatasetError("no records supplied")
+    road_ids: List[str]
+    if network is not None:
+        road_ids = list(network.road_ids)
+    else:
+        road_ids = sorted({road for road, _, _, _ in records})
+    road_pos = {road: k for k, road in enumerate(road_ids)}
+
+    days = sorted({day for _, day, _, _ in records})
+    slots = sorted({slot for _, _, slot, _ in records})
+    if days != list(range(len(days))):
+        raise DatasetError(f"day indices must be 0..{len(days) - 1}, got {days[:5]}...")
+    if slots != list(range(slots[0], slots[0] + len(slots))):
+        raise DatasetError("slots must form one contiguous window")
+    if slots[0] < 0 or slots[-1] >= N_SLOTS_PER_DAY:
+        raise DatasetError(f"slots must lie in 0..{N_SLOTS_PER_DAY - 1}")
+
+    shape = (len(days), len(slots), len(road_ids))
+    speeds = np.full(shape, np.nan, dtype=np.float64)
+    slot_offset = slots[0]
+    for road, day, slot, value in records:
+        if road not in road_pos:
+            raise DatasetError(f"record for unknown road {road!r}")
+        if value <= 0 or not np.isfinite(value):
+            raise DatasetError(
+                f"invalid speed {value} for road {road!r} day {day} slot {slot}"
+            )
+        d, s, r = day, slot - slot_offset, road_pos[road]
+        if not np.isnan(speeds[d, s, r]):
+            raise DatasetError(
+                f"duplicate record for road {road!r} day {day} slot {slot}"
+            )
+        speeds[d, s, r] = value
+    missing = int(np.isnan(speeds).sum())
+    if missing:
+        raise DatasetError(
+            f"{missing} missing cells in the record box "
+            f"({shape[0]} days x {shape[1]} slots x {shape[2]} roads)"
+        )
+    return SpeedHistory(speeds.astype(np.float32), road_ids, slot_offset)
+
+
+def history_from_csv(
+    path: Union[str, Path],
+    network: Optional[TrafficNetwork] = None,
+) -> SpeedHistory:
+    """Load a :class:`SpeedHistory` from a long-format CSV file.
+
+    See the module docstring for the format.
+
+    Raises:
+        DatasetError: On a malformed header or rows.
+    """
+    path = Path(path)
+    records: List[Tuple[str, int, int, float]] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not set(REQUIRED_COLUMNS) <= set(
+            reader.fieldnames
+        ):
+            raise DatasetError(
+                f"CSV must have columns {REQUIRED_COLUMNS}, got {reader.fieldnames}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                records.append(
+                    (
+                        row["road_id"],
+                        int(row["day"]),
+                        int(row["slot"]),
+                        float(row["speed_kmh"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise DatasetError(f"{path}:{line_no}: malformed row ({exc})") from exc
+    return history_from_records(records, network)
+
+
+def history_to_csv(history: SpeedHistory, path: Union[str, Path]) -> None:
+    """Write a history in the long CSV format (inverse of the loader)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(REQUIRED_COLUMNS)
+        values = history.values
+        for day in range(history.n_days):
+            for local_slot in range(history.n_slots):
+                global_slot = history.slot_offset + local_slot
+                for r, road in enumerate(history.road_ids):
+                    writer.writerow(
+                        [road, day, global_slot, f"{float(values[day, local_slot, r]):.3f}"]
+                    )

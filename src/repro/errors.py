@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """Raised when a traffic network is malformed or a road is unknown."""
+
+
+class RoadNotFoundError(NetworkError):
+    """Raised when a road id does not exist in the network."""
+
+    def __init__(self, road_id: object) -> None:
+        super().__init__(f"road {road_id!r} is not part of the network")
+        self.road_id = road_id
+
+
+class EdgeNotFoundError(NetworkError):
+    """Raised when two roads are not adjacent but an edge was required."""
+
+    def __init__(self, road_a: object, road_b: object) -> None:
+        super().__init__(f"roads {road_a!r} and {road_b!r} are not adjacent")
+        self.road_a = road_a
+        self.road_b = road_b
+
+
+class ModelError(ReproError):
+    """Raised when RTF parameters are inconsistent with the network."""
+
+
+class NotFittedError(ModelError):
+    """Raised when a model is used before its parameters were inferred."""
+
+
+class ConvergenceError(ModelError):
+    """Raised when an iterative solver exhausts its iteration budget.
+
+    Solvers only raise this when asked to (``strict=True``); by default
+    they return the best iterate together with diagnostics.
+    """
+
+
+class SelectionError(ReproError):
+    """Raised when an OCS instance is infeasible or malformed."""
+
+
+class BudgetError(SelectionError):
+    """Raised when a budget is non-positive or a cost vector is invalid."""
+
+
+class CrowdError(ReproError):
+    """Raised by the crowdsourcing market simulator."""
+
+
+class NoWorkersError(CrowdError):
+    """Raised when a probe targets a road with no available workers."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

@@ -1,0 +1,122 @@
+"""Estimation-quality metrics (paper §VII-C).
+
+* APE — absolute percentage error ``|ŷ - y| / y``;
+* MAPE — mean APE over the testing cases;
+* FER — false-estimation rate: fraction of cases with APE above a
+  threshold φ (the paper uses φ = 0.2);
+* DAPE — the distribution (histogram) of APE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+#: The paper's false-estimation threshold φ.
+DEFAULT_FER_THRESHOLD = 0.2
+
+#: Default DAPE bin edges (fractions of the ground truth).
+DEFAULT_DAPE_BINS: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0)
+
+
+def _validate(estimates: np.ndarray, truths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    estimates = np.asarray(estimates, dtype=np.float64).ravel()
+    truths = np.asarray(truths, dtype=np.float64).ravel()
+    if estimates.shape != truths.shape:
+        raise ExperimentError(
+            f"estimates {estimates.shape} and truths {truths.shape} differ in shape"
+        )
+    if estimates.size == 0:
+        raise ExperimentError("no testing cases supplied")
+    if np.any(truths <= 0):
+        raise ExperimentError("ground-truth speeds must be strictly positive")
+    if np.any(~np.isfinite(estimates)):
+        raise ExperimentError("estimates contain NaN or infinity")
+    return estimates, truths
+
+
+def absolute_percentage_errors(estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """APE per testing case: ``|ŷ - y| / y``."""
+    estimates, truths = _validate(estimates, truths)
+    return np.abs(estimates - truths) / truths
+
+
+def mean_absolute_percentage_error(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """MAPE over all testing cases."""
+    return float(absolute_percentage_errors(estimates, truths).mean())
+
+
+def false_estimation_rate(
+    estimates: np.ndarray,
+    truths: np.ndarray,
+    threshold: float = DEFAULT_FER_THRESHOLD,
+) -> float:
+    """Fraction of testing cases whose APE exceeds ``threshold``."""
+    if threshold <= 0:
+        raise ExperimentError(f"threshold must be positive, got {threshold}")
+    ape = absolute_percentage_errors(estimates, truths)
+    return float((ape > threshold).mean())
+
+
+def dape_histogram(
+    estimates: np.ndarray,
+    truths: np.ndarray,
+    bins: Sequence[float] = DEFAULT_DAPE_BINS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distribution of APE over the given bin edges.
+
+    Returns:
+        ``(fractions, edges)`` where ``fractions`` has one entry per bin
+        plus a final overflow bin for APE above the last edge, and sums
+        to 1.
+    """
+    edges = np.asarray(list(bins), dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2 or np.any(np.diff(edges) <= 0):
+        raise ExperimentError(f"bins must be strictly increasing edges, got {bins}")
+    ape = absolute_percentage_errors(estimates, truths)
+    counts, _ = np.histogram(ape, bins=np.append(edges, np.inf))
+    return counts / ape.size, edges
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """All quality metrics of one evaluation run.
+
+    Attributes:
+        n_cases: Number of testing cases.
+        mape: Mean absolute percentage error.
+        fer: False estimation rate at :data:`DEFAULT_FER_THRESHOLD`.
+        dape: APE histogram fractions (with overflow bin).
+        dape_edges: Histogram bin edges.
+        max_ape: Worst-case APE.
+    """
+
+    n_cases: int
+    mape: float
+    fer: float
+    dape: Tuple[float, ...]
+    dape_edges: Tuple[float, ...]
+    max_ape: float
+
+
+def summarize_errors(
+    estimates: np.ndarray,
+    truths: np.ndarray,
+    fer_threshold: float = DEFAULT_FER_THRESHOLD,
+    dape_bins: Sequence[float] = DEFAULT_DAPE_BINS,
+) -> ErrorSummary:
+    """Compute MAPE, FER and DAPE in one pass."""
+    ape = absolute_percentage_errors(estimates, truths)
+    fractions, edges = dape_histogram(estimates, truths, dape_bins)
+    return ErrorSummary(
+        n_cases=int(ape.size),
+        mape=float(ape.mean()),
+        fer=float((ape > fer_threshold).mean()),
+        dape=tuple(float(f) for f in fractions),
+        dape_edges=tuple(float(e) for e in edges),
+        max_ape=float(ape.max()),
+    )

@@ -1,0 +1,125 @@
+"""Figure 2 — OCS objective value (VO) versus budget.
+
+Panels (a)/(b): VO of Ratio-Greedy, Objective-Greedy and Hybrid-Greedy
+as the budget K grows, with road costs drawn from C1 = U{1..10} and
+C2 = U{1..5}.  Panels (c)/(d): the VO ratios Ratio/Hybrid and
+OBJ/Hybrid.
+
+Expected shapes (verified by the bench): VO is monotone in K; Hybrid
+dominates both components; Ratio catches up at large K; the
+Ratio-vs-Hybrid gap is wider under the wide cost range C1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.ocs import hybrid_greedy, objective_greedy, ratio_greedy
+from repro.experiments.common import (
+    ExperimentScale,
+    alt_cost_model,
+    default_semisyn,
+    fit_system,
+    format_rows,
+    ocs_instance_for,
+)
+
+#: The two cost ranges of the paper.
+COST_RANGES: Dict[str, Tuple[int, int]] = {"C1": (1, 10), "C2": (1, 5)}
+
+_SOLVERS = {
+    "Ratio": ratio_greedy,
+    "OBJ": objective_greedy,
+    "Hybrid": hybrid_greedy,
+}
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    """One (cost-range, budget, algorithm) measurement."""
+
+    cost_range: str
+    budget: int
+    algorithm: str
+    objective: float
+    n_selected: int
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale.PAPER,
+    theta: float = 0.92,
+) -> List[Figure2Point]:
+    """Sweep VO over budgets for all three algorithms and both cost ranges."""
+    data = default_semisyn(scale)
+    system = fit_system("semisyn", scale)
+    points: List[Figure2Point] = []
+    for range_name, (low, high) in COST_RANGES.items():
+        cost_model = alt_cost_model(data, low, high)
+        for budget in data.budgets:
+            instance = ocs_instance_for(
+                data, system, budget, theta=theta, cost_model=cost_model
+            )
+            for algo_name, solver in _SOLVERS.items():
+                result = solver(instance)
+                points.append(
+                    Figure2Point(
+                        cost_range=range_name,
+                        budget=int(budget),
+                        algorithm=algo_name,
+                        objective=result.objective,
+                        n_selected=len(result.selected),
+                    )
+                )
+    return points
+
+
+def ratios_to_hybrid(points: List[Figure2Point]) -> List[Tuple[str, int, str, float]]:
+    """Panels (c)/(d): VO ratios of Ratio and OBJ against Hybrid."""
+    hybrid: Dict[Tuple[str, int], float] = {
+        (p.cost_range, p.budget): p.objective
+        for p in points
+        if p.algorithm == "Hybrid"
+    }
+    out: List[Tuple[str, int, str, float]] = []
+    for p in points:
+        if p.algorithm == "Hybrid":
+            continue
+        base = hybrid[(p.cost_range, p.budget)]
+        ratio = p.objective / base if base > 0 else 1.0
+        out.append((p.cost_range, p.budget, p.algorithm, ratio))
+    return out
+
+
+def format_table(points: List[Figure2Point]) -> str:
+    """Render VO and the VO ratios."""
+    header = ["costs", "K", "algorithm", "VO", "|R^c|", "VO/Hybrid"]
+    hybrid = {
+        (p.cost_range, p.budget): p.objective
+        for p in points
+        if p.algorithm == "Hybrid"
+    }
+    body = [
+        [
+            p.cost_range,
+            p.budget,
+            p.algorithm,
+            f"{p.objective:.2f}",
+            p.n_selected,
+            f"{p.objective / hybrid[(p.cost_range, p.budget)]:.3f}"
+            if hybrid[(p.cost_range, p.budget)] > 0
+            else "1.000",
+        ]
+        for p in points
+    ]
+    return format_rows(header, body)
+
+
+def main() -> None:
+    """CLI entry: print Figure 2's series."""
+    print("Figure 2: OCS objective value vs budget")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

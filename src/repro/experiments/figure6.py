@@ -1,0 +1,39 @@
+"""Figure 6 — MAPE / FER on the gMission dataset.
+
+Same comparison as Fig. 3(a1)/(a2) — GSP vs LASSO vs GRMC vs Per with
+Hybrid-Greedy selection — but on the small worker-scarce gMission-like
+instance with budgets K ∈ {10..50}.  Paper finding: the patterns of the
+semi-synthesized data carry over.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.figure3 import Figure3Cell, format_table
+from repro.experiments import figure3
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale.PAPER,
+    n_trials: int = 5,
+) -> List[Figure3Cell]:
+    """Run the gMission quality sweep (Hybrid selection, tuned θ)."""
+    return figure3.run(
+        scale=scale,
+        n_trials=n_trials,
+        dataset_name="gmission",
+        selectors=("hybrid",),
+        thetas=(0.92,),
+    )
+
+
+def main() -> None:
+    """CLI entry: print Figure 6's series."""
+    print("Figure 6: gMission dataset, MAPE / FER (Hybrid selection)")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Run every experiment and write a consolidated Markdown report.
+
+``python -m repro.experiments.run_all [--scale quick|paper] [--out DIR]``
+regenerates all of the paper's tables/figures plus the extension studies
+and writes one ``REPORT.md`` (and the raw tables) under the output
+directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    ablations,
+    allocation_study,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    fixed_vs_crowd,
+    noise_sensitivity,
+    query_patterns,
+    scalability,
+    table2,
+    table3,
+    theta_sweep,
+)
+from repro.experiments.common import ExperimentScale
+
+
+def _sections(scale: ExperimentScale) -> List[Tuple[str, Callable[[], str]]]:
+    """(title, runner) per experiment; each runner returns a text table."""
+    return [
+        ("Table II — dataset statistics", lambda: table2.format_table(table2.run(scale))),
+        ("Figure 2 — OCS objective vs budget", lambda: figure2.format_table(figure2.run(scale))),
+        ("Table III — coverage of queried roads", lambda: table3.format_table(table3.run(scale))),
+        (
+            "Figure 4(a) — OCS runtime",
+            lambda: figure4.format_table(figure4.run_ocs_runtime(scale)),
+        ),
+        (
+            "Figure 4(b) — estimator runtime",
+            lambda: figure4.format_table(figure4.run_estimator_runtime(scale)),
+        ),
+        ("Figure 5 — RTF training convergence", lambda: figure5.format_table(figure5.run(scale))),
+        (
+            "Figure 3 — estimation quality grid",
+            lambda: figure3.format_table(
+                figure3.run(scale, n_trials=3, thetas=(0.92, 1.0))
+            ),
+        ),
+        ("Figure 6 — gMission quality", lambda: figure3.format_table(figure6.run(scale, n_trials=3))),
+        ("Ablations", lambda: ablations.format_table(ablations.run_all(scale))),
+        ("Theta sweep", lambda: theta_sweep.format_table(theta_sweep.run(scale))),
+        (
+            "Query-pattern sensitivity",
+            lambda: query_patterns.format_table(query_patterns.run(scale)),
+        ),
+        (
+            "Scalability",
+            lambda: scalability.format_table(scalability.run(scale)),
+        ),
+        (
+            "Budget allocation",
+            lambda: allocation_study.format_table(allocation_study.run(scale)),
+        ),
+        (
+            "Fixed sensors vs crowd",
+            lambda: fixed_vs_crowd.format_table(fixed_vs_crowd.run(scale)),
+        ),
+        (
+            "Worker-noise sensitivity",
+            lambda: noise_sensitivity.format_table(noise_sensitivity.run(scale)),
+        ),
+    ]
+
+
+def run_all(
+    scale: ExperimentScale = ExperimentScale.QUICK,
+    out_dir: Optional[Path] = None,
+) -> str:
+    """Run everything; return (and optionally write) the Markdown report.
+
+    Args:
+        scale: Experiment sizing.
+        out_dir: When given, writes ``REPORT.md`` plus one ``.txt`` per
+            section into this directory.
+    """
+    lines: List[str] = [
+        f"# CrowdRTSE experiment report (scale: {scale.value})",
+        "",
+    ]
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for title, runner in _sections(scale):
+        start = time.perf_counter()
+        table = runner()
+        elapsed = time.perf_counter() - start
+        lines += [f"## {title}", "", "```", table, "```", f"_{elapsed:.1f}s_", ""]
+        if out_dir is not None:
+            slug = (
+                title.split("—")[0].strip().lower().replace(" ", "_").replace("(", "").replace(")", "")
+            )
+            (out_dir / f"{slug}.txt").write_text(table + "\n")
+    report = "\n".join(lines)
+    if out_dir is not None:
+        (out_dir / "REPORT.md").write_text(report)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry."""
+    parser = argparse.ArgumentParser(description="run every experiment")
+    parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    parser.add_argument("--out", default=None, help="output directory")
+    args = parser.parse_args(argv)
+    scale = ExperimentScale(args.scale)
+    report = run_all(scale, Path(args.out) if args.out else None)
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Query-workload generators.
+
+The paper samples queried roads uniformly (semisyn) or as one connected
+component (gMission).  Real query streams have more structure — users
+ask about their commute corridor, a hotspot around an event, or a mix.
+These generators let the sensitivity experiment measure how CrowdRTSE's
+advantage depends on the query pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.network.graph import TrafficNetwork
+
+
+class QueryPattern(str, enum.Enum):
+    """Spatial structure of a query's road set."""
+
+    #: Uniform random roads (the paper's semisyn setting).
+    UNIFORM = "uniform"
+    #: A BFS ball around a random centre — an event hotspot.
+    HOTSPOT = "hotspot"
+    #: A shortest-hop path between two random roads — a commute corridor.
+    CORRIDOR = "corridor"
+    #: Half hotspot, half uniform.
+    MIXED = "mixed"
+
+
+def generate_query(
+    network: TrafficNetwork,
+    pattern: QueryPattern,
+    size: int,
+    rng: np.random.Generator,
+) -> Tuple[int, ...]:
+    """Draw one query's road set.
+
+    Args:
+        network: Road graph.
+        pattern: Spatial structure.
+        size: Number of queried roads (clamped to the network size).
+        rng: Randomness source.
+
+    Returns:
+        Sorted tuple of distinct road indices.
+
+    Raises:
+        ExperimentError: On a non-positive size.
+    """
+    if size <= 0:
+        raise ExperimentError(f"query size must be positive, got {size}")
+    size = min(size, network.n_roads)
+    if pattern is QueryPattern.UNIFORM:
+        roads = rng.choice(network.n_roads, size=size, replace=False)
+        return tuple(sorted(int(r) for r in roads))
+    if pattern is QueryPattern.HOTSPOT:
+        centre = int(rng.integers(network.n_roads))
+        return _bfs_ball(network, centre, size)
+    if pattern is QueryPattern.CORRIDOR:
+        return _corridor(network, size, rng)
+    if pattern is QueryPattern.MIXED:
+        n_hot = size // 2
+        hot = set(_bfs_ball(network, int(rng.integers(network.n_roads)), n_hot))
+        rest = [r for r in range(network.n_roads) if r not in hot]
+        extra = rng.choice(len(rest), size=min(size - len(hot), len(rest)), replace=False)
+        hot.update(rest[int(k)] for k in extra)
+        return tuple(sorted(hot))
+    raise ExperimentError(f"unknown pattern {pattern!r}")  # pragma: no cover
+
+
+def _bfs_ball(network: TrafficNetwork, centre: int, size: int) -> Tuple[int, ...]:
+    order: List[int] = [centre]
+    seen = {centre}
+    frontier = [centre]
+    while frontier and len(order) < size:
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in network.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    next_frontier.append(v)
+                    if len(order) == size:
+                        break
+            if len(order) == size:
+                break
+        frontier = next_frontier
+    return tuple(sorted(order[:size]))
+
+
+def _corridor(
+    network: TrafficNetwork, size: int, rng: np.random.Generator
+) -> Tuple[int, ...]:
+    """Roads along a shortest-hop path, extended if the path is short."""
+    source = int(rng.integers(network.n_roads))
+    target = int(rng.integers(network.n_roads))
+    # Shortest path by BFS predecessor walk.
+    dist = network.hop_distances([source])
+    if dist[target] is None:
+        return _bfs_ball(network, source, size)
+    path: List[int] = [target]
+    node = target
+    while node != source:
+        for neighbor in network.neighbors(node):
+            if dist[neighbor] is not None and dist[neighbor] == dist[node] - 1:  # type: ignore[operator]
+                node = neighbor
+                path.append(node)
+                break
+    path.reverse()
+    roads = list(dict.fromkeys(path))[:size]
+    if len(roads) < size:
+        # Pad with the ball around the corridor's midpoint.
+        pad = _bfs_ball(network, roads[len(roads) // 2], size)
+        for r in pad:
+            if r not in roads:
+                roads.append(r)
+                if len(roads) == size:
+                    break
+    return tuple(sorted(roads[:size]))
+
+
+def query_stream(
+    network: TrafficNetwork,
+    pattern: QueryPattern,
+    size: int,
+    n_queries: int,
+    seed: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """A reproducible stream of queries with the given pattern."""
+    if n_queries <= 0:
+        raise ExperimentError("n_queries must be positive")
+    rng = np.random.default_rng(seed)
+    return [generate_query(network, pattern, size, rng) for _ in range(n_queries)]

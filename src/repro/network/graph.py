@@ -1,0 +1,395 @@
+"""Immutable road-graph model.
+
+Each road segment is an *atomic* unit (paper §III-A): a vertex of the
+graph.  Two roads are connected by an edge when they share a crossing.
+The class keeps both a human-facing view (string road ids, ``Road``
+records) and an algorithm-facing view (dense integer indices, adjacency
+lists, an edge index) so the numerical code can work on numpy arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import EdgeNotFoundError, NetworkError, RoadNotFoundError
+
+
+class RoadKind(str, enum.Enum):
+    """Functional class of a road segment.
+
+    The kind drives the traffic simulator's default free-flow speed and
+    the crowdsourcing cost model: highway speeds are stable, so crowd
+    answers for them are cheap (paper §V-A, "Feasibility").
+    """
+
+    HIGHWAY = "highway"
+    ARTERIAL = "arterial"
+    LOCAL = "local"
+
+
+#: Default free-flow speed (km/h) per road kind, used when a generator
+#: does not specify one explicitly.
+DEFAULT_FREE_FLOW_KMH: Mapping[RoadKind, float] = {
+    RoadKind.HIGHWAY: 90.0,
+    RoadKind.ARTERIAL: 60.0,
+    RoadKind.LOCAL: 40.0,
+}
+
+
+@dataclass(frozen=True)
+class Road:
+    """A single atomic road segment.
+
+    Attributes:
+        road_id: Unique string identifier, e.g. ``"r42"``.
+        kind: Functional class; see :class:`RoadKind`.
+        length_km: Physical segment length in kilometres.
+        free_flow_kmh: Uncongested speed in km/h.
+        position: ``(x, y)`` coordinate of the segment midpoint, used by
+            geometric generators and by plotting helpers.
+    """
+
+    road_id: str
+    kind: RoadKind = RoadKind.ARTERIAL
+    length_km: float = 0.5
+    free_flow_kmh: float = 60.0
+    position: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if not self.road_id:
+            raise NetworkError("road_id must be a non-empty string")
+        if self.length_km <= 0:
+            raise NetworkError(
+                f"road {self.road_id!r}: length_km must be positive, got {self.length_km}"
+            )
+        if self.free_flow_kmh <= 0:
+            raise NetworkError(
+                f"road {self.road_id!r}: free_flow_kmh must be positive, "
+                f"got {self.free_flow_kmh}"
+            )
+
+    def with_kind(self, kind: RoadKind) -> "Road":
+        """Return a copy of this road with a different functional class."""
+        return replace(self, kind=kind, free_flow_kmh=DEFAULT_FREE_FLOW_KMH[kind])
+
+
+class TrafficNetwork:
+    """Undirected graph of road segments.
+
+    The network is immutable after construction.  Roads are addressed
+    either by their string id or by their dense integer index
+    (``0 .. n_roads - 1``); all numerical code uses indices.
+
+    Args:
+        roads: Road records; ids must be unique.
+        edges: Pairs of road ids that are adjacent.  Self-loops and
+            duplicate pairs are rejected.
+
+    Raises:
+        NetworkError: On duplicate road ids, unknown endpoints,
+            self-loops, or duplicate edges.
+    """
+
+    def __init__(self, roads: Iterable[Road], edges: Iterable[Tuple[str, str]]) -> None:
+        self._roads: Tuple[Road, ...] = tuple(roads)
+        self._index: Dict[str, int] = {}
+        for idx, road in enumerate(self._roads):
+            if road.road_id in self._index:
+                raise NetworkError(f"duplicate road id {road.road_id!r}")
+            self._index[road.road_id] = idx
+
+        n = len(self._roads)
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        edge_list: List[Tuple[int, int]] = []
+        edge_index: Dict[Tuple[int, int], int] = {}
+        for a, b in edges:
+            ia = self._require_index(a)
+            ib = self._require_index(b)
+            if ia == ib:
+                raise NetworkError(f"self-loop on road {a!r} is not allowed")
+            key = (ia, ib) if ia < ib else (ib, ia)
+            if key in edge_index:
+                raise NetworkError(f"duplicate edge between {a!r} and {b!r}")
+            edge_index[key] = len(edge_list)
+            edge_list.append(key)
+            adjacency[ia].append(ib)
+            adjacency[ib].append(ia)
+
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(neigh)) for neigh in adjacency
+        )
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(edge_list)
+        self._edge_index: Dict[Tuple[int, int], int] = edge_index
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_roads(self) -> int:
+        """Number of road segments (graph vertices)."""
+        return len(self._roads)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of adjacency relations (graph edges)."""
+        return len(self._edges)
+
+    @property
+    def roads(self) -> Tuple[Road, ...]:
+        """All road records, in index order."""
+        return self._roads
+
+    @property
+    def road_ids(self) -> Tuple[str, ...]:
+        """All road ids, in index order."""
+        return tuple(road.road_id for road in self._roads)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """All edges as ``(i, j)`` index pairs with ``i < j``."""
+        return self._edges
+
+    def __len__(self) -> int:
+        return self.n_roads
+
+    def __contains__(self, road_id: object) -> bool:
+        return road_id in self._index
+
+    def __iter__(self) -> Iterator[Road]:
+        return iter(self._roads)
+
+    def __repr__(self) -> str:
+        return f"TrafficNetwork(n_roads={self.n_roads}, n_edges={self.n_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficNetwork):
+            return NotImplemented
+        return self._roads == other._roads and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._roads, self._edges))
+
+    # ------------------------------------------------------------------
+    # Index <-> id translation
+    # ------------------------------------------------------------------
+
+    def _require_index(self, road_id: str) -> int:
+        try:
+            return self._index[road_id]
+        except KeyError:
+            raise RoadNotFoundError(road_id) from None
+
+    def index_of(self, road_id: str) -> int:
+        """Return the dense index of ``road_id``.
+
+        Raises:
+            RoadNotFoundError: If the id is unknown.
+        """
+        return self._require_index(road_id)
+
+    def indices_of(self, road_ids: Iterable[str]) -> List[int]:
+        """Map a collection of road ids to indices, preserving order."""
+        return [self._require_index(rid) for rid in road_ids]
+
+    def road(self, road_id: str) -> Road:
+        """Return the :class:`Road` record for ``road_id``."""
+        return self._roads[self._require_index(road_id)]
+
+    def road_at(self, index: int) -> Road:
+        """Return the :class:`Road` record at dense index ``index``."""
+        if not 0 <= index < self.n_roads:
+            raise RoadNotFoundError(index)
+        return self._roads[index]
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+
+    def neighbors(self, index: int) -> Tuple[int, ...]:
+        """Indices of roads adjacent to road ``index`` (sorted)."""
+        if not 0 <= index < self.n_roads:
+            raise RoadNotFoundError(index)
+        return self._adjacency[index]
+
+    def degree(self, index: int) -> int:
+        """Number of roads adjacent to road ``index``."""
+        return len(self.neighbors(index))
+
+    def are_adjacent(self, i: int, j: int) -> bool:
+        """True when roads ``i`` and ``j`` share a crossing."""
+        key = (i, j) if i < j else (j, i)
+        return key in self._edge_index
+
+    def edge_id(self, i: int, j: int) -> int:
+        """Dense edge index for the adjacency ``(i, j)``.
+
+        Raises:
+            EdgeNotFoundError: If the roads are not adjacent.
+        """
+        key = (i, j) if i < j else (j, i)
+        try:
+            return self._edge_index[key]
+        except KeyError:
+            raise EdgeNotFoundError(i, j) from None
+
+    def bfs_layers(self, sources: Sequence[int]) -> List[List[int]]:
+        """Partition non-source roads by hop distance from ``sources``.
+
+        This is the scheduling structure of GSP (paper Alg. 5 line 3):
+        layer ``l`` holds the roads whose minimum hop count towards the
+        source set is ``l + 1``.  Roads unreachable from any source are
+        collected in a final extra layer so the caller never loses them.
+
+        Args:
+            sources: Road indices to start from (e.g. the crowdsourced
+                roads ``R^c``).
+
+        Returns:
+            Layers of road indices; ``layers[0]`` is ``n(R^c)``.
+        """
+        if not sources:
+            unreachable = list(range(self.n_roads))
+            return [unreachable] if unreachable else []
+        seen: Set[int] = set()
+        for s in sources:
+            if not 0 <= s < self.n_roads:
+                raise RoadNotFoundError(s)
+            seen.add(s)
+        frontier: List[int] = sorted(seen)
+        layers: List[List[int]] = []
+        while frontier:
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        next_frontier.append(v)
+            if next_frontier:
+                layers.append(sorted(next_frontier))
+            frontier = next_frontier
+        unreachable = [i for i in range(self.n_roads) if i not in seen]
+        if unreachable:
+            layers.append(unreachable)
+        return layers
+
+    def hop_distances(self, sources: Sequence[int]) -> List[Optional[int]]:
+        """Minimum hop count from every road towards ``sources``.
+
+        Source roads have distance 0; unreachable roads get ``None``.
+        """
+        dist: List[Optional[int]] = [None] * self.n_roads
+        queue: deque = deque()
+        for s in sources:
+            if not 0 <= s < self.n_roads:
+                raise RoadNotFoundError(s)
+            if dist[s] is None:
+                dist[s] = 0
+                queue.append(s)
+        while queue:
+            u = queue.popleft()
+            for v in self._adjacency[u]:
+                if dist[v] is None:
+                    dist[v] = dist[u] + 1  # type: ignore[operator]
+                    queue.append(v)
+        return dist
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        """Connected components as frozensets of road indices."""
+        seen: Set[int] = set()
+        components: List[FrozenSet[int]] = []
+        for start in range(self.n_roads):
+            if start in seen:
+                continue
+            comp: Set[int] = {start}
+            queue: deque = deque([start])
+            seen.add(start)
+            while queue:
+                u = queue.popleft()
+                for v in self._adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        comp.add(v)
+                        queue.append(v)
+            components.append(frozenset(comp))
+        return components
+
+    def is_connected(self) -> bool:
+        """True when the network has exactly one connected component."""
+        return self.n_roads > 0 and len(self.connected_components()) == 1
+
+    def subnetwork(self, road_ids: Iterable[str]) -> "TrafficNetwork":
+        """Induced subgraph on the given road ids.
+
+        The result re-indexes roads densely but keeps their ids, so
+        parameter arrays must be re-derived for the subnetwork.
+        """
+        keep = [self._require_index(rid) for rid in road_ids]
+        keep_set = set(keep)
+        if len(keep_set) != len(keep):
+            raise NetworkError("duplicate road ids in subnetwork selection")
+        roads = [self._roads[i] for i in sorted(keep_set)]
+        id_set = {r.road_id for r in roads}
+        edges = [
+            (self._roads[i].road_id, self._roads[j].road_id)
+            for (i, j) in self._edges
+            if i in keep_set and j in keep_set
+        ]
+        sub = TrafficNetwork(roads, edges)
+        if not id_set:
+            raise NetworkError("subnetwork selection is empty")
+        return sub
+
+    def connected_subcomponent(self, size: int, seed_road: Optional[str] = None) -> "TrafficNetwork":
+        """A connected induced subgraph with ``size`` roads.
+
+        Grows a BFS ball around ``seed_road`` (or index 0).  Used to
+        build the gMission-like dataset (paper §VII-A: "a mutually
+        connected subcomponent of R is selected as R^q") and the Fig. 5
+        scaling series.
+
+        Raises:
+            NetworkError: If the containing component is smaller than
+                ``size``.
+        """
+        if size <= 0:
+            raise NetworkError(f"subcomponent size must be positive, got {size}")
+        start = self._require_index(seed_road) if seed_road is not None else 0
+        order: List[int] = [start]
+        seen = {start}
+        queue: deque = deque([start])
+        while queue and len(order) < size:
+            u = queue.popleft()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    queue.append(v)
+                    if len(order) == size:
+                        break
+        if len(order) < size:
+            raise NetworkError(
+                f"connected component around {self._roads[start].road_id!r} has only "
+                f"{len(order)} roads, cannot extract {size}"
+            )
+        return self.subnetwork(self._roads[i].road_id for i in order[:size])
+
+    def to_networkx(self) -> "nx.Graph":
+        """Export to a :class:`networkx.Graph` (road ids as node names)."""
+        graph = nx.Graph()
+        for road in self._roads:
+            graph.add_node(
+                road.road_id,
+                kind=road.kind.value,
+                length_km=road.length_km,
+                free_flow_kmh=road.free_flow_kmh,
+                position=road.position,
+            )
+        for i, j in self._edges:
+            graph.add_edge(self._roads[i].road_id, self._roads[j].road_id)
+        return graph

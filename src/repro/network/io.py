@@ -1,0 +1,84 @@
+"""Serialization of traffic networks to plain dictionaries and JSON.
+
+The on-disk format is intentionally simple so datasets can be inspected
+and version-controlled:
+
+.. code-block:: json
+
+    {
+      "format": "repro-network/1",
+      "roads": [{"id": "r0", "kind": "arterial", "length_km": 0.5,
+                 "free_flow_kmh": 60.0, "position": [0.0, 0.0]}],
+      "edges": [["r0", "r1"]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import NetworkError
+from repro.network.graph import Road, RoadKind, TrafficNetwork
+
+FORMAT_TAG = "repro-network/1"
+
+
+def network_to_dict(network: TrafficNetwork) -> Dict[str, Any]:
+    """Convert a network to a JSON-serializable dictionary."""
+    return {
+        "format": FORMAT_TAG,
+        "roads": [
+            {
+                "id": road.road_id,
+                "kind": road.kind.value,
+                "length_km": road.length_km,
+                "free_flow_kmh": road.free_flow_kmh,
+                "position": list(road.position),
+            }
+            for road in network.roads
+        ],
+        "edges": [
+            [network.roads[i].road_id, network.roads[j].road_id]
+            for (i, j) in network.edges
+        ],
+    }
+
+
+def network_from_dict(payload: Dict[str, Any]) -> TrafficNetwork:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Raises:
+        NetworkError: If the payload is missing fields or has the wrong
+            format tag.
+    """
+    if payload.get("format") != FORMAT_TAG:
+        raise NetworkError(
+            f"unsupported network format {payload.get('format')!r}; expected {FORMAT_TAG!r}"
+        )
+    try:
+        roads = [
+            Road(
+                road_id=entry["id"],
+                kind=RoadKind(entry["kind"]),
+                length_km=float(entry["length_km"]),
+                free_flow_kmh=float(entry["free_flow_kmh"]),
+                position=(float(entry["position"][0]), float(entry["position"][1])),
+            )
+            for entry in payload["roads"]
+        ]
+        edges: List = [(a, b) for a, b in payload["edges"]]
+    except (KeyError, IndexError, ValueError, TypeError) as exc:
+        raise NetworkError(f"malformed network payload: {exc}") from exc
+    return TrafficNetwork(roads, edges)
+
+
+def network_to_json(network: TrafficNetwork, path: Union[str, Path]) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def network_from_json(path: Union[str, Path]) -> TrafficNetwork:
+    """Read a network from a JSON file written by :func:`network_to_json`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

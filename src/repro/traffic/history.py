@@ -1,0 +1,237 @@
+"""Historical speed record store.
+
+:class:`SpeedHistory` is the offline artefact RTF is trained on — the
+substitute for the paper's three-month crawl of the Hong Kong feed.  It
+stores a dense ``(n_days, n_slots, n_roads)`` float32 array plus the
+slot offset (histories may cover only a window of the 288 daily slots to
+keep experiments fast).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.network.graph import TrafficNetwork
+from repro.traffic.profiles import N_SLOTS_PER_DAY
+
+
+class SpeedHistory:
+    """Dense record of realtime speeds over several days.
+
+    Args:
+        speeds: Array of shape ``(n_days, n_slots, n_roads)`` in km/h.
+        road_ids: Road ids aligned with the last axis.
+        slot_offset: Global slot index of local slot 0 (e.g. a history
+            covering 07:00–10:00 has ``slot_offset = 84``).
+
+    Raises:
+        DatasetError: On shape mismatches or non-positive speeds.
+    """
+
+    def __init__(
+        self,
+        speeds: np.ndarray,
+        road_ids: Sequence[str],
+        slot_offset: int = 0,
+    ) -> None:
+        speeds = np.asarray(speeds, dtype=np.float32)
+        if speeds.ndim != 3:
+            raise DatasetError(
+                f"speeds must be 3-d (days, slots, roads), got shape {speeds.shape}"
+            )
+        if speeds.shape[2] != len(road_ids):
+            raise DatasetError(
+                f"speeds cover {speeds.shape[2]} roads but {len(road_ids)} ids given"
+            )
+        if not 0 <= slot_offset < N_SLOTS_PER_DAY:
+            raise DatasetError(f"slot_offset {slot_offset} outside a day")
+        if slot_offset + speeds.shape[1] > N_SLOTS_PER_DAY:
+            raise DatasetError(
+                f"history of {speeds.shape[1]} slots starting at {slot_offset} "
+                f"spills past the end of the day"
+            )
+        if speeds.size and not np.all(np.isfinite(speeds)):
+            raise DatasetError("speeds contain NaN or infinity")
+        if speeds.size and np.any(speeds <= 0):
+            raise DatasetError("speeds must be strictly positive km/h")
+        self._speeds = speeds
+        self._road_ids: Tuple[str, ...] = tuple(road_ids)
+        self._slot_offset = slot_offset
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_days(self) -> int:
+        """Number of recorded days."""
+        return self._speeds.shape[0]
+
+    @property
+    def n_slots(self) -> int:
+        """Number of recorded slots per day (may be < 288)."""
+        return self._speeds.shape[1]
+
+    @property
+    def n_roads(self) -> int:
+        """Number of roads covered."""
+        return self._speeds.shape[2]
+
+    @property
+    def n_records(self) -> int:
+        """Total scalar records (days x slots x roads), paper §VII-A."""
+        return int(self._speeds.size)
+
+    @property
+    def road_ids(self) -> Tuple[str, ...]:
+        """Road ids aligned with the road axis."""
+        return self._road_ids
+
+    @property
+    def slot_offset(self) -> int:
+        """Global slot index of local slot 0."""
+        return self._slot_offset
+
+    @property
+    def global_slots(self) -> range:
+        """Global slot indices covered by this history."""
+        return range(self._slot_offset, self._slot_offset + self.n_slots)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The raw ``(n_days, n_slots, n_roads)`` array (read-only view)."""
+        view = self._speeds.view()
+        view.flags.writeable = False
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"SpeedHistory(n_days={self.n_days}, n_slots={self.n_slots}, "
+            f"n_roads={self.n_roads}, slot_offset={self.slot_offset})"
+        )
+
+    # ------------------------------------------------------------------
+    # Slot addressing
+    # ------------------------------------------------------------------
+
+    def local_slot(self, global_slot: int) -> int:
+        """Translate a global slot index into this history's slot axis.
+
+        Raises:
+            DatasetError: When the slot is not covered.
+        """
+        local = global_slot - self._slot_offset
+        if not 0 <= local < self.n_slots:
+            raise DatasetError(
+                f"slot {global_slot} not covered (history spans "
+                f"{self._slot_offset}..{self._slot_offset + self.n_slots - 1})"
+            )
+        return local
+
+    def slot_samples(self, global_slot: int) -> np.ndarray:
+        """All recorded days for one slot: shape ``(n_days, n_roads)``."""
+        return np.asarray(self._speeds[:, self.local_slot(global_slot), :], dtype=np.float64)
+
+    def day(self, day: int) -> np.ndarray:
+        """One full day: shape ``(n_slots, n_roads)``."""
+        if not 0 <= day < self.n_days:
+            raise DatasetError(f"day {day} outside 0..{self.n_days - 1}")
+        return np.asarray(self._speeds[day], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Empirical statistics (used to initialize / validate RTF inference)
+    # ------------------------------------------------------------------
+
+    def empirical_mean(self, global_slot: int) -> np.ndarray:
+        """Per-road sample mean of one slot across days."""
+        return self.slot_samples(global_slot).mean(axis=0)
+
+    def empirical_std(self, global_slot: int, floor: float = 1e-3) -> np.ndarray:
+        """Per-road sample std of one slot across days, floored at ``floor``."""
+        std = self.slot_samples(global_slot).std(axis=0, ddof=1 if self.n_days > 1 else 0)
+        return np.maximum(std, floor)
+
+    def empirical_correlation(self, global_slot: int, i: int, j: int) -> float:
+        """Pearson correlation of two roads within one slot across days.
+
+        Returns 0.0 when either road has zero variance in the slot.
+        """
+        samples = self.slot_samples(global_slot)
+        a, b = samples[:, i], samples[:, j]
+        sa, sb = a.std(), b.std()
+        if sa == 0 or sb == 0:
+            return 0.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+    def split_days(self, n_train: int) -> Tuple["SpeedHistory", "SpeedHistory"]:
+        """Split into (train, test) along the day axis.
+
+        Raises:
+            DatasetError: If the split leaves either side empty.
+        """
+        if not 0 < n_train < self.n_days:
+            raise DatasetError(
+                f"n_train must be in 1..{self.n_days - 1}, got {n_train}"
+            )
+        train = SpeedHistory(self._speeds[:n_train], self._road_ids, self._slot_offset)
+        test = SpeedHistory(self._speeds[n_train:], self._road_ids, self._slot_offset)
+        return train, test
+
+    def select_days(self, days: Sequence[int]) -> "SpeedHistory":
+        """History restricted to the given day indices (order preserved).
+
+        Use to split weekday/weekend records when the simulator was run
+        with a weekly cycle, so RTF can be fitted per day type.
+
+        Raises:
+            DatasetError: On an empty selection or invalid indices.
+        """
+        indices = list(days)
+        if not indices:
+            raise DatasetError("day selection must not be empty")
+        for day in indices:
+            if not 0 <= day < self.n_days:
+                raise DatasetError(f"day {day} outside 0..{self.n_days - 1}")
+        return SpeedHistory(
+            self._speeds[indices], self._road_ids, self._slot_offset
+        )
+
+    def restrict_roads(self, network: TrafficNetwork) -> "SpeedHistory":
+        """Project the history onto the roads of ``network`` (by id).
+
+        Used when experiments carve a subnetwork out of the full graph.
+        """
+        positions = []
+        own = {rid: k for k, rid in enumerate(self._road_ids)}
+        for rid in network.road_ids:
+            if rid not in own:
+                raise DatasetError(f"history has no record for road {rid!r}")
+            positions.append(own[rid])
+        return SpeedHistory(
+            self._speeds[:, :, positions], network.road_ids, self._slot_offset
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Save to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            speeds=self._speeds,
+            road_ids=np.array(self._road_ids),
+            slot_offset=np.array(self._slot_offset),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SpeedHistory":
+        """Load from a file written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as payload:
+            return cls(
+                payload["speeds"],
+                [str(rid) for rid in payload["road_ids"]],
+                int(payload["slot_offset"]),
+            )

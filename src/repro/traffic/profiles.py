@@ -1,0 +1,219 @@
+"""Daily periodic speed profiles.
+
+Following the paper (§IV-A), each day is divided into 288 five-minute
+slots.  A :class:`DailyProfile` gives, for one road, the *expected*
+speed in every slot plus a stability coefficient that scales the
+day-to-day fluctuation — the generative counterpart of the RTF
+parameters ``mu_i^t`` and ``sigma_i^t``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.network.graph import Road, RoadKind, TrafficNetwork
+
+#: Minutes per time slot (paper: 5-minute intervals).
+SLOT_MINUTES = 5
+
+#: Slots per day (paper: 288).
+N_SLOTS_PER_DAY = 24 * 60 // SLOT_MINUTES
+
+
+def slot_of_time(hour: int, minute: int = 0) -> int:
+    """Slot index of a wall-clock time, e.g. ``slot_of_time(8, 30) == 102``.
+
+    Raises:
+        DatasetError: When the time is outside ``00:00 .. 23:59``.
+    """
+    if not 0 <= hour < 24 or not 0 <= minute < 60:
+        raise DatasetError(f"invalid time {hour:02d}:{minute:02d}")
+    return (hour * 60 + minute) // SLOT_MINUTES
+
+
+def time_of_slot(slot: int) -> Tuple[int, int]:
+    """Inverse of :func:`slot_of_time`: ``(hour, minute)`` of slot start."""
+    if not 0 <= slot < N_SLOTS_PER_DAY:
+        raise DatasetError(f"slot {slot} outside 0..{N_SLOTS_PER_DAY - 1}")
+    minutes = slot * SLOT_MINUTES
+    return minutes // 60, minutes % 60
+
+
+class ProfileKind(str, enum.Enum):
+    """Shape family of a daily profile.
+
+    * ``COMMUTER`` — pronounced morning and evening rush-hour dips;
+      strong periodicity (small fluctuation scale).
+    * ``STEADY`` — nearly flat all day (highway-like); the strongest
+      periodicity.
+    * ``VOLATILE`` — shallow pattern but large day-to-day fluctuation;
+      these are the weak-periodicity roads OCS prioritizes.
+    * ``NIGHTLIFE`` — evening/night slowdown instead of rush hours.
+    """
+
+    COMMUTER = "commuter"
+    STEADY = "steady"
+    VOLATILE = "volatile"
+    NIGHTLIFE = "nightlife"
+
+
+def _gaussian_bump(slots: np.ndarray, center_slot: float, width_slots: float) -> np.ndarray:
+    return np.exp(-0.5 * ((slots - center_slot) / width_slots) ** 2)
+
+
+@dataclass(frozen=True)
+class DailyProfile:
+    """Per-road daily speed pattern.
+
+    Attributes:
+        road_id: Road this profile belongs to.
+        kind: Shape family.
+        mean_kmh: Expected speed per slot, shape ``(N_SLOTS_PER_DAY,)``.
+        fluctuation_kmh: Std dev of the day-to-day deviation per slot,
+            shape ``(N_SLOTS_PER_DAY,)``.  This is the generative
+            ``sigma_i^t``: large values mean weak periodicity.
+    """
+
+    road_id: str
+    kind: ProfileKind
+    mean_kmh: np.ndarray
+    fluctuation_kmh: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mean_kmh.shape != (N_SLOTS_PER_DAY,):
+            raise DatasetError(
+                f"profile for {self.road_id!r}: mean_kmh must have shape "
+                f"({N_SLOTS_PER_DAY},), got {self.mean_kmh.shape}"
+            )
+        if self.fluctuation_kmh.shape != (N_SLOTS_PER_DAY,):
+            raise DatasetError(
+                f"profile for {self.road_id!r}: fluctuation_kmh must have shape "
+                f"({N_SLOTS_PER_DAY},), got {self.fluctuation_kmh.shape}"
+            )
+        if np.any(self.mean_kmh <= 0):
+            raise DatasetError(f"profile for {self.road_id!r}: mean speed must be positive")
+        if np.any(self.fluctuation_kmh < 0):
+            raise DatasetError(
+                f"profile for {self.road_id!r}: fluctuation must be non-negative"
+            )
+
+    @property
+    def periodicity_strength(self) -> float:
+        """Scalar summary in [0, 1]: 1 means perfectly repeatable days.
+
+        Defined as ``1 / (1 + mean fluctuation / mean speed * 10)`` so a
+        road whose daily deviation is ~10% of its speed scores 0.5.
+        """
+        rel = float(np.mean(self.fluctuation_kmh) / np.mean(self.mean_kmh))
+        return 1.0 / (1.0 + 10.0 * rel)
+
+
+def build_profile(
+    road: Road,
+    kind: ProfileKind,
+    rng: Optional[np.random.Generator] = None,
+) -> DailyProfile:
+    """Construct a :class:`DailyProfile` of the given shape family.
+
+    The profile is anchored at the road's free-flow speed; rush-hour
+    bumps subtract congestion.  A small random phase/depth jitter makes
+    every road's pattern unique (so correlations are not degenerate).
+
+    Args:
+        road: Road record (free-flow speed and kind are used).
+        kind: Shape family.
+        rng: RNG for jitter; deterministic zero jitter when omitted.
+    """
+    slots = np.arange(N_SLOTS_PER_DAY, dtype=float)
+    free = road.free_flow_kmh
+    if rng is None:
+        jitter = np.zeros(4)
+    else:
+        jitter = rng.normal(scale=1.0, size=4)
+
+    morning = slot_of_time(8) + 4.0 * jitter[0]
+    evening = slot_of_time(18) + 4.0 * jitter[1]
+    depth_scale = 1.0 + 0.15 * jitter[2]
+    width = 12.0 * (1.0 + 0.1 * abs(jitter[3]))
+
+    if kind is ProfileKind.COMMUTER:
+        dip = 0.45 * depth_scale * _gaussian_bump(slots, morning, width)
+        dip += 0.40 * depth_scale * _gaussian_bump(slots, evening, width * 1.3)
+        mean = free * np.clip(1.0 - dip, 0.25, 1.0)
+        fluct = np.full(N_SLOTS_PER_DAY, 0.04 * free)
+        fluct += 0.03 * free * _gaussian_bump(slots, morning, width)
+    elif kind is ProfileKind.STEADY:
+        dip = 0.10 * depth_scale * _gaussian_bump(slots, morning, width * 1.5)
+        mean = free * np.clip(1.0 - dip, 0.5, 1.0)
+        fluct = np.full(N_SLOTS_PER_DAY, 0.02 * free)
+    elif kind is ProfileKind.VOLATILE:
+        dip = 0.25 * depth_scale * _gaussian_bump(slots, morning, width)
+        dip += 0.20 * depth_scale * _gaussian_bump(slots, evening, width)
+        mean = free * np.clip(1.0 - dip, 0.3, 1.0)
+        fluct = np.full(N_SLOTS_PER_DAY, 0.16 * free)
+        fluct += 0.08 * free * _gaussian_bump(slots, evening, width)
+    elif kind is ProfileKind.NIGHTLIFE:
+        night = slot_of_time(22) + 4.0 * jitter[0]
+        dip = 0.35 * depth_scale * _gaussian_bump(slots, night, width * 1.5)
+        mean = free * np.clip(1.0 - dip, 0.35, 1.0)
+        fluct = np.full(N_SLOTS_PER_DAY, 0.08 * free)
+    else:  # pragma: no cover - enum is exhaustive
+        raise DatasetError(f"unknown profile kind {kind!r}")
+    return DailyProfile(road.road_id, kind, mean, fluct)
+
+
+#: Default mixture of profile kinds per road kind.  Highways are mostly
+#: steady; local streets skew volatile (weak periodicity).
+_KIND_MIXTURE = {
+    RoadKind.HIGHWAY: ([ProfileKind.STEADY, ProfileKind.COMMUTER], [0.8, 0.2]),
+    RoadKind.ARTERIAL: (
+        [ProfileKind.COMMUTER, ProfileKind.STEADY, ProfileKind.VOLATILE],
+        [0.6, 0.2, 0.2],
+    ),
+    RoadKind.LOCAL: (
+        [ProfileKind.VOLATILE, ProfileKind.COMMUTER, ProfileKind.NIGHTLIFE],
+        [0.45, 0.35, 0.2],
+    ),
+}
+
+
+def random_profiles(
+    network: TrafficNetwork,
+    seed: Optional[int] = None,
+    volatile_fraction: Optional[float] = None,
+) -> List[DailyProfile]:
+    """One random profile per road, index-aligned with the network.
+
+    Args:
+        network: Target network.
+        seed: RNG seed.
+        volatile_fraction: When given, overrides the road-kind mixture
+            and makes exactly this fraction of roads VOLATILE (weak
+            periodicity), the rest COMMUTER.  Used by experiments that
+            sweep the share of hard-to-predict roads.
+    """
+    rng = np.random.default_rng(seed)
+    profiles: List[DailyProfile] = []
+    if volatile_fraction is not None:
+        if not 0.0 <= volatile_fraction <= 1.0:
+            raise DatasetError(
+                f"volatile_fraction must be in [0, 1], got {volatile_fraction}"
+            )
+        n_volatile = int(round(volatile_fraction * network.n_roads))
+        volatile_ids = set(
+            rng.choice(network.n_roads, size=n_volatile, replace=False).tolist()
+        )
+        for idx, road in enumerate(network.roads):
+            kind = ProfileKind.VOLATILE if idx in volatile_ids else ProfileKind.COMMUTER
+            profiles.append(build_profile(road, kind, rng))
+        return profiles
+    for road in network.roads:
+        kinds, weights = _KIND_MIXTURE[road.kind]
+        kind = rng.choice(np.array([k.value for k in kinds]), p=weights)
+        profiles.append(build_profile(road, ProfileKind(str(kind)), rng))
+    return profiles

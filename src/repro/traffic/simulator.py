@@ -1,0 +1,229 @@
+"""Generative ground-truth traffic simulator.
+
+Produces the :class:`~repro.traffic.history.SpeedHistory` that replaces
+the paper's Hong Kong crawl.  The generative model is
+
+.. math::
+
+    v_{i}^{d,t} = \\big(\\mu_i(t) + \\sigma_i(t)\\, d_{i}^{d,t}\\big)
+                  \\cdot \\text{incidents}_{i}^{d,t}
+
+where :math:`\\mu_i, \\sigma_i` come from the road's
+:class:`~repro.traffic.profiles.DailyProfile` and the deviation field
+``d`` is unit-variance noise that is AR(1)-correlated in time and
+diffused along the road graph in space — so adjacent roads fluctuate
+together, which is precisely the correlation RTF's edge weights
+:math:`\\rho_{ij}` must recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DatasetError
+from repro.network.graph import TrafficNetwork
+from repro.traffic.history import SpeedHistory
+from repro.traffic.incidents import Incident, IncidentModel
+from repro.traffic.profiles import N_SLOTS_PER_DAY, DailyProfile
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the ground-truth simulator.
+
+    Attributes:
+        n_days: Days of history to generate.
+        slot_start: First global slot simulated (0 = midnight).
+        n_slots: Number of consecutive slots per day.
+        temporal_ar: AR(1) coefficient of the deviation field across
+            slots; 0 gives independent slots.
+        spatial_passes: Diffusion passes along the adjacency; more
+            passes give longer-range spatial correlation.
+        spatial_weight: Blend factor per diffusion pass (0 = none).
+        min_speed_kmh: Floor applied after all effects.
+        weekend_factor: Weekly cycle: on weekend days the congestion dip
+            below free-flow is scaled by this factor (1.0 = no weekly
+            cycle; 0.4 means weekend congestion is 40% of a weekday's).
+        first_weekday: Weekday of day 0 (0 = Monday), so days with
+            ``(first_weekday + day) % 7 in {5, 6}`` are weekends.
+        seed: RNG seed for full reproducibility.
+    """
+
+    n_days: int = 30
+    slot_start: int = 0
+    n_slots: int = N_SLOTS_PER_DAY
+    temporal_ar: float = 0.85
+    spatial_passes: int = 3
+    spatial_weight: float = 0.5
+    min_speed_kmh: float = 2.0
+    weekend_factor: float = 1.0
+    first_weekday: int = 0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0:
+            raise DatasetError(f"n_days must be positive, got {self.n_days}")
+        if self.n_slots <= 0:
+            raise DatasetError(f"n_slots must be positive, got {self.n_slots}")
+        if not 0 <= self.slot_start < N_SLOTS_PER_DAY:
+            raise DatasetError(f"slot_start {self.slot_start} outside a day")
+        if self.slot_start + self.n_slots > N_SLOTS_PER_DAY:
+            raise DatasetError("simulated window spills past the end of the day")
+        if not 0.0 <= self.temporal_ar < 1.0:
+            raise DatasetError(f"temporal_ar must be in [0, 1), got {self.temporal_ar}")
+        if self.spatial_passes < 0:
+            raise DatasetError("spatial_passes must be >= 0")
+        if not 0.0 <= self.spatial_weight <= 1.0:
+            raise DatasetError("spatial_weight must be in [0, 1]")
+        if self.min_speed_kmh <= 0:
+            raise DatasetError("min_speed_kmh must be positive")
+        if not 0.0 <= self.weekend_factor <= 1.0:
+            raise DatasetError("weekend_factor must be in [0, 1]")
+        if not 0 <= self.first_weekday < 7:
+            raise DatasetError("first_weekday must be in 0..6")
+
+    def is_weekend(self, day: int) -> bool:
+        """Whether simulated day ``day`` falls on a weekend."""
+        return (self.first_weekday + day) % 7 in (5, 6)
+
+
+class TrafficSimulator:
+    """Generates correlated, periodic ground-truth speeds for a network.
+
+    Args:
+        network: Road graph.
+        profiles: One :class:`DailyProfile` per road, index-aligned.
+        config: Simulation knobs.
+        incident_model: Optional incident generator; when given, random
+            incidents are injected every simulated day.
+
+    Raises:
+        DatasetError: When profiles are missing or misaligned.
+    """
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        profiles: Sequence[DailyProfile],
+        config: Optional[SimulationConfig] = None,
+        incident_model: Optional[IncidentModel] = None,
+    ) -> None:
+        if len(profiles) != network.n_roads:
+            raise DatasetError(
+                f"{len(profiles)} profiles for {network.n_roads} roads"
+            )
+        for idx, profile in enumerate(profiles):
+            expected = network.roads[idx].road_id
+            if profile.road_id != expected:
+                raise DatasetError(
+                    f"profile {idx} is for road {profile.road_id!r}, expected {expected!r}"
+                )
+        self._network = network
+        self._profiles = tuple(profiles)
+        self._config = config or SimulationConfig()
+        self._incident_model = incident_model
+        self._smoother = self._build_smoother()
+
+        window = slice(
+            self._config.slot_start, self._config.slot_start + self._config.n_slots
+        )
+        self._mean = np.stack([p.mean_kmh[window] for p in profiles], axis=1)
+        self._fluct = np.stack([p.fluctuation_kmh[window] for p in profiles], axis=1)
+
+    @property
+    def network(self) -> TrafficNetwork:
+        """The simulated network."""
+        return self._network
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The simulation configuration."""
+        return self._config
+
+    @property
+    def profiles(self) -> Tuple[DailyProfile, ...]:
+        """Per-road daily profiles."""
+        return self._profiles
+
+    def _build_smoother(self) -> sp.csr_matrix:
+        """Row-stochastic blend of self and neighbour average."""
+        n = self._network.n_roads
+        w = self._config.spatial_weight
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for i in range(n):
+            neighbors = self._network.neighbors(i)
+            rows.append(i)
+            cols.append(i)
+            vals.append(1.0 if not neighbors else 1.0 - w)
+            for j in neighbors:
+                rows.append(i)
+                cols.append(j)
+                vals.append(w / len(neighbors))
+        return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+    def _deviation_field(self, rng: np.random.Generator) -> np.ndarray:
+        """Unit-variance deviations, shape (n_days, n_slots, n_roads)."""
+        cfg = self._config
+        n = self._network.n_roads
+        field = np.empty((cfg.n_days, cfg.n_slots, n), dtype=np.float64)
+        ar = cfg.temporal_ar
+        innovation_scale = np.sqrt(1.0 - ar * ar)
+        for day in range(cfg.n_days):
+            state = rng.standard_normal(n)
+            for t in range(cfg.n_slots):
+                if t > 0:
+                    state = ar * state + innovation_scale * rng.standard_normal(n)
+                field[day, t] = state
+        # Spatial diffusion couples adjacent roads.
+        flat = field.reshape(-1, n)
+        for _ in range(cfg.spatial_passes):
+            flat = flat @ self._smoother.T
+        field = flat.reshape(cfg.n_days, cfg.n_slots, n)
+        # Diffusion shrinks variance; restore unit scale per road so the
+        # profile's fluctuation_kmh keeps its meaning as a std dev.
+        std = field.reshape(-1, n).std(axis=0)
+        std[std == 0] = 1.0
+        return field / std
+
+    def simulate(self, incidents: Optional[Sequence[Incident]] = None) -> SpeedHistory:
+        """Generate a :class:`SpeedHistory`.
+
+        Args:
+            incidents: Explicit incident schedule.  When omitted and an
+                :class:`IncidentModel` was supplied, incidents are drawn
+                from it; otherwise no incidents occur.
+
+        Returns:
+            History covering ``config.n_days`` days and the configured
+            slot window.
+        """
+        cfg = self._config
+        rng = np.random.default_rng(cfg.seed)
+        deviations = self._deviation_field(rng)
+        speeds = self._mean[None, :, :] + self._fluct[None, :, :] * deviations
+        if cfg.weekend_factor < 1.0:
+            # Weekly cycle: on weekends the congestion dip below free
+            # flow shrinks (lighter commuter traffic).
+            free = np.array([road.free_flow_kmh for road in self._network.roads])
+            for day in range(cfg.n_days):
+                if cfg.is_weekend(day):
+                    dip = free[None, :] - speeds[day]
+                    speeds[day] = free[None, :] - cfg.weekend_factor * dip
+        if incidents is None and self._incident_model is not None:
+            incidents = self._incident_model.sample(cfg.n_days, cfg.n_slots, rng)
+        if incidents:
+            factor = (
+                self._incident_model
+                or IncidentModel(self._network, rate_per_day=0.0)
+            ).slowdown_field(incidents, cfg.n_days, cfg.n_slots)
+            speeds = speeds * factor
+        speeds = np.maximum(speeds, cfg.min_speed_kmh)
+        return SpeedHistory(
+            speeds.astype(np.float32), self._network.road_ids, cfg.slot_start
+        )

@@ -1,0 +1,15 @@
+"""Terminal visualization helpers (no plotting dependencies)."""
+
+from repro.viz.ascii import (
+    congestion_strip,
+    convergence_sparkline,
+    render_speed_table,
+    speed_histogram,
+)
+
+__all__ = [
+    "congestion_strip",
+    "convergence_sparkline",
+    "render_speed_table",
+    "speed_histogram",
+]

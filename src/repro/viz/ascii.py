@@ -1,0 +1,150 @@
+"""ASCII renderings of speed fields and solver diagnostics.
+
+Dashboards and notebooks want a quick visual; this repo has no plotting
+dependency, so these helpers draw with Unicode block characters.  All
+functions return strings (never print), so they are easy to test and to
+embed in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.network.graph import TrafficNetwork
+
+#: Shade ramp from free-flow (light) to jammed (dark).
+_SHADES = " ░▒▓█"
+
+#: Sparkline bars, low to high.
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def _to_array(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError(f"{name} must not be empty")
+    if np.any(~np.isfinite(arr)):
+        raise ExperimentError(f"{name} contains NaN or infinity")
+    return arr
+
+
+def congestion_strip(
+    speeds_kmh: Sequence[float],
+    free_flow_kmh: Sequence[float],
+    width: Optional[int] = None,
+) -> str:
+    """One-line congestion strip: dark cells are congested roads.
+
+    Each road's congestion is ``1 - speed / free_flow`` clipped to
+    [0, 1]; roads are rendered in index order, optionally downsampled to
+    ``width`` cells (max congestion per bucket, so jams never average
+    away).
+
+    Args:
+        speeds_kmh: Current speed per road.
+        free_flow_kmh: Free-flow speed per road.
+        width: Output cells; default one per road.
+    """
+    speeds = _to_array(speeds_kmh, "speeds_kmh")
+    free = _to_array(free_flow_kmh, "free_flow_kmh")
+    if speeds.shape != free.shape:
+        raise ExperimentError("speeds and free-flow arrays must align")
+    if np.any(free <= 0):
+        raise ExperimentError("free-flow speeds must be positive")
+    congestion = np.clip(1.0 - speeds / free, 0.0, 1.0)
+    if width is not None:
+        if width <= 0:
+            raise ExperimentError("width must be positive")
+        buckets = np.array_split(congestion, min(width, congestion.size))
+        congestion = np.array([b.max() for b in buckets])
+    cells = (congestion * (len(_SHADES) - 1)).round().astype(int)
+    return "".join(_SHADES[c] for c in cells)
+
+
+def convergence_sparkline(history: Sequence[float]) -> str:
+    """Sparkline of a solver's per-iteration residuals (log scale).
+
+    Useful for :class:`~repro.core.gsp.GSPResult.max_delta_history` and
+    :class:`~repro.core.inference.InferenceDiagnostics.grad_mu_history`.
+    """
+    values = _to_array(history, "history")
+    values = np.maximum(values, 1e-12)
+    logs = np.log10(values)
+    lo, hi = logs.min(), logs.max()
+    if hi - lo < 1e-12:
+        return _BARS[0] * values.size
+    scaled = (logs - lo) / (hi - lo)
+    cells = (scaled * (len(_BARS) - 1)).round().astype(int)
+    return "".join(_BARS[c] for c in cells)
+
+
+def speed_histogram(
+    speeds_kmh: Sequence[float],
+    n_bins: int = 8,
+    bar_width: int = 30,
+) -> str:
+    """Horizontal histogram of a speed field.
+
+    Args:
+        speeds_kmh: Speeds to bin.
+        n_bins: Number of equal-width bins.
+        bar_width: Characters of the longest bar.
+    """
+    speeds = _to_array(speeds_kmh, "speeds_kmh")
+    if n_bins <= 0 or bar_width <= 0:
+        raise ExperimentError("n_bins and bar_width must be positive")
+    counts, edges = np.histogram(speeds, bins=n_bins)
+    top = max(int(counts.max()), 1)
+    lines = []
+    for k in range(n_bins):
+        bar = "█" * int(round(bar_width * counts[k] / top))
+        lines.append(
+            f"{edges[k]:6.1f}-{edges[k + 1]:6.1f} km/h |{bar:<{bar_width}}| {counts[k]}"
+        )
+    return "\n".join(lines)
+
+
+def render_speed_table(
+    network: TrafficNetwork,
+    speeds_kmh: Sequence[float],
+    reference_kmh: Optional[Sequence[float]] = None,
+    limit: int = 20,
+    slowest_first: bool = True,
+) -> str:
+    """Tabular view of the most congested roads.
+
+    Args:
+        network: Road graph (for ids and free-flow speeds).
+        speeds_kmh: Current estimated speed per road.
+        reference_kmh: Optional reference column (e.g. periodic means).
+        limit: Rows to show.
+        slowest_first: Order by congestion (default) or by road index.
+    """
+    speeds = _to_array(speeds_kmh, "speeds_kmh")
+    if speeds.shape != (network.n_roads,):
+        raise ExperimentError(
+            f"speeds must have shape ({network.n_roads},), got {speeds.shape}"
+        )
+    reference = (
+        _to_array(reference_kmh, "reference_kmh") if reference_kmh is not None else None
+    )
+    free = np.array([road.free_flow_kmh for road in network.roads])
+    congestion = np.clip(1.0 - speeds / free, 0.0, 1.0)
+    order = np.argsort(-congestion) if slowest_first else np.arange(network.n_roads)
+    header = "road        speed  free   congestion"
+    if reference is not None:
+        header += "  reference"
+    lines = [header]
+    for i in order[: max(1, limit)]:
+        bar = _SHADES[int(round(congestion[i] * (len(_SHADES) - 1)))]
+        line = (
+            f"{network.roads[int(i)].road_id:<10} {speeds[int(i)]:6.1f} "
+            f"{free[int(i)]:6.1f}   {congestion[int(i)]:.0%} {bar}"
+        )
+        if reference is not None:
+            line += f"    {reference[int(i)]:6.1f}"
+        lines.append(line)
+    return "\n".join(lines)

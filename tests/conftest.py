@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build the smallest worlds that still exercise the real code
+paths: a path graph, a grid, and a simulated history with a fitted RTF
+slot.  Session scope keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.inference import empirical_slot_parameters
+
+
+@pytest.fixture(scope="session")
+def line_net():
+    """A 6-road path graph."""
+    return repro.line_network(6)
+
+
+@pytest.fixture(scope="session")
+def grid_net():
+    """A 5x5 grid (25 roads)."""
+    return repro.grid_network(5, 5)
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A 60-road ring-radial network with profiles and a history.
+
+    Returns:
+        dict with keys ``network``, ``profiles``, ``history``, ``slot``,
+        ``params`` (empirically fitted RTF slot).
+    """
+    network = repro.ring_radial_network(60, n_rings=2, n_radials=6, seed=11)
+    profiles = repro.random_profiles(network, seed=12)
+    config = repro.SimulationConfig(n_days=18, slot_start=90, n_slots=6, seed=13)
+    simulator = repro.TrafficSimulator(network, profiles, config)
+    history = simulator.simulate()
+    slot = 93
+    params = empirical_slot_parameters(network, history.slot_samples(slot), slot)
+    return {
+        "network": network,
+        "profiles": profiles,
+        "history": history,
+        "slot": slot,
+        "params": params,
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small semi-synthetic dataset bundle for integration tests."""
+    config = repro.SemiSynConfig(
+        n_roads=80,
+        n_queried=15,
+        n_train_days=12,
+        n_test_days=4,
+        n_slots=6,
+        budgets=(10, 20, 30),
+        seed=77,
+    )
+    return repro.build_semisyn(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_system(tiny_dataset):
+    """CrowdRTSE fitted on the tiny dataset's query slot."""
+    return repro.CrowdRTSE.fit(
+        tiny_dataset.network, tiny_dataset.train_history, slots=[tiny_dataset.slot]
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

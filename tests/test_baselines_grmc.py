@@ -1,0 +1,105 @@
+"""Unit tests for the GRMC baseline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.baselines import EstimationContext, GRMCEstimator
+from repro.baselines.grmc import graph_laplacian
+
+
+class TestGraphLaplacian:
+    def test_row_sums_zero(self, grid_net):
+        lap = graph_laplacian(grid_net).toarray()
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_diagonal_is_degree(self, grid_net):
+        lap = graph_laplacian(grid_net).toarray()
+        for i in range(grid_net.n_roads):
+            assert lap[i, i] == grid_net.degree(i)
+
+    def test_positive_semidefinite(self, grid_net):
+        lap = graph_laplacian(grid_net).toarray()
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() > -1e-9
+
+    def test_no_edges(self):
+        net = repro.TrafficNetwork([repro.Road(road_id="a")], [])
+        lap = graph_laplacian(net)
+        assert lap.shape == (1, 1)
+        assert lap.nnz == 0
+
+    def test_smoothness_quadratic_form(self, line_net):
+        lap = graph_laplacian(line_net).toarray()
+        smooth = np.linspace(0, 1, 6)
+        rough = np.array([0, 1, 0, 1, 0, 1.0])
+        assert smooth @ lap @ smooth < rough @ lap @ rough
+
+
+class TestGRMCEstimator:
+    def test_config_validation(self):
+        with pytest.raises(ModelError):
+            GRMCEstimator(rank=0)
+        with pytest.raises(ModelError):
+            GRMCEstimator(reg=-1)
+        with pytest.raises(ModelError):
+            GRMCEstimator(n_iterations=0)
+
+    def test_probes_pass_through(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        probes = {1: 33.0, 8: 71.0}
+        context = EstimationContext(net, samples, probes)
+        field = GRMCEstimator(n_iterations=5).estimate(context)
+        assert field[1] == pytest.approx(33.0)
+        assert field[8] == pytest.approx(71.0)
+
+    def test_output_positive_and_finite(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {0: 40.0})
+        field = GRMCEstimator(n_iterations=5).estimate(context)
+        assert np.all(np.isfinite(field))
+        assert np.all(field > 0)
+
+    def test_completes_low_rank_structure(self):
+        """On exactly low-rank data GRMC should recover hidden entries."""
+        net = repro.grid_network(4, 4)
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=(30, 2))
+        v = rng.normal(size=(net.n_roads, 2))
+        matrix = 50 + u @ v.T
+        matrix = np.maximum(matrix, 5.0)
+        history, current = matrix[:-1], matrix[-1]
+        probes = {i: float(current[i]) for i in range(0, net.n_roads, 2)}
+        context = EstimationContext(net, history, probes)
+        field = GRMCEstimator(rank=4, reg=0.01, gamma=0.0, n_iterations=30).estimate(
+            context
+        )
+        hidden = [i for i in range(net.n_roads) if i not in probes]
+        errors = np.abs(field[hidden] - current[hidden]) / current[hidden]
+        baseline = np.abs(history.mean(axis=0)[hidden] - current[hidden]) / current[hidden]
+        assert errors.mean() < baseline.mean()
+
+    def test_deterministic_given_seed(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {0: 45.0})
+        a = GRMCEstimator(seed=1, n_iterations=4).estimate(context)
+        b = GRMCEstimator(seed=1, n_iterations=4).estimate(context)
+        assert np.allclose(a, b)
+
+    def test_graph_regularization_smooths(self, small_world):
+        """Higher gamma should pull adjacent estimates together."""
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {0: 20.0})
+        lap = graph_laplacian(net).toarray()
+        rough = GRMCEstimator(gamma=0.0, n_iterations=8, seed=2).estimate(context)
+        smooth = GRMCEstimator(gamma=50.0, n_iterations=8, seed=2).estimate(context)
+        # Compare the deviation fields (estimates minus history mean).
+        mean = samples.mean(axis=0)
+        dev_rough = rough - mean
+        dev_smooth = smooth - mean
+        assert dev_smooth @ lap @ dev_smooth <= dev_rough @ lap @ dev_rough + 1e-6

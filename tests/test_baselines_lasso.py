@@ -1,0 +1,167 @@
+"""Unit tests for the from-scratch lasso solver and LASSO estimator."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.baselines import EstimationContext, LassoEstimator
+from repro.baselines.lasso import (
+    LassoModel,
+    fit_lasso,
+    lasso_coordinate_descent,
+    lasso_coordinate_descent_multi,
+)
+
+
+def make_regression(n=80, p=5, seed=0, noise=0.1):
+    rng = np.random.default_rng(seed)
+    design = rng.normal(size=(n, p))
+    beta = np.array([2.0, -1.5, 0.0, 0.0, 3.0])[:p]
+    target = design @ beta + noise * rng.normal(size=n)
+    return design, target, beta
+
+
+class TestCoordinateDescent:
+    def test_alpha_zero_matches_ols(self):
+        design, target, _ = make_regression()
+        n = design.shape[0]
+        xc = design - design.mean(axis=0)
+        yc = target - target.mean()
+        gram = xc.T @ xc / n
+        corr = xc.T @ yc / n
+        beta_cd = lasso_coordinate_descent(gram, corr, alpha=0.0, max_iter=2000, tol=1e-12)
+        beta_ols = np.linalg.solve(gram, corr)
+        assert np.allclose(beta_cd, beta_ols, atol=1e-6)
+
+    def test_recovers_sparse_signal(self):
+        design, target, beta_true = make_regression(n=300, noise=0.05)
+        model = fit_lasso(design, target, alpha=0.02, max_iter=2000)
+        assert np.allclose(model.coef, beta_true, atol=0.1)
+
+    def test_large_alpha_zeroes_everything(self):
+        design, target, _ = make_regression()
+        model = fit_lasso(design, target, alpha=1e6)
+        assert np.allclose(model.coef, 0.0)
+
+    def test_alpha_shrinks_l1_norm(self):
+        design, target, _ = make_regression(n=150)
+        norms = []
+        for alpha in (0.0, 0.1, 0.5, 2.0):
+            model = fit_lasso(design, target, alpha=alpha, max_iter=2000)
+            norms.append(np.abs(model.coef).sum())
+        assert all(a >= b - 1e-9 for a, b in zip(norms, norms[1:]))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ModelError):
+            lasso_coordinate_descent(np.eye(2), np.ones(2), alpha=-1)
+
+    def test_degenerate_column_gets_zero(self):
+        rng = np.random.default_rng(1)
+        design = rng.normal(size=(50, 3))
+        design[:, 1] = 7.0  # constant column: zero variance after centring
+        target = design[:, 0] * 2
+        model = fit_lasso(design, target, alpha=0.01)
+        assert model.coef[1] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            lasso_coordinate_descent(np.eye(3), np.ones(2), alpha=0.1)
+
+
+class TestMultiTarget:
+    def test_matches_single_target(self):
+        rng = np.random.default_rng(2)
+        design = rng.normal(size=(60, 4))
+        targets = rng.normal(size=(60, 6))
+        n = design.shape[0]
+        xc = design - design.mean(axis=0)
+        gram = xc.T @ xc / n
+        corr = xc.T @ (targets - targets.mean(axis=0)) / n
+        multi = lasso_coordinate_descent_multi(gram, corr, alpha=0.05, max_iter=2000)
+        for k in range(6):
+            single = lasso_coordinate_descent(gram, corr[:, k], alpha=0.05, max_iter=2000)
+            assert np.allclose(multi[:, k], single, atol=1e-8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            lasso_coordinate_descent_multi(np.eye(3), np.ones(3), alpha=0.1)
+
+    def test_warm_start_reaches_same_optimum(self):
+        rng = np.random.default_rng(5)
+        design = rng.normal(size=(120, 6))
+        targets = rng.normal(size=(120, 4))
+        n = design.shape[0]
+        xc = design - design.mean(axis=0)
+        gram = xc.T @ xc / n
+        corr = xc.T @ (targets - targets.mean(axis=0)) / n
+        cold = lasso_coordinate_descent_multi(
+            gram, corr, alpha=0.05, max_iter=3000, tol=1e-10
+        )
+        warm = lasso_coordinate_descent_multi(
+            gram, corr, alpha=0.05, max_iter=3000, tol=1e-10, warm_start=True
+        )
+        assert np.allclose(cold, warm, atol=1e-6)
+
+
+class TestLassoModel:
+    def test_predict(self):
+        model = LassoModel(
+            coef=np.array([1.0, 2.0]),
+            intercept=5.0,
+            feature_means=np.array([1.0, 1.0]),
+        )
+        assert model.predict(np.array([2.0, 2.0])) == pytest.approx(5 + 1 + 2)
+
+    def test_predict_shape_check(self):
+        model = LassoModel(np.ones(2), 0.0, np.zeros(2))
+        with pytest.raises(ModelError):
+            model.predict(np.ones(3))
+
+
+class TestLassoEstimator:
+    def test_probed_roads_pass_through(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        probes = {0: 25.0, 5: 66.0}
+        context = EstimationContext(net, samples, probes)
+        field = LassoEstimator().estimate(context)
+        assert field[0] == pytest.approx(25.0)
+        assert field[5] == pytest.approx(66.0)
+
+    def test_no_probes_falls_back_to_mean(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {})
+        field = LassoEstimator().estimate(context)
+        assert np.allclose(field, samples.mean(axis=0))
+
+    def test_all_positive(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {2: 10.0, 9: 80.0})
+        field = LassoEstimator().estimate(context)
+        assert np.all(field > 0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ModelError):
+            LassoEstimator(alpha=-0.1)
+
+    def test_probes_improve_over_mean(self, small_world):
+        """With informative probes the lasso should beat the plain mean
+        on the probe-adjacent roads for a day that deviates from it."""
+        net = small_world["network"]
+        history = small_world["history"]
+        slot = small_world["slot"]
+        samples = history.slot_samples(slot)
+        truth_day = samples[-1]
+        train = samples[:-1]
+        probe_roads = list(range(0, net.n_roads, 4))
+        probes = {r: float(truth_day[r]) for r in probe_roads}
+        context = EstimationContext(net, train, probes)
+        field = LassoEstimator(alpha=0.05).estimate(context)
+        mean = train.mean(axis=0)
+        free = [i for i in range(net.n_roads) if i not in probes]
+        lasso_err = np.abs(field[free] - truth_day[free]).mean()
+        mean_err = np.abs(mean[free] - truth_day[free]).mean()
+        assert lasso_err < mean_err * 1.05

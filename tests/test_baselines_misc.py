@@ -1,0 +1,117 @@
+"""Unit tests for Per, GSPEstimator, HopWeightedEstimator and the base interface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.baselines import (
+    EstimationContext,
+    GSPEstimator,
+    HopWeightedEstimator,
+    PeriodicEstimator,
+)
+from repro.core.gsp import GSPConfig, propagate
+
+
+class TestEstimationContext:
+    def test_shape_validation(self, line_net):
+        with pytest.raises(ModelError):
+            EstimationContext(line_net, np.ones((5, 3)), {})
+
+    def test_probe_road_validation(self, line_net):
+        with pytest.raises(ModelError):
+            EstimationContext(line_net, np.ones((5, 6)), {9: 40.0})
+
+    def test_probe_value_validation(self, line_net):
+        with pytest.raises(ModelError):
+            EstimationContext(line_net, np.ones((5, 6)), {0: -3.0})
+
+    def test_observed_arrays_sorted_and_aligned(self, line_net):
+        context = EstimationContext(
+            line_net, np.ones((5, 6)) * 50, {4: 44.0, 1: 11.0}
+        )
+        assert list(context.observed_indices) == [1, 4]
+        assert list(context.observed_values) == [11.0, 44.0]
+
+
+class TestPeriodicEstimator:
+    def test_uses_model_mu_when_available(self, small_world):
+        net = small_world["network"]
+        params = small_world["params"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {}, slot_params=params)
+        field = PeriodicEstimator().estimate(context)
+        assert np.allclose(field, params.mu)
+
+    def test_falls_back_to_history_mean(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {})
+        field = PeriodicEstimator().estimate(context)
+        assert np.allclose(field, samples.mean(axis=0))
+
+    def test_ignores_probes(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        with_probe = EstimationContext(net, samples, {0: 5.0})
+        without = EstimationContext(net, samples, {})
+        estimator = PeriodicEstimator()
+        assert np.allclose(
+            estimator.estimate(with_probe), estimator.estimate(without)
+        )
+
+
+class TestGSPEstimatorWrapper:
+    def test_matches_direct_propagate(self, small_world):
+        net = small_world["network"]
+        params = small_world["params"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        probes = {0: 30.0, 10: 60.0}
+        context = EstimationContext(net, samples, probes, slot_params=params)
+        wrapped = GSPEstimator().estimate(context)
+        direct = propagate(net, params, probes, GSPConfig()).speeds
+        assert np.allclose(wrapped, direct)
+
+    def test_standalone_without_params(self, small_world):
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        context = EstimationContext(net, samples, {0: 30.0})
+        field = GSPEstimator().estimate(context)
+        assert field[0] == pytest.approx(30.0)
+        assert np.all(field > 0)
+
+
+class TestHopWeightedEstimator:
+    def test_config_validation(self):
+        with pytest.raises(ModelError):
+            HopWeightedEstimator(decay=0.0)
+        with pytest.raises(ModelError):
+            HopWeightedEstimator(max_hops=0)
+
+    def test_probes_pass_through(self, line_net):
+        samples = np.full((8, 6), 50.0)
+        context = EstimationContext(line_net, samples, {2: 30.0})
+        field = HopWeightedEstimator().estimate(context)
+        assert field[2] == pytest.approx(30.0)
+
+    def test_deviation_decays_with_distance(self, line_net):
+        samples = np.full((8, 6), 50.0) + np.random.default_rng(0).normal(
+            0, 0.5, (8, 6)
+        )
+        context = EstimationContext(line_net, samples, {0: 30.0})
+        field = HopWeightedEstimator(decay=0.5, max_hops=3).estimate(context)
+        mean = samples.mean(axis=0)
+        pulls = np.abs(field - mean)
+        assert pulls[1] > pulls[2] > pulls[3]
+        assert field[5] == pytest.approx(mean[5])  # beyond max_hops
+
+    def test_no_probes_returns_mean(self, line_net):
+        samples = np.full((8, 6), 42.0)
+        context = EstimationContext(line_net, samples, {})
+        assert np.allclose(
+            HopWeightedEstimator().estimate(context), 42.0
+        )
+
+    def test_repr_contains_name(self):
+        assert "HopW" in repr(HopWeightedEstimator())

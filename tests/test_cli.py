@@ -1,0 +1,113 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+import repro
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+COMMON = [
+    "--roads", "70", "--queried", "10", "--train-days", "8",
+    "--test-days", "2", "--slots", "4", "--seed", "3",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.name == "semisyn"
+        assert args.roads == 150
+
+    def test_query_selector_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--selector", "genie"])
+
+    def test_experiment_choices(self):
+        assert "figure3" in EXPERIMENTS
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestDatasetCommand:
+    def test_prints_summary(self, capsys):
+        assert main(["dataset", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "|R|=70" in out
+        assert "train: 8 days" in out
+
+    def test_saves_artifacts(self, tmp_path, capsys):
+        net_path = tmp_path / "net.json"
+        hist_path = tmp_path / "hist.npz"
+        code = main(
+            [
+                "dataset", *COMMON,
+                "--save-network", str(net_path),
+                "--save-history", str(hist_path),
+            ]
+        )
+        assert code == 0
+        network = repro.network_from_json(net_path)
+        assert network.n_roads == 70
+        history = repro.SpeedHistory.load(hist_path)
+        assert history.n_roads == 70
+
+    def test_gmission_dataset(self, capsys):
+        assert main(["dataset", "--name", "gmission", "--train-days", "8",
+                     "--test-days", "2", "--slots", "4"]) == 0
+        assert "gmission" in capsys.readouterr().out
+
+
+class TestFitCommand:
+    def test_fit_and_save(self, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        code = main(["fit", *COMMON, "--output", str(model_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert model_path.exists()
+
+
+class TestQueryCommand:
+    def test_query_outputs_quality(self, capsys):
+        code = main(["query", *COMMON, "--budget", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+        assert "selected" in out
+
+    def test_query_verbose_lists_roads(self, capsys):
+        code = main(["query", *COMMON, "--budget", "15", "--verbose"])
+        assert code == 0
+        assert "estimate" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("selector", ["ratio", "objective", "random"])
+    def test_query_selectors(self, capsys, selector):
+        code = main(["query", *COMMON, "--budget", "10", "--selector", selector])
+        assert code == 0
+
+
+class TestExperimentCommand:
+    def test_table2_quick(self, capsys):
+        assert main(["experiment", "table2", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "semisyn" in out and "gmission" in out
+
+    def test_figure2_quick(self, capsys):
+        assert main(["experiment", "figure2", "--scale", "quick"]) == 0
+        assert "Hybrid" in capsys.readouterr().out
+
+    def test_table3_quick(self, capsys):
+        assert main(["experiment", "table3", "--scale", "quick"]) == 0
+        assert "/" in capsys.readouterr().out
+
+    def test_scalability_quick(self, capsys):
+        assert main(["experiment", "scalability", "--scale", "quick"]) == 0
+        assert "GSP sweeps" in capsys.readouterr().out
+
+    def test_query_patterns_quick(self, capsys):
+        assert main(["experiment", "query_patterns", "--scale", "quick"]) == 0
+        assert "hotspot" in capsys.readouterr().out

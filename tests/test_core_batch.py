@@ -1,0 +1,120 @@
+"""Unit/integration tests for batched query answering."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SelectionError
+from repro.core.batch import answer_batch, sequential_baseline
+from repro.datasets import truth_oracle_for
+
+
+@pytest.fixture()
+def market(tiny_dataset):
+    return repro.CrowdMarket(
+        tiny_dataset.network,
+        tiny_dataset.pool,
+        tiny_dataset.cost_model,
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture()
+def truth(tiny_dataset):
+    return truth_oracle_for(tiny_dataset.test_history, 0, tiny_dataset.slot)
+
+
+def split_queries(dataset, n_parts=3):
+    queried = list(dataset.queried)
+    size = max(1, len(queried) // n_parts)
+    return [queried[k : k + size] for k in range(0, len(queried), size)]
+
+
+class TestAnswerBatch:
+    def test_per_query_alignment(self, tiny_dataset, tiny_system, market, truth):
+        queries = split_queries(tiny_dataset)
+        batch = answer_batch(
+            tiny_system, queries, tiny_dataset.slot, budget=25,
+            market=market, truth=truth,
+        )
+        assert len(batch.per_query) == len(queries)
+        for query, estimates in zip(queries, batch.per_query):
+            assert estimates.shape == (len(query),)
+            for road, estimate in zip(query, estimates):
+                assert estimate == pytest.approx(batch.shared.full_field_kmh[road])
+
+    def test_overlapping_queries_share_probes(self, tiny_dataset, tiny_system, market, truth):
+        base = list(tiny_dataset.queried)[:6]
+        queries = [base, base[:3] + base[3:]]  # identical unions
+        batch = answer_batch(
+            tiny_system, queries, tiny_dataset.slot, budget=20,
+            market=market, truth=truth,
+        )
+        assert np.allclose(batch.per_query[0], batch.per_query[1])
+        assert batch.budget_spent <= 20
+
+    def test_empty_batch_rejected(self, tiny_dataset, tiny_system, market, truth):
+        with pytest.raises(SelectionError):
+            answer_batch(
+                tiny_system, [], tiny_dataset.slot, budget=20,
+                market=market, truth=truth,
+            )
+
+    def test_empty_query_rejected(self, tiny_dataset, tiny_system, market, truth):
+        with pytest.raises(SelectionError):
+            answer_batch(
+                tiny_system, [[1], []], tiny_dataset.slot, budget=20,
+                market=market, truth=truth,
+            )
+
+    def test_budget_respected(self, tiny_dataset, tiny_system, market, truth):
+        queries = split_queries(tiny_dataset)
+        batch = answer_batch(
+            tiny_system, queries, tiny_dataset.slot, budget=18,
+            market=market, truth=truth,
+        )
+        assert batch.budget_spent <= 18
+
+
+class TestBatchVsSequential:
+    def test_batch_at_least_as_accurate_on_average(self, tiny_dataset, tiny_system):
+        """Pooled probing dominates an even per-query budget split."""
+        queries = split_queries(tiny_dataset, n_parts=3)
+        batch_errors, seq_errors = [], []
+        for day in range(tiny_dataset.test_history.n_days):
+            truth = truth_oracle_for(tiny_dataset.test_history, day, tiny_dataset.slot)
+
+            market = repro.CrowdMarket(
+                tiny_dataset.network, tiny_dataset.pool, tiny_dataset.cost_model,
+                rng=np.random.default_rng(day),
+            )
+            batch = answer_batch(
+                tiny_system, queries, tiny_dataset.slot, budget=24,
+                market=market, truth=truth,
+            )
+            market = repro.CrowdMarket(
+                tiny_dataset.network, tiny_dataset.pool, tiny_dataset.cost_model,
+                rng=np.random.default_rng(day),
+            )
+            sequential, spent = sequential_baseline(
+                tiny_system, queries, tiny_dataset.slot, budget=24,
+                market=market, truth=truth,
+            )
+            assert spent <= 24
+            for query, b_est, s_est in zip(queries, batch.per_query, sequential):
+                truths = np.array([truth(q) for q in query])
+                batch_errors.append(
+                    repro.mean_absolute_percentage_error(b_est, truths)
+                )
+                seq_errors.append(
+                    repro.mean_absolute_percentage_error(s_est, truths)
+                )
+        assert np.mean(batch_errors) <= np.mean(seq_errors) + 0.01
+
+    def test_sequential_budget_too_small(self, tiny_dataset, tiny_system, market, truth):
+        queries = [[1], [2], [3], [4]]
+        with pytest.raises(SelectionError):
+            sequential_baseline(
+                tiny_system, queries, tiny_dataset.slot, budget=2,
+                market=market, truth=truth,
+            )

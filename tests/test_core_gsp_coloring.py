@@ -1,0 +1,89 @@
+"""Unit tests for GSP's independent-group colouring (§VI parallelization)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.gsp import (
+    GSPConfig,
+    GSPSchedule,
+    independent_update_groups,
+    propagate,
+)
+from repro.core.rtf import RTFSlot
+
+
+class TestIndependentUpdateGroups:
+    def test_groups_cover_layer(self, grid_net):
+        layer = list(range(grid_net.n_roads))
+        groups = independent_update_groups(grid_net, layer)
+        flattened = sorted(r for g in groups for r in g)
+        assert flattened == sorted(layer)
+
+    def test_groups_are_independent(self, grid_net):
+        groups = independent_update_groups(grid_net, list(range(25)))
+        for group in groups:
+            for a in group:
+                for b in group:
+                    if a != b:
+                        assert not grid_net.are_adjacent(a, b)
+
+    def test_grid_is_two_colorable(self, grid_net):
+        groups = independent_update_groups(grid_net, list(range(25)))
+        assert len(groups) == 2  # the grid is bipartite
+
+    def test_star_hub_alone_with_leaves(self):
+        net = repro.star_network(5)
+        groups = independent_update_groups(net, list(range(6)))
+        assert len(groups) == 2
+        # All leaves can share one group; the hub sits in the other.
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 5]
+
+    def test_empty_layer(self, grid_net):
+        assert independent_update_groups(grid_net, []) == []
+
+    def test_non_adjacent_layer_single_group(self, line_net):
+        groups = independent_update_groups(line_net, [0, 2, 4])
+        assert len(groups) == 1
+
+
+class TestColoredSchedule:
+    def test_matches_bfs_fixed_point(self, small_world):
+        net = small_world["network"]
+        params = small_world["params"]
+        observed = {0: float(params.mu[0] * 0.7)}
+        reference = propagate(
+            net, params, observed, GSPConfig(epsilon=1e-10, max_sweeps=4000)
+        )
+        colored = propagate(
+            net,
+            params,
+            observed,
+            GSPConfig(
+                epsilon=1e-10, max_sweeps=4000, schedule=GSPSchedule.BFS_COLORED
+            ),
+        )
+        assert colored.converged
+        assert np.allclose(colored.speeds, reference.speeds, atol=1e-6)
+
+    def test_colored_sweep_count_comparable(self, grid_net):
+        params = RTFSlot(
+            0,
+            np.full(25, 50.0),
+            np.full(25, 3.0),
+            np.full(grid_net.n_edges, 0.7),
+        )
+        observed = {0: 30.0, 24: 70.0}
+        bfs = propagate(
+            grid_net, params, observed, GSPConfig(epsilon=1e-8, max_sweeps=3000)
+        )
+        colored = propagate(
+            grid_net,
+            params,
+            observed,
+            GSPConfig(
+                epsilon=1e-8, max_sweeps=3000, schedule=GSPSchedule.BFS_COLORED
+            ),
+        )
+        assert colored.sweeps <= bfs.sweeps * 2

@@ -1,0 +1,211 @@
+"""Unit tests for repro.core.inference, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConvergenceError, ModelError
+from repro.core.inference import (
+    RTFInferenceConfig,
+    _SlotObjective,
+    empirical_slot_parameters,
+    fit_rtf,
+    infer_slot_parameters,
+)
+
+
+def make_samples(net, n_days=20, seed=0, base=50.0, spread=4.0):
+    rng = np.random.default_rng(seed)
+    shared = rng.normal(size=(n_days, 1))
+    noise = rng.normal(size=(n_days, net.n_roads))
+    return base + spread * (0.7 * shared + 0.3 * noise)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"step": 0},
+            {"max_iters": 0},
+            {"tol": 0},
+            {"init": "magic"},
+            {"rho_min": 0.5, "rho_max": 0.4},
+            {"sigma_floor": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            RTFInferenceConfig(**kwargs)
+
+
+class TestEmpiricalParameters:
+    def test_matches_sample_moments(self, line_net):
+        samples = make_samples(line_net, seed=1)
+        params = empirical_slot_parameters(line_net, samples, slot=7)
+        assert params.slot == 7
+        assert np.allclose(params.mu, samples.mean(axis=0))
+        assert np.allclose(params.sigma, samples.std(axis=0, ddof=1))
+
+    def test_rho_clipped_to_unit_interval(self, line_net):
+        rng = np.random.default_rng(2)
+        # Anti-correlated neighbours -> Pearson < 0 -> clipped to 0.
+        base = rng.normal(size=(30, 1))
+        samples = 50 + np.concatenate(
+            [base, -base, base, -base, base, -base], axis=1
+        )
+        samples += 0.1 * rng.normal(size=samples.shape)
+        params = empirical_slot_parameters(line_net, samples, slot=0)
+        assert np.all(params.rho >= 0.0)
+        assert np.all(params.rho <= 1.0)
+
+    def test_perfectly_correlated_edges(self, line_net):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(25, 1))
+        samples = 50 + np.repeat(base, line_net.n_roads, axis=1)
+        samples += 1e-9 * rng.normal(size=samples.shape)
+        params = empirical_slot_parameters(line_net, samples, slot=0)
+        assert np.all(params.rho > 0.99)
+
+    def test_too_few_samples(self, line_net):
+        with pytest.raises(ModelError, match="at least 2"):
+            empirical_slot_parameters(line_net, np.ones((1, 6)) * 50, slot=0)
+
+    def test_wrong_width(self, line_net):
+        with pytest.raises(ModelError):
+            empirical_slot_parameters(line_net, np.ones((5, 3)), slot=0)
+
+
+class TestGradientsNumerically:
+    """Finite-difference verification of every analytic gradient."""
+
+    @pytest.fixture()
+    def setup(self, line_net):
+        samples = make_samples(line_net, n_days=12, seed=4)
+        objective = _SlotObjective(line_net, samples, normalized=True)
+        rng = np.random.default_rng(5)
+        mu = samples.mean(axis=0) + rng.normal(scale=1.0, size=line_net.n_roads)
+        sigma = samples.std(axis=0, ddof=1) * rng.uniform(0.8, 1.2, line_net.n_roads)
+        rho = rng.uniform(0.1, 0.8, line_net.n_edges)
+        return objective, mu, sigma, rho
+
+    @staticmethod
+    def numeric_grad(fn, x, eps=1e-6):
+        grad = np.zeros_like(x)
+        for k in range(x.size):
+            up = x.copy()
+            up[k] += eps
+            down = x.copy()
+            down[k] -= eps
+            grad[k] = (fn(up) - fn(down)) / (2 * eps)
+        return grad
+
+    def test_grad_mu(self, setup):
+        objective, mu, sigma, rho = setup
+        analytic = objective.grad_mu(mu, sigma, rho)
+        numeric = self.numeric_grad(lambda m: objective.value(m, sigma, rho), mu)
+        assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_grad_sigma(self, setup):
+        objective, mu, sigma, rho = setup
+        analytic = objective.grad_sigma(mu, sigma, rho)
+        numeric = self.numeric_grad(lambda s: objective.value(mu, s, rho), sigma)
+        assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_grad_rho(self, setup):
+        objective, mu, sigma, rho = setup
+        analytic = objective.grad_rho(mu, sigma, rho)
+        numeric = self.numeric_grad(lambda r: objective.value(mu, sigma, r), rho)
+        assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_grads_unnormalized_variant(self, line_net):
+        samples = make_samples(line_net, n_days=10, seed=6)
+        objective = _SlotObjective(line_net, samples, normalized=False)
+        rng = np.random.default_rng(7)
+        mu = samples.mean(axis=0)
+        sigma = samples.std(axis=0, ddof=1)
+        rho = rng.uniform(0.2, 0.7, line_net.n_edges)
+        for grad_fn, param, wrap in [
+            (objective.grad_mu, mu, lambda x: objective.value(x, sigma, rho)),
+            (objective.grad_sigma, sigma, lambda x: objective.value(mu, x, rho)),
+            (objective.grad_rho, rho, lambda x: objective.value(mu, sigma, x)),
+        ]:
+            analytic = grad_fn(mu, sigma, rho)
+            numeric = self.numeric_grad(wrap, param)
+            assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestInferSlotParameters:
+    def test_empirical_init_converges_immediately(self, line_net):
+        samples = make_samples(line_net, seed=8)
+        params, diag = infer_slot_parameters(line_net, samples, slot=0)
+        assert diag.converged
+        assert diag.iterations <= 10
+
+    def test_random_init_converges(self, line_net):
+        samples = make_samples(line_net, seed=9)
+        config = RTFInferenceConfig(init="random", seed=1, max_iters=3000, tol=0.05)
+        params, diag = infer_slot_parameters(line_net, samples, slot=0, config=config)
+        assert diag.converged
+        # Should land near the empirical means.
+        empirical = empirical_slot_parameters(line_net, samples, 0)
+        assert np.allclose(params.mu, empirical.mu, atol=1.5)
+
+    def test_objective_monotone_under_ccd(self, line_net):
+        samples = make_samples(line_net, seed=10)
+        config = RTFInferenceConfig(init="random", seed=2, max_iters=50, tol=1e-9)
+        _, diag = infer_slot_parameters(line_net, samples, slot=0, config=config)
+        objectives = np.array(diag.objective_history)
+        # Allow tiny numerical wiggle but require overall ascent.
+        assert objectives[-1] > objectives[0]
+        assert np.sum(np.diff(objectives) < -1e-6) <= len(objectives) // 10
+
+    def test_strict_mode_raises(self, line_net):
+        samples = make_samples(line_net, seed=11)
+        config = RTFInferenceConfig(
+            init="random", seed=3, max_iters=2, tol=1e-12, strict=True
+        )
+        with pytest.raises(ConvergenceError):
+            infer_slot_parameters(line_net, samples, slot=0, config=config)
+
+    def test_parameters_respect_bounds(self, line_net):
+        samples = make_samples(line_net, seed=12)
+        config = RTFInferenceConfig(init="random", seed=4, max_iters=100, tol=1e-6)
+        params, _ = infer_slot_parameters(line_net, samples, slot=0, config=config)
+        assert np.all(params.sigma >= config.sigma_floor)
+        assert np.all(params.rho >= config.rho_min)
+        assert np.all(params.rho <= config.rho_max)
+
+    def test_recovers_generative_correlation(self):
+        # Two roads driven by a shared factor with known correlation.
+        net = repro.line_network(2)
+        rng = np.random.default_rng(13)
+        n = 4000
+        shared = rng.normal(size=n)
+        a = 50 + 3.0 * shared + 1.0 * rng.normal(size=n)
+        b = 55 + 3.0 * shared + 1.0 * rng.normal(size=n)
+        true_rho = 9.0 / 10.0  # cov/ (sd*sd) = 9 / (sqrt(10)*sqrt(10))
+        samples = np.stack([a, b], axis=1)
+        params, _ = infer_slot_parameters(net, samples, slot=0)
+        assert params.rho[0] == pytest.approx(true_rho, abs=0.05)
+
+
+class TestFitRTF:
+    def test_fits_all_covered_slots(self, small_world):
+        net, history = small_world["network"], small_world["history"]
+        model, diags = fit_rtf(net, history)
+        assert model.slots == tuple(history.global_slots)
+        assert set(diags) == set(history.global_slots)
+
+    def test_fits_selected_slots(self, small_world):
+        net, history = small_world["network"], small_world["history"]
+        slot = small_world["slot"]
+        model, _ = fit_rtf(net, history, slots=[slot])
+        assert model.slots == (slot,)
+
+    def test_road_mismatch_rejected(self, small_world, grid_net):
+        with pytest.raises(ModelError, match="road ids"):
+            fit_rtf(grid_net, small_world["history"])
+
+    def test_empty_slots_rejected(self, small_world):
+        with pytest.raises(ModelError, match="no slots"):
+            fit_rtf(small_world["network"], small_world["history"], slots=[])

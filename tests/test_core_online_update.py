@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.online_update."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.core.inference import empirical_slot_parameters
+from repro.core.online_update import OnlineRTFUpdater, refresh_model
+from repro.core.rtf import RTFModel, RTFSlot
+
+
+def flat_slot(net, mu=50.0, sigma=3.0, rho=0.5, slot=0):
+    return RTFSlot(
+        slot=slot,
+        mu=np.full(net.n_roads, float(mu)),
+        sigma=np.full(net.n_roads, float(sigma)),
+        rho=np.full(net.n_edges, float(rho)),
+    )
+
+
+class TestValidation:
+    def test_bad_learning_rate(self, line_net):
+        with pytest.raises(ModelError):
+            OnlineRTFUpdater(line_net, flat_slot(line_net), learning_rate=0.0)
+        with pytest.raises(ModelError):
+            OnlineRTFUpdater(line_net, flat_slot(line_net), learning_rate=1.0)
+
+    def test_sample_shape_checked(self, line_net):
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net))
+        with pytest.raises(ModelError):
+            updater.update(np.ones(3))
+
+    def test_sample_positivity_checked(self, line_net):
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net))
+        bad = np.full(6, 50.0)
+        bad[2] = -1
+        with pytest.raises(ModelError):
+            updater.update(bad)
+
+
+class TestUpdates:
+    def test_mean_moves_towards_sample(self, line_net):
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net, mu=50.0), 0.1)
+        params = updater.update(np.full(6, 60.0))
+        assert np.allclose(params.mu, 51.0)
+
+    def test_parameters_stay_valid(self, line_net, rng):
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net), 0.2)
+        for _ in range(30):
+            params = updater.update(rng.uniform(20, 90, 6))
+        assert np.all(params.sigma > 0)
+        assert np.all((params.rho >= 0) & (params.rho <= 1))
+
+    def test_n_updates_counts(self, line_net):
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net))
+        updater.update_many([np.full(6, 50.0)] * 5)
+        assert updater.n_updates == 5
+
+    def test_converges_to_stream_statistics(self, line_net):
+        """After many days the EW moments track the generating process."""
+        rng = np.random.default_rng(3)
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net, mu=40.0), 0.05)
+        true_mu = np.linspace(45, 70, 6)
+        for _ in range(600):
+            shared = rng.normal()
+            sample = true_mu + 2.0 * shared + 1.0 * rng.normal(size=6)
+            params = updater.update(sample)
+        assert np.allclose(params.mu, true_mu, atol=1.5)
+        # Total std: sqrt(4 + 1) ~ 2.24.
+        assert np.allclose(params.sigma, np.sqrt(5.0), atol=0.8)
+        # Shared factor induces rho = 4/5; EW moments with eta = 0.05
+        # only remember ~20 effective days, so allow sampling noise.
+        assert np.allclose(params.rho, 0.8, atol=0.25)
+        assert params.rho.mean() == pytest.approx(0.8, abs=0.1)
+
+    def test_tracks_regime_change(self, line_net):
+        """Drift adaptation: the whole point of forgetting."""
+        rng = np.random.default_rng(4)
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net, mu=50.0), 0.1)
+        for _ in range(100):
+            updater.update(30.0 + rng.normal(scale=1.0, size=6))
+        params = updater.current()
+        assert np.allclose(params.mu, 30.0, atol=2.0)
+
+    def test_current_does_not_mutate(self, line_net):
+        updater = OnlineRTFUpdater(line_net, flat_slot(line_net))
+        a = updater.current()
+        a.mu[0] = -999  # mutate the copy
+        assert updater.current().mu[0] == 50.0
+
+
+class TestRefreshModel:
+    def test_refreshes_only_given_slots(self, line_net):
+        model = RTFModel(line_net, [flat_slot(line_net, slot=1), flat_slot(line_net, slot=2)])
+        refreshed = refresh_model(
+            line_net, model, {1: np.full(6, 70.0)}, learning_rate=0.5
+        )
+        assert refreshed.slot(1).mu[0] == pytest.approx(60.0)
+        assert refreshed.slot(2).mu[0] == pytest.approx(50.0)
+
+    def test_consistent_with_updater(self, line_net):
+        initial = flat_slot(line_net, slot=3)
+        model = RTFModel(line_net, [initial])
+        sample = np.full(6, 55.0)
+        refreshed = refresh_model(line_net, model, {3: sample}, 0.05)
+        updater = OnlineRTFUpdater(line_net, initial, 0.05)
+        direct = updater.update(sample)
+        assert np.allclose(refreshed.slot(3).mu, direct.mu)
+        assert np.allclose(refreshed.slot(3).sigma, direct.sigma)
+
+    def test_online_matches_empirical_in_expectation(self, small_world):
+        """Streaming the history through the updater lands near the
+        batch empirical fit (both estimate the same moments)."""
+        net = small_world["network"]
+        history = small_world["history"]
+        slot = small_world["slot"]
+        samples = history.slot_samples(slot)
+        start = empirical_slot_parameters(net, samples[:4], slot)
+        updater = OnlineRTFUpdater(net, start, learning_rate=0.1)
+        for row in samples[4:]:
+            online = updater.update(row)
+        batch = empirical_slot_parameters(net, samples, slot)
+        rel = np.abs(online.mu - batch.mu) / batch.mu
+        assert np.median(rel) < 0.1

@@ -1,0 +1,122 @@
+"""Unit tests for posterior uncertainty of GSP estimates."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.core.exact_inference import exact_conditional_mean
+from repro.core.rtf import RTFSlot
+from repro.core.uncertainty import (
+    conditional_variances,
+    confidence_intervals,
+    most_uncertain_roads,
+)
+
+
+def flat_slot(net, mu=50.0, sigma=3.0, rho=0.6):
+    return RTFSlot(
+        0,
+        np.full(net.n_roads, float(mu)),
+        np.full(net.n_roads, float(sigma)),
+        np.full(net.n_edges, float(rho)),
+    )
+
+
+class TestConditionalVariances:
+    def test_probed_roads_zero_variance(self, grid_net):
+        params = flat_slot(grid_net)
+        variances = conditional_variances(grid_net, params, {3: 40.0})
+        assert variances[3] == 0.0
+        assert np.all(variances >= 0)
+
+    def test_all_probed_all_zero(self, line_net):
+        params = flat_slot(line_net)
+        observed = {i: 40.0 for i in range(6)}
+        assert np.allclose(conditional_variances(line_net, params, observed), 0.0)
+
+    def test_variance_shrinks_near_probes(self, line_net):
+        """Roads adjacent to a probe are better determined than distant ones."""
+        params = flat_slot(line_net, rho=0.8)
+        variances = conditional_variances(line_net, params, {0: 40.0})
+        assert variances[1] < variances[3] < variances[5] + 1e-12
+
+    def test_no_probes_bounded_by_prior(self, grid_net):
+        """Neighbour coupling can only reduce marginal uncertainty."""
+        params = flat_slot(grid_net, sigma=3.0, rho=0.5)
+        variances = conditional_variances(grid_net, params, {})
+        assert np.all(variances <= 9.0 + 1e-9)
+        assert np.all(variances > 0)
+
+    def test_more_probes_never_increase_variance(self, grid_net):
+        params = flat_slot(grid_net, rho=0.7)
+        one = conditional_variances(grid_net, params, {0: 40.0})
+        two = conditional_variances(grid_net, params, {0: 40.0, 24: 60.0})
+        assert np.all(two <= one + 1e-9)
+
+    def test_matches_dense_inverse(self, line_net):
+        """Cross-check against a dense matrix inverse."""
+        params = flat_slot(line_net, rho=0.4)
+        from repro.core.exact_inference import conditional_system
+
+        matrix, _, free = conditional_system(line_net, params, {2: 30.0})
+        dense = np.linalg.inv(matrix.toarray())
+        variances = conditional_variances(line_net, params, {2: 30.0})
+        assert np.allclose(variances[free], np.diag(dense), atol=1e-9)
+
+
+class TestConfidenceIntervals:
+    def test_band_contains_estimate(self, grid_net):
+        params = flat_slot(grid_net)
+        observed = {0: 30.0}
+        speeds = exact_conditional_mean(grid_net, params, observed)
+        low, high = confidence_intervals(grid_net, params, observed, speeds)
+        assert np.all(low <= speeds)
+        assert np.all(speeds <= high)
+        assert low[0] == high[0] == 30.0  # probed road collapses
+
+    def test_z_scales_width(self, grid_net):
+        params = flat_slot(grid_net)
+        observed = {0: 30.0}
+        speeds = exact_conditional_mean(grid_net, params, observed)
+        low1, high1 = confidence_intervals(grid_net, params, observed, speeds, z=1.0)
+        low2, high2 = confidence_intervals(grid_net, params, observed, speeds, z=2.0)
+        assert np.all(high2 - low2 >= high1 - low1)
+
+    def test_validation(self, grid_net):
+        params = flat_slot(grid_net)
+        with pytest.raises(ModelError):
+            confidence_intervals(grid_net, params, {}, np.ones(3))
+        speeds = params.mu
+        with pytest.raises(ModelError):
+            confidence_intervals(grid_net, params, {}, speeds, z=0)
+
+    def test_coverage_on_simulated_world(self, small_world):
+        """~95% of true speeds fall inside the 95% band (loose check)."""
+        net = small_world["network"]
+        params = small_world["params"]
+        history = small_world["history"]
+        slot = small_world["slot"]
+        truth_day = history.slot_samples(slot)[-1]
+        observed = {0: float(truth_day[0]), 20: float(truth_day[20])}
+        speeds = exact_conditional_mean(net, params, observed)
+        low, high = confidence_intervals(net, params, observed, speeds, z=2.5)
+        inside = np.mean((truth_day >= low) & (truth_day <= high))
+        assert inside > 0.7
+
+
+class TestMostUncertainRoads:
+    def test_returns_k_roads(self, grid_net):
+        params = flat_slot(grid_net)
+        top = most_uncertain_roads(grid_net, params, {0: 40.0}, k=3)
+        assert len(top) == 3
+        assert 0 not in top  # probed road has zero variance
+
+    def test_farthest_road_most_uncertain_on_line(self, line_net):
+        params = flat_slot(line_net, rho=0.9)
+        top = most_uncertain_roads(line_net, params, {0: 40.0}, k=1)
+        assert list(top) == [5]
+
+    def test_invalid_k(self, grid_net):
+        with pytest.raises(ModelError):
+            most_uncertain_roads(grid_net, flat_slot(grid_net), {}, k=0)

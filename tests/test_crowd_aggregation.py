@@ -1,0 +1,44 @@
+"""Unit tests for repro.crowd.aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrowdError
+from repro.crowd.aggregation import Aggregator, aggregate_answers
+
+
+class TestAggregateAnswers:
+    def test_mean(self):
+        assert aggregate_answers([10, 20, 30], Aggregator.MEAN) == pytest.approx(20.0)
+
+    def test_median(self):
+        assert aggregate_answers([10, 20, 90], Aggregator.MEDIAN) == pytest.approx(20.0)
+
+    def test_trimmed_mean_drops_outliers(self):
+        answers = [50, 51, 49, 52, 48, 500, 1]
+        trimmed = aggregate_answers(answers, Aggregator.TRIMMED_MEAN)
+        mean = aggregate_answers(answers, Aggregator.MEAN)
+        assert abs(trimmed - 50) < abs(mean - 50)
+
+    def test_trimmed_mean_small_sets_fall_back_to_mean(self):
+        assert aggregate_answers([10, 30], Aggregator.TRIMMED_MEAN) == pytest.approx(20.0)
+
+    def test_single_answer(self):
+        for agg in Aggregator:
+            assert aggregate_answers([42.0], agg) == pytest.approx(42.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CrowdError):
+            aggregate_answers([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(CrowdError):
+            aggregate_answers([10, -1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(CrowdError):
+            aggregate_answers([10, float("nan")])
+
+    def test_median_robust_to_one_outlier(self, rng):
+        answers = list(rng.normal(60, 2, size=9)) + [600.0]
+        assert aggregate_answers(answers, Aggregator.MEDIAN) == pytest.approx(60, rel=0.1)

@@ -1,0 +1,69 @@
+"""Unit/integration tests for trajectory-derived crowd probes."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import CrowdError
+from repro.crowd.trajectory_probe import TrajectoryProbeCollector
+from repro.core.gsp import GSPConfig, propagate
+
+
+class TestTrajectoryProbeCollector:
+    def test_validation(self, grid_net):
+        with pytest.raises(CrowdError):
+            TrajectoryProbeCollector(grid_net, drive_duration_s=0)
+
+    def test_probe_returns_requested_roads(self, grid_net):
+        collector = TrajectoryProbeCollector(grid_net, seed=1)
+        speeds = np.full(grid_net.n_roads, 40.0)
+        aggregated, raw = collector.probe([0, 5, 12], speeds, {0: 2, 5: 1, 12: 3})
+        assert set(aggregated) == {0, 5, 12}
+        assert len(raw[12]) == 3
+
+    def test_answers_near_truth(self, grid_net):
+        collector = TrajectoryProbeCollector(
+            grid_net, drive_duration_s=180, gps_noise_fraction=0.01, seed=2
+        )
+        speeds = np.full(grid_net.n_roads, 36.0)
+        aggregated, _ = collector.probe([3], speeds, {3: 4})
+        assert aggregated[3] == pytest.approx(36.0, rel=0.15)
+
+    def test_bad_answer_count(self, grid_net):
+        collector = TrajectoryProbeCollector(grid_net, seed=3)
+        speeds = np.full(grid_net.n_roads, 40.0)
+        with pytest.raises(CrowdError):
+            collector.probe([0], speeds, {0: 0})
+
+    def test_heterogeneous_field_tracked(self, grid_net, rng):
+        collector = TrajectoryProbeCollector(
+            grid_net, drive_duration_s=240, gps_noise_fraction=0.0, seed=4
+        )
+        speeds = rng.uniform(25, 60, grid_net.n_roads)
+        roads = [0, 12, 24]
+        aggregated, _ = collector.probe(roads, speeds, {r: 3 for r in roads})
+        for road in roads:
+            assert aggregated[road] == pytest.approx(speeds[road], rel=0.35)
+
+
+class TestTrajectoryProbesFeedGSP:
+    def test_end_to_end_with_trace_probes(self, small_world):
+        """Trace-derived probes slot straight into GSP propagation."""
+        net = small_world["network"]
+        params = small_world["params"]
+        history = small_world["history"]
+        slot = small_world["slot"]
+        truth_day = history.slot_samples(slot)[-1]
+
+        collector = TrajectoryProbeCollector(
+            net, drive_duration_s=180, gps_noise_fraction=0.01, seed=5
+        )
+        roads = [0, 10, 25, 40]
+        probes, _ = collector.probe(roads, truth_day, {r: 3 for r in roads})
+        result = propagate(net, params, probes, GSPConfig())
+        assert result.converged
+
+        gsp_err = np.abs(result.speeds - truth_day) / truth_day
+        per_err = np.abs(params.mu - truth_day) / truth_day
+        # Realistic probes still help over pure periodicity on average.
+        assert gsp_err.mean() <= per_err.mean() + 0.01

@@ -1,0 +1,94 @@
+"""Unit tests for repro.crowd.workers."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import CrowdError, NoWorkersError
+from repro.crowd.workers import Worker, WorkerPool
+
+
+class TestWorker:
+    def test_valid(self):
+        worker = Worker(worker_id="w1", road_index=0)
+        assert worker.noise_std_fraction > 0
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(CrowdError):
+            Worker(worker_id="", road_index=0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(CrowdError):
+            Worker(worker_id="w", road_index=0, noise_std_fraction=-0.1)
+
+    def test_measure_near_truth(self, rng):
+        worker = Worker(worker_id="w", road_index=0, noise_std_fraction=0.05)
+        readings = [worker.measure(60.0, rng) for _ in range(300)]
+        assert np.mean(readings) == pytest.approx(60.0, rel=0.02)
+        assert np.std(readings) == pytest.approx(3.0, rel=0.3)
+
+    def test_measure_floor(self, rng):
+        worker = Worker(worker_id="w", road_index=0, noise_std_fraction=2.0)
+        readings = [worker.measure(1.0, rng) for _ in range(100)]
+        assert min(readings) >= 0.5
+
+    def test_measure_requires_positive_truth(self, rng):
+        worker = Worker(worker_id="w", road_index=0)
+        with pytest.raises(CrowdError):
+            worker.measure(0.0, rng)
+
+    def test_bias_shifts_mean(self, rng):
+        worker = Worker(
+            worker_id="w", road_index=0, noise_std_fraction=0.01, bias_fraction=0.1
+        )
+        readings = [worker.measure(50.0, rng) for _ in range(200)]
+        assert np.mean(readings) == pytest.approx(55.0, rel=0.02)
+
+
+class TestWorkerPool:
+    def test_worker_on_unknown_road_rejected(self, line_net):
+        with pytest.raises(CrowdError, match="unknown road"):
+            WorkerPool(line_net, [Worker(worker_id="w", road_index=99)])
+
+    def test_roads_with_workers_sorted(self, line_net):
+        pool = WorkerPool(
+            line_net,
+            [
+                Worker(worker_id="a", road_index=4),
+                Worker(worker_id="b", road_index=1),
+                Worker(worker_id="c", road_index=4),
+            ],
+        )
+        assert pool.roads_with_workers() == (1, 4)
+        assert pool.count_on(4) == 2
+        assert pool.count_on(0) == 0
+
+    def test_workers_on_missing_road_raises(self, line_net):
+        pool = WorkerPool(line_net, [Worker(worker_id="a", road_index=0)])
+        with pytest.raises(NoWorkersError):
+            pool.workers_on(3)
+
+    def test_cover_all_roads(self, line_net):
+        pool = WorkerPool.cover_all_roads(line_net, workers_per_road=3, seed=1)
+        assert pool.n_workers == 18
+        assert pool.roads_with_workers() == tuple(range(6))
+
+    def test_cover_all_roads_invalid(self, line_net):
+        with pytest.raises(CrowdError):
+            WorkerPool.cover_all_roads(line_net, workers_per_road=0)
+
+    def test_on_roads(self, line_net):
+        pool = WorkerPool.on_roads(line_net, [1, 3], workers_per_road=2, seed=2)
+        assert pool.roads_with_workers() == (1, 3)
+        assert pool.count_on(1) == 2
+
+    def test_random_distribution(self, grid_net):
+        pool = WorkerPool.random_distribution(grid_net, n_workers=40, seed=3)
+        assert pool.n_workers == 40
+        assert all(
+            0 <= w.road_index < grid_net.n_roads for w in pool.workers
+        )
+
+    def test_random_distribution_invalid(self, grid_net):
+        with pytest.raises(CrowdError):
+            WorkerPool.random_distribution(grid_net, n_workers=0)

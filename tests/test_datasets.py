@@ -1,0 +1,125 @@
+"""Unit tests for the dataset builders (Table II shapes)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.datasets import (
+    GMissionConfig,
+    SemiSynConfig,
+    build_gmission,
+    build_semisyn,
+    truth_oracle_for,
+)
+
+
+@pytest.fixture(scope="module")
+def semisyn():
+    return build_semisyn(
+        SemiSynConfig(
+            n_roads=100,
+            n_queried=20,
+            n_train_days=10,
+            n_test_days=4,
+            n_slots=6,
+            seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def gmission():
+    return build_gmission(
+        GMissionConfig(
+            n_component_roads=30,
+            n_worker_roads=18,
+            n_train_days=10,
+            n_test_days=4,
+            n_slots=6,
+            source_network_roads=90,
+            seed=6,
+        )
+    )
+
+
+class TestSemiSyn:
+    def test_workers_cover_all_roads(self, semisyn):
+        assert semisyn.worker_roads == tuple(range(semisyn.n_roads))
+        assert semisyn.pool.roads_with_workers() == semisyn.worker_roads
+
+    def test_queried_sampled_from_network(self, semisyn):
+        assert len(semisyn.queried) == 20
+        assert len(set(semisyn.queried)) == 20
+
+    def test_histories_split(self, semisyn):
+        assert semisyn.train_history.n_days == 10
+        assert semisyn.test_history.n_days == 4
+        assert semisyn.train_history.road_ids == semisyn.network.road_ids
+
+    def test_slot_in_window(self, semisyn):
+        assert semisyn.slot in semisyn.train_history.global_slots
+        assert semisyn.slot in semisyn.test_history.global_slots
+
+    def test_deterministic(self):
+        config = SemiSynConfig(
+            n_roads=60, n_queried=10, n_train_days=6, n_test_days=2, n_slots=4, seed=9
+        )
+        a = build_semisyn(config)
+        b = build_semisyn(config)
+        assert a.queried == b.queried
+        assert np.allclose(a.train_history.values, b.train_history.values)
+
+    def test_paper_defaults(self):
+        config = SemiSynConfig()
+        assert config.n_roads == 607
+        assert config.budgets == (30, 60, 90, 120, 150)
+        assert config.theta == 0.92
+
+    def test_invalid_configs(self):
+        with pytest.raises(DatasetError):
+            SemiSynConfig(n_queried=0)
+        with pytest.raises(DatasetError):
+            SemiSynConfig(budgets=())
+        with pytest.raises(DatasetError):
+            SemiSynConfig(workers_per_road=2, cost_high=10)
+
+    def test_summary_mentions_sizes(self, semisyn):
+        text = semisyn.summary()
+        assert "|R|=100" in text and "theta=0.92" in text
+
+
+class TestGMission:
+    def test_component_is_connected_and_fully_queried(self, gmission):
+        assert gmission.network.is_connected()
+        assert gmission.queried == tuple(range(gmission.n_roads))
+
+    def test_workers_subset_of_queried(self, gmission):
+        assert set(gmission.worker_roads) < set(gmission.queried)
+        assert len(gmission.worker_roads) == 18
+
+    def test_paper_defaults(self):
+        config = GMissionConfig()
+        assert config.n_component_roads == 50
+        assert config.n_worker_roads == 30
+        assert config.budgets == (10, 20, 30, 40, 50)
+
+    def test_invalid_configs(self):
+        with pytest.raises(DatasetError):
+            GMissionConfig(n_worker_roads=60, n_component_roads=50)
+        with pytest.raises(DatasetError):
+            GMissionConfig(n_component_roads=300, source_network_roads=200)
+
+
+class TestTruthOracle:
+    def test_matches_history(self, semisyn):
+        oracle = truth_oracle_for(semisyn.test_history, 1, semisyn.slot)
+        snapshot = semisyn.test_history.slot_samples(semisyn.slot)[1]
+        for road in (0, 5, 50):
+            assert oracle(road) == pytest.approx(snapshot[road])
+
+    def test_different_days_differ(self, semisyn):
+        a = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
+        b = truth_oracle_for(semisyn.test_history, 1, semisyn.slot)
+        diffs = [abs(a(r) - b(r)) for r in range(semisyn.n_roads)]
+        assert max(diffs) > 0

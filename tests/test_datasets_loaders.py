@@ -1,0 +1,111 @@
+"""Unit tests for the external CSV history loader."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.datasets.loaders import (
+    history_from_csv,
+    history_from_records,
+    history_to_csv,
+)
+
+
+def make_records(n_days=3, slots=(96, 97), road_ids=("a", "b"), base=40.0):
+    records = []
+    for day in range(n_days):
+        for slot in slots:
+            for k, road in enumerate(road_ids):
+                records.append((road, day, slot, base + day + slot / 100 + k))
+    return records
+
+
+class TestHistoryFromRecords:
+    def test_roundtrip_values(self):
+        records = make_records()
+        history = history_from_records(records)
+        assert history.n_days == 3
+        assert history.n_slots == 2
+        assert history.n_roads == 2
+        assert history.slot_offset == 96
+        # Spot-check one cell.
+        expected = 40.0 + 2 + 0.97 + 1
+        assert history.slot_samples(97)[2, 1] == pytest.approx(expected, abs=1e-3)
+
+    def test_network_ordering(self, line_net):
+        road_ids = line_net.road_ids
+        records = make_records(road_ids=road_ids)
+        history = history_from_records(records, line_net)
+        assert history.road_ids == road_ids
+
+    def test_network_coverage_enforced(self, line_net):
+        records = make_records(road_ids=("r0", "r1"))  # misses r2..r5
+        with pytest.raises(DatasetError, match="missing"):
+            history_from_records(records, line_net)
+
+    def test_gap_rejected(self):
+        records = make_records()
+        records.pop()
+        with pytest.raises(DatasetError, match="missing"):
+            history_from_records(records)
+
+    def test_duplicate_rejected(self):
+        records = make_records()
+        records.append(records[0])
+        with pytest.raises(DatasetError, match="duplicate"):
+            history_from_records(records)
+
+    def test_noncontiguous_slots_rejected(self):
+        records = make_records(slots=(96, 98))
+        with pytest.raises(DatasetError, match="contiguous"):
+            history_from_records(records)
+
+    def test_bad_day_indexing_rejected(self):
+        records = [(r, d + 1, s, v) for r, d, s, v in make_records()]
+        with pytest.raises(DatasetError, match="day indices"):
+            history_from_records(records)
+
+    def test_invalid_speed_rejected(self):
+        records = make_records()
+        road, day, slot, _ = records[0]
+        records[0] = (road, day, slot, -5.0)
+        with pytest.raises(DatasetError, match="invalid speed"):
+            history_from_records(records)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            history_from_records([])
+
+
+class TestCSVRoundtrip:
+    def test_write_then_read(self, tmp_path, small_world):
+        history = small_world["history"]
+        path = tmp_path / "speeds.csv"
+        history_to_csv(history, path)
+        loaded = history_from_csv(path, small_world["network"])
+        assert loaded.n_days == history.n_days
+        assert loaded.road_ids == history.road_ids
+        assert np.allclose(loaded.values, history.values, atol=1e-2)
+
+    def test_loaded_history_fits_rtf(self, tmp_path, small_world):
+        """External data flows straight into the offline stage."""
+        history = small_world["history"]
+        network = small_world["network"]
+        path = tmp_path / "speeds.csv"
+        history_to_csv(history, path)
+        loaded = history_from_csv(path, network)
+        model, diags = repro.fit_rtf(network, loaded, slots=[small_world["slot"]])
+        assert diags[small_world["slot"]].converged
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("road,day,slot\nr0,0,0\n")
+        with pytest.raises(DatasetError, match="columns"):
+            history_from_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("road_id,day,slot,speed_kmh\nr0,zero,0,50\n")
+        with pytest.raises(DatasetError, match="malformed"):
+            history_from_csv(path)

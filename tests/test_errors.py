@@ -1,0 +1,43 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.NetworkError,
+            errors.ModelError,
+            errors.SelectionError,
+            errors.CrowdError,
+            errors.DatasetError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.RoadNotFoundError, errors.NetworkError)
+        assert issubclass(errors.EdgeNotFoundError, errors.NetworkError)
+        assert issubclass(errors.NotFittedError, errors.ModelError)
+        assert issubclass(errors.ConvergenceError, errors.ModelError)
+        assert issubclass(errors.BudgetError, errors.SelectionError)
+        assert issubclass(errors.NoWorkersError, errors.CrowdError)
+
+    def test_road_not_found_carries_id(self):
+        exc = errors.RoadNotFoundError("r9")
+        assert exc.road_id == "r9"
+        assert "r9" in str(exc)
+
+    def test_edge_not_found_carries_endpoints(self):
+        exc = errors.EdgeNotFoundError("a", "b")
+        assert exc.road_a == "a" and exc.road_b == "b"
+
+    def test_catchable_as_repro_error(self, line_net):
+        with pytest.raises(errors.ReproError):
+            line_net.index_of("missing")

@@ -1,0 +1,74 @@
+"""Unit tests for repro.eval.calibration (θ tuning)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.eval.calibration import tune_theta
+
+
+class TestTuneTheta:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset, tiny_system):
+        return tune_theta(
+            tiny_dataset,
+            tiny_system,
+            budget=15,
+            candidates=(0.6, 0.92, 1.0),
+            n_validation_days=2,
+        )
+
+    def test_best_theta_among_candidates(self, result):
+        assert result.best_theta in (0.6, 0.92, 1.0)
+
+    def test_best_theta_has_lowest_mape(self, result):
+        assert result.mape_by_theta[result.best_theta] == min(
+            result.mape_by_theta.values()
+        )
+
+    def test_all_candidates_reported(self, result):
+        assert set(result.mape_by_theta) == {0.6, 0.92, 1.0}
+        assert set(result.objective_by_theta) == {0.6, 0.92, 1.0}
+        assert set(result.n_selected_by_theta) == {0.6, 0.92, 1.0}
+
+    def test_looser_theta_never_lowers_objective(self, result):
+        """θ = 1 is the unconstrained problem — its OCS objective
+        dominates any tighter θ."""
+        assert (
+            result.objective_by_theta[1.0]
+            >= result.objective_by_theta[0.6] - 1e-9
+        )
+
+    def test_empty_candidates_rejected(self, tiny_dataset, tiny_system):
+        with pytest.raises(ExperimentError):
+            tune_theta(tiny_dataset, tiny_system, budget=15, candidates=())
+
+    def test_invalid_theta_rejected(self, tiny_dataset, tiny_system):
+        with pytest.raises(ExperimentError):
+            tune_theta(tiny_dataset, tiny_system, budget=15, candidates=(1.2,))
+
+    def test_too_many_validation_days_rejected(self, tiny_dataset, tiny_system):
+        with pytest.raises(ExperimentError):
+            tune_theta(
+                tiny_dataset,
+                tiny_system,
+                budget=15,
+                n_validation_days=tiny_dataset.train_history.n_days,
+            )
+
+
+class TestThetaSweepExperiment:
+    def test_runs_at_quick_scale(self):
+        from repro.experiments import theta_sweep
+        from repro.experiments.common import ExperimentScale
+
+        rows = theta_sweep.run(
+            ExperimentScale.QUICK, thetas=(0.6, 0.92, 1.0), n_validation_days=2
+        )
+        assert len(rows) == 3
+        assert sum(1 for r in rows if r.is_best) == 1
+        # A tighter theta cannot select more objective value.
+        by_theta = {r.theta: r for r in rows}
+        assert by_theta[1.0].objective >= by_theta[0.6].objective - 1e-9
+        assert "theta" in theta_sweep.format_table(rows)

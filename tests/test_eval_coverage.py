@@ -1,0 +1,57 @@
+"""Unit tests for repro.eval.coverage."""
+
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.eval.coverage import coverage_report, k_hop_coverage
+
+
+class TestKHopCoverage:
+    def test_zero_hop_counts_self(self, line_net):
+        assert k_hop_coverage(line_net, [2], [2], 0) == 1
+        assert k_hop_coverage(line_net, [2], [3], 0) == 0
+
+    def test_one_hop_on_line(self, line_net):
+        assert k_hop_coverage(line_net, [2], [1, 3], 1) == 2
+        assert k_hop_coverage(line_net, [2], [0, 4], 1) == 0
+
+    def test_two_hop_on_line(self, line_net):
+        assert k_hop_coverage(line_net, [2], [0, 1, 3, 4, 5], 2) == 4
+
+    def test_multiple_sources_union(self, line_net):
+        assert k_hop_coverage(line_net, [0, 5], [1, 2, 3, 4], 1) == 2
+
+    def test_empty_selection(self, line_net):
+        assert k_hop_coverage(line_net, [], [0, 1], 1) == 0
+
+    def test_empty_queried_rejected(self, line_net):
+        with pytest.raises(ExperimentError):
+            k_hop_coverage(line_net, [0], [], 1)
+
+    def test_negative_k_rejected(self, line_net):
+        with pytest.raises(ExperimentError):
+            k_hop_coverage(line_net, [0], [1], -1)
+
+    def test_monotone_in_k(self, grid_net):
+        crowd = [0, 12]
+        queried = list(range(grid_net.n_roads))
+        counts = [k_hop_coverage(grid_net, crowd, queried, k) for k in range(5)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_disconnected_roads_never_covered(self):
+        roads = [repro.Road(road_id=f"r{i}") for i in range(3)]
+        net = repro.TrafficNetwork(roads, [("r0", "r1")])
+        assert k_hop_coverage(net, [0], [2], 10) == 0
+
+
+class TestCoverageReport:
+    def test_keys_and_monotonicity(self, grid_net):
+        report = coverage_report(grid_net, [0], list(range(25)), max_hops=3)
+        assert sorted(report) == [0, 1, 2, 3]
+        values = [report[k] for k in sorted(report)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_negative_max_hops(self, grid_net):
+        with pytest.raises(ExperimentError):
+            coverage_report(grid_net, [0], [1], max_hops=-1)

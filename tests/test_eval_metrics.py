@@ -1,0 +1,115 @@
+"""Unit tests for repro.eval.metrics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.eval.metrics import (
+    DEFAULT_FER_THRESHOLD,
+    absolute_percentage_errors,
+    dape_histogram,
+    false_estimation_rate,
+    mean_absolute_percentage_error,
+    summarize_errors,
+)
+
+
+class TestAPE:
+    def test_exact_estimates_zero_error(self):
+        y = np.array([50.0, 60.0])
+        assert np.allclose(absolute_percentage_errors(y, y), 0.0)
+
+    def test_known_values(self):
+        ape = absolute_percentage_errors(np.array([55.0]), np.array([50.0]))
+        assert ape[0] == pytest.approx(0.1)
+
+    def test_symmetric_in_error_sign(self):
+        over = absolute_percentage_errors(np.array([55.0]), np.array([50.0]))
+        under = absolute_percentage_errors(np.array([45.0]), np.array([50.0]))
+        assert over[0] == pytest.approx(under[0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ExperimentError):
+            absolute_percentage_errors(np.ones(3), np.ones(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            absolute_percentage_errors(np.array([]), np.array([]))
+
+    def test_nonpositive_truth_rejected(self):
+        with pytest.raises(ExperimentError):
+            absolute_percentage_errors(np.array([50.0]), np.array([0.0]))
+
+    def test_nan_estimate_rejected(self):
+        with pytest.raises(ExperimentError):
+            absolute_percentage_errors(np.array([np.nan]), np.array([50.0]))
+
+
+class TestMAPEAndFER:
+    def test_mape_average(self):
+        estimates = np.array([55.0, 60.0])
+        truths = np.array([50.0, 50.0])
+        assert mean_absolute_percentage_error(estimates, truths) == pytest.approx(0.15)
+
+    def test_fer_default_threshold(self):
+        assert DEFAULT_FER_THRESHOLD == 0.2
+
+    def test_fer_counts_exceedances(self):
+        estimates = np.array([50.0, 65.0, 80.0, 50.5])
+        truths = np.full(4, 50.0)
+        # APEs: 0, 0.3, 0.6, 0.01 -> 2 of 4 above 0.2.
+        assert false_estimation_rate(estimates, truths) == pytest.approx(0.5)
+
+    def test_fer_boundary_not_false(self):
+        estimates = np.array([60.0])
+        truths = np.array([50.0])  # APE exactly 0.2
+        assert false_estimation_rate(estimates, truths) == 0.0
+
+    def test_fer_custom_threshold(self):
+        estimates = np.array([55.0])
+        truths = np.array([50.0])
+        assert false_estimation_rate(estimates, truths, threshold=0.05) == 1.0
+
+    def test_fer_bad_threshold(self):
+        with pytest.raises(ExperimentError):
+            false_estimation_rate(np.ones(1), np.ones(1), threshold=0)
+
+
+class TestDAPE:
+    def test_fractions_sum_to_one(self, rng):
+        truths = rng.uniform(30, 80, 200)
+        estimates = truths * rng.uniform(0.7, 1.3, 200)
+        fractions, _ = dape_histogram(estimates, truths)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_overflow_bin(self):
+        estimates = np.array([500.0])
+        truths = np.array([50.0])
+        fractions, edges = dape_histogram(estimates, truths)
+        assert fractions[-1] == 1.0
+
+    def test_custom_bins(self):
+        estimates = np.array([52.0, 58.0])
+        truths = np.array([50.0, 50.0])  # APEs 0.04, 0.16
+        fractions, edges = dape_histogram(estimates, truths, bins=[0.0, 0.1, 0.2])
+        assert fractions[0] == pytest.approx(0.5)
+        assert fractions[1] == pytest.approx(0.5)
+
+    def test_bad_bins(self):
+        with pytest.raises(ExperimentError):
+            dape_histogram(np.ones(1), np.ones(1), bins=[0.2, 0.1])
+
+
+class TestSummary:
+    def test_summary_consistency(self, rng):
+        truths = rng.uniform(30, 80, 500)
+        estimates = truths * rng.uniform(0.8, 1.4, 500)
+        summary = summarize_errors(estimates, truths)
+        assert summary.n_cases == 500
+        assert summary.mape == pytest.approx(
+            mean_absolute_percentage_error(estimates, truths)
+        )
+        assert summary.fer == pytest.approx(false_estimation_rate(estimates, truths))
+        assert sum(summary.dape) == pytest.approx(1.0)
+        assert summary.max_ape >= summary.mape

@@ -1,0 +1,38 @@
+"""Tests for the worker-noise sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import noise_sensitivity
+from repro.experiments.common import ExperimentScale
+
+
+class TestNoiseSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return noise_sensitivity.run(
+            ExperimentScale.QUICK,
+            noise_levels=(0.02, 0.15, 0.5),
+            n_trials=2,
+        )
+
+    def test_levels_covered(self, rows):
+        assert [r.noise for r in rows] == [0.02, 0.15, 0.5]
+
+    def test_probe_error_grows_with_noise(self, rows):
+        probe = [r.probe_mape for r in rows]
+        assert probe[0] < probe[-1]
+
+    def test_gsp_degrades_with_noise(self, rows):
+        gsp = [r.gsp_mape for r in rows]
+        assert gsp[0] <= gsp[-1] + 0.01
+
+    def test_per_unaffected_by_noise(self, rows):
+        per = {round(r.per_mape, 6) for r in rows}
+        assert len(per) == 1  # the periodic answer never sees the crowd
+
+    def test_crowd_helps_at_low_noise(self, rows):
+        assert rows[0].gsp_mape < rows[0].per_mape
+
+    def test_format(self, rows):
+        text = noise_sensitivity.format_table(rows)
+        assert "crowd helps" in text

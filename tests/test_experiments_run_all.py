@@ -1,0 +1,49 @@
+"""Tests for the consolidated experiment runner."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.run_all import run_all
+
+
+@pytest.mark.slow
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def report_and_dir(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("report")
+        report = run_all(ExperimentScale.QUICK, out_dir)
+        return report, out_dir
+
+    def test_report_contains_every_section(self, report_and_dir):
+        report, _ = report_and_dir
+        for marker in (
+            "Table II",
+            "Figure 2",
+            "Table III",
+            "Figure 4(a)",
+            "Figure 4(b)",
+            "Figure 5",
+            "Figure 3",
+            "Figure 6",
+            "Ablations",
+            "Theta sweep",
+            "Query-pattern",
+            "Scalability",
+            "Budget allocation",
+            "Fixed sensors vs crowd",
+            "Worker-noise sensitivity",
+        ):
+            assert marker in report
+
+    def test_files_written(self, report_and_dir):
+        _, out_dir = report_and_dir
+        assert (out_dir / "REPORT.md").exists()
+        txt_files = list(out_dir.glob("*.txt"))
+        assert len(txt_files) >= 10
+
+    def test_report_is_markdown(self, report_and_dir):
+        report, _ = report_and_dir
+        assert report.startswith("# CrowdRTSE experiment report")
+        assert "```" in report

@@ -1,0 +1,82 @@
+"""Unit tests for query workloads and the pattern-sensitivity experiment."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.experiments.workloads import QueryPattern, generate_query, query_stream
+from repro.experiments import query_patterns
+from repro.experiments.common import ExperimentScale
+
+
+class TestGenerateQuery:
+    @pytest.mark.parametrize("pattern", list(QueryPattern))
+    def test_size_and_uniqueness(self, grid_net, rng, pattern):
+        query = generate_query(grid_net, pattern, 8, rng)
+        assert len(query) == 8
+        assert len(set(query)) == 8
+        assert all(0 <= r < grid_net.n_roads for r in query)
+
+    @pytest.mark.parametrize("pattern", list(QueryPattern))
+    def test_size_clamped_to_network(self, line_net, rng, pattern):
+        query = generate_query(line_net, pattern, 100, rng)
+        assert len(query) == line_net.n_roads
+
+    def test_invalid_size(self, grid_net, rng):
+        with pytest.raises(ExperimentError):
+            generate_query(grid_net, QueryPattern.UNIFORM, 0, rng)
+
+    def test_hotspot_is_connected(self, grid_net, rng):
+        query = generate_query(grid_net, QueryPattern.HOTSPOT, 9, rng)
+        sub = grid_net.subnetwork(grid_net.roads[i].road_id for i in query)
+        assert sub.is_connected()
+
+    def test_corridor_mostly_path_like(self, grid_net, rng):
+        """Corridor queries have low average degree inside the query."""
+        corridor = generate_query(grid_net, QueryPattern.CORRIDOR, 8, rng)
+        hotspot = generate_query(grid_net, QueryPattern.HOTSPOT, 8, rng)
+
+        def internal_edges(query):
+            qset = set(query)
+            return sum(1 for i, j in grid_net.edges if i in qset and j in qset)
+
+        assert internal_edges(corridor) <= internal_edges(hotspot) + 1
+
+    def test_hotspot_tighter_than_uniform(self, rng):
+        net = repro.grid_network(8, 8)
+        hotspot = generate_query(net, QueryPattern.HOTSPOT, 10, rng)
+        uniform = generate_query(net, QueryPattern.UNIFORM, 10, rng)
+
+        def spread(query):
+            positions = np.array([net.road_at(i).position for i in query])
+            return positions.std(axis=0).sum()
+
+        assert spread(hotspot) < spread(uniform)
+
+
+class TestQueryStream:
+    def test_deterministic(self, grid_net):
+        a = query_stream(grid_net, QueryPattern.UNIFORM, 5, 4, seed=1)
+        b = query_stream(grid_net, QueryPattern.UNIFORM, 5, 4, seed=1)
+        assert a == b
+
+    def test_queries_differ_within_stream(self, grid_net):
+        stream = query_stream(grid_net, QueryPattern.HOTSPOT, 6, 5, seed=2)
+        assert len(set(stream)) > 1
+
+    def test_invalid_count(self, grid_net):
+        with pytest.raises(ExperimentError):
+            query_stream(grid_net, QueryPattern.UNIFORM, 5, 0)
+
+
+class TestQueryPatternExperiment:
+    def test_runs_and_reports_all_patterns(self):
+        rows = query_patterns.run(
+            ExperimentScale.QUICK, query_size=12, n_queries=2
+        )
+        assert {r.pattern for r in rows} == {p.value for p in QueryPattern}
+        for r in rows:
+            assert 0 <= r.gsp_mape < 1
+            assert r.advantage == pytest.approx(r.per_mape - r.gsp_mape)
+        assert "pattern" in query_patterns.format_table(rows)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.network.generators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import NetworkError
+from repro.network.graph import RoadKind
+
+
+class TestLineNetwork:
+    def test_structure(self):
+        net = repro.line_network(5)
+        assert net.n_roads == 5
+        assert net.n_edges == 4
+        assert net.is_connected()
+
+    def test_endpoints_degree_one(self):
+        net = repro.line_network(5)
+        assert net.degree(0) == 1
+        assert net.degree(4) == 1
+
+    def test_single_road(self):
+        net = repro.line_network(1)
+        assert net.n_roads == 1
+        assert net.n_edges == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(NetworkError):
+            repro.line_network(0)
+
+
+class TestStarNetwork:
+    def test_structure(self):
+        net = repro.star_network(6)
+        assert net.n_roads == 7
+        assert net.n_edges == 6
+        assert net.degree(0) == 6
+
+    def test_leaves_degree_one(self):
+        net = repro.star_network(4)
+        for leaf in range(1, 5):
+            assert net.degree(leaf) == 1
+
+    def test_invalid(self):
+        with pytest.raises(NetworkError):
+            repro.star_network(0)
+
+
+class TestGridNetwork:
+    def test_counts(self):
+        net = repro.grid_network(3, 4)
+        assert net.n_roads == 12
+        # edges: horizontal 3*3 + vertical 2*4 = 17
+        assert net.n_edges == 17
+
+    def test_connected(self):
+        assert repro.grid_network(4, 4).is_connected()
+
+    def test_corner_degree(self):
+        net = repro.grid_network(3, 3)
+        assert net.degree(0) == 2
+        assert net.degree(4) == 4  # centre
+
+    def test_invalid_dims(self):
+        with pytest.raises(NetworkError):
+            repro.grid_network(0, 3)
+
+    def test_single_cell(self):
+        net = repro.grid_network(1, 1)
+        assert net.n_roads == 1 and net.n_edges == 0
+
+
+class TestRingRadial:
+    def test_exact_size(self):
+        net = repro.ring_radial_network(100, seed=3)
+        assert net.n_roads == 100
+
+    def test_connected(self):
+        assert repro.ring_radial_network(120, seed=4).is_connected()
+
+    def test_paper_size(self):
+        net = repro.ring_radial_network(607, seed=5)
+        assert net.n_roads == 607
+        assert net.is_connected()
+
+    def test_contains_all_road_kinds(self):
+        net = repro.ring_radial_network(150, seed=6)
+        kinds = {road.kind for road in net.roads}
+        assert kinds == {RoadKind.HIGHWAY, RoadKind.ARTERIAL, RoadKind.LOCAL}
+
+    def test_deterministic_given_seed(self):
+        a = repro.ring_radial_network(90, seed=7)
+        b = repro.ring_radial_network(90, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = repro.ring_radial_network(90, seed=7)
+        b = repro.ring_radial_network(90, seed=8)
+        assert a != b
+
+    def test_too_small_rejected(self):
+        with pytest.raises(NetworkError, match="too small"):
+            repro.ring_radial_network(10, n_rings=4, n_radials=8)
+
+
+class TestRandomGeometric:
+    def test_connected_by_default(self):
+        net = repro.random_geometric_network(40, seed=1)
+        assert net.is_connected()
+
+    def test_size(self):
+        assert repro.random_geometric_network(25, seed=2).n_roads == 25
+
+    def test_larger_radius_more_edges(self):
+        sparse = repro.random_geometric_network(30, radius=0.1, seed=3, ensure_connected=False)
+        dense = repro.random_geometric_network(30, radius=0.4, seed=3, ensure_connected=False)
+        assert dense.n_edges > sparse.n_edges
+
+    def test_invalid_params(self):
+        with pytest.raises(NetworkError):
+            repro.random_geometric_network(0)
+        with pytest.raises(NetworkError):
+            repro.random_geometric_network(10, radius=-1)
+
+
+class TestScaleFree:
+    def test_size_and_connectivity(self):
+        net = repro.scale_free_network(50, seed=9)
+        assert net.n_roads == 50
+        assert net.is_connected()
+
+    def test_hub_emerges(self):
+        net = repro.scale_free_network(80, attach=2, seed=10)
+        degrees = sorted(net.degree(i) for i in range(net.n_roads))
+        assert degrees[-1] >= 3 * degrees[0]
+
+    def test_edge_count(self):
+        attach = 2
+        n = 30
+        net = repro.scale_free_network(n, attach=attach, seed=11)
+        seed_edges = attach * (attach + 1) // 2
+        assert net.n_edges == seed_edges + attach * (n - attach - 1)
+
+    def test_invalid(self):
+        with pytest.raises(NetworkError):
+            repro.scale_free_network(2, attach=2)
+        with pytest.raises(NetworkError):
+            repro.scale_free_network(10, attach=0)

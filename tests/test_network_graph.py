@@ -1,0 +1,216 @@
+"""Unit tests for repro.network.graph."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import EdgeNotFoundError, NetworkError, RoadNotFoundError
+from repro.network.graph import DEFAULT_FREE_FLOW_KMH, Road, RoadKind, TrafficNetwork
+
+
+def make_triangle():
+    roads = [Road(road_id=f"r{i}") for i in range(3)]
+    return TrafficNetwork(roads, [("r0", "r1"), ("r1", "r2"), ("r0", "r2")])
+
+
+class TestRoad:
+    def test_defaults(self):
+        road = Road(road_id="a")
+        assert road.kind is RoadKind.ARTERIAL
+        assert road.length_km > 0
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(NetworkError):
+            Road(road_id="")
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(NetworkError):
+            Road(road_id="a", length_km=0)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(NetworkError):
+            Road(road_id="a", free_flow_kmh=-5)
+
+    def test_with_kind_updates_speed(self):
+        road = Road(road_id="a").with_kind(RoadKind.HIGHWAY)
+        assert road.kind is RoadKind.HIGHWAY
+        assert road.free_flow_kmh == DEFAULT_FREE_FLOW_KMH[RoadKind.HIGHWAY]
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        net = make_triangle()
+        assert net.n_roads == 3
+        assert net.n_edges == 3
+        assert len(net) == 3
+
+    def test_duplicate_road_id_rejected(self):
+        roads = [Road(road_id="a"), Road(road_id="a")]
+        with pytest.raises(NetworkError, match="duplicate road id"):
+            TrafficNetwork(roads, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkError, match="self-loop"):
+            TrafficNetwork([Road(road_id="a")], [("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        roads = [Road(road_id="a"), Road(road_id="b")]
+        with pytest.raises(NetworkError, match="duplicate edge"):
+            TrafficNetwork(roads, [("a", "b"), ("b", "a")])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(RoadNotFoundError):
+            TrafficNetwork([Road(road_id="a")], [("a", "zzz")])
+
+    def test_edges_normalized_i_lt_j(self):
+        net = make_triangle()
+        assert all(i < j for i, j in net.edges)
+
+    def test_equality_and_hash(self):
+        assert make_triangle() == make_triangle()
+        assert hash(make_triangle()) == hash(make_triangle())
+
+    def test_inequality_different_edges(self):
+        roads = [Road(road_id=f"r{i}") for i in range(3)]
+        other = TrafficNetwork(roads, [("r0", "r1")])
+        assert make_triangle() != other
+
+
+class TestLookup:
+    def test_index_roundtrip(self):
+        net = make_triangle()
+        for rid in net.road_ids:
+            assert net.road_at(net.index_of(rid)).road_id == rid
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(RoadNotFoundError):
+            make_triangle().index_of("nope")
+
+    def test_road_at_out_of_range(self):
+        with pytest.raises(RoadNotFoundError):
+            make_triangle().road_at(99)
+
+    def test_contains(self):
+        net = make_triangle()
+        assert "r0" in net
+        assert "zzz" not in net
+
+    def test_indices_of_preserves_order(self):
+        net = make_triangle()
+        assert net.indices_of(["r2", "r0"]) == [2, 0]
+
+
+class TestTopology:
+    def test_neighbors_sorted(self, grid_net):
+        for i in range(grid_net.n_roads):
+            neigh = grid_net.neighbors(i)
+            assert list(neigh) == sorted(neigh)
+
+    def test_degree_matches_neighbors(self, grid_net):
+        for i in range(grid_net.n_roads):
+            assert grid_net.degree(i) == len(grid_net.neighbors(i))
+
+    def test_are_adjacent_symmetric(self):
+        net = make_triangle()
+        assert net.are_adjacent(0, 1) and net.are_adjacent(1, 0)
+
+    def test_edge_id_raises_for_non_adjacent(self, line_net):
+        with pytest.raises(EdgeNotFoundError):
+            line_net.edge_id(0, 5)
+
+    def test_edge_id_order_insensitive(self):
+        net = make_triangle()
+        assert net.edge_id(0, 1) == net.edge_id(1, 0)
+
+    def test_neighbors_out_of_range(self, line_net):
+        with pytest.raises(RoadNotFoundError):
+            line_net.neighbors(-1)
+
+
+class TestBFS:
+    def test_layers_on_line(self, line_net):
+        layers = line_net.bfs_layers([0])
+        assert layers == [[1], [2], [3], [4], [5]]
+
+    def test_layers_from_middle(self, line_net):
+        layers = line_net.bfs_layers([2])
+        assert layers == [[1, 3], [0, 4], [5]]
+
+    def test_layers_multi_source(self, line_net):
+        layers = line_net.bfs_layers([0, 5])
+        assert layers == [[1, 4], [2, 3]]
+
+    def test_layers_empty_sources_collects_all(self, line_net):
+        layers = line_net.bfs_layers([])
+        assert layers == [list(range(6))]
+
+    def test_hop_distances_line(self, line_net):
+        dist = line_net.hop_distances([0])
+        assert dist == [0, 1, 2, 3, 4, 5]
+
+    def test_hop_distances_unreachable(self):
+        roads = [Road(road_id="a"), Road(road_id="b")]
+        net = TrafficNetwork(roads, [])
+        assert net.hop_distances([0]) == [0, None]
+
+    def test_bfs_unreachable_layer(self):
+        roads = [Road(road_id=f"r{i}") for i in range(3)]
+        net = TrafficNetwork(roads, [("r0", "r1")])
+        layers = net.bfs_layers([0])
+        assert layers == [[1], [2]]  # r2 unreachable, appended last
+
+
+class TestComponents:
+    def test_connected_grid(self, grid_net):
+        assert grid_net.is_connected()
+        assert len(grid_net.connected_components()) == 1
+
+    def test_disconnected(self):
+        roads = [Road(road_id=f"r{i}") for i in range(4)]
+        net = TrafficNetwork(roads, [("r0", "r1"), ("r2", "r3")])
+        comps = net.connected_components()
+        assert len(comps) == 2
+        assert frozenset({0, 1}) in comps
+
+    def test_empty_network_not_connected(self):
+        assert not TrafficNetwork([], []).is_connected()
+
+
+class TestSubnetwork:
+    def test_induced_edges(self, grid_net):
+        ids = [grid_net.roads[i].road_id for i in (0, 1, 2, 5)]
+        sub = grid_net.subnetwork(ids)
+        assert sub.n_roads == 4
+        # 0-1, 1-2, 0-5 survive in a 5-wide grid.
+        assert sub.n_edges == 3
+
+    def test_duplicate_selection_rejected(self, grid_net):
+        with pytest.raises(NetworkError, match="duplicate"):
+            grid_net.subnetwork(["r0", "r0"])
+
+    def test_connected_subcomponent_size(self, grid_net):
+        sub = grid_net.connected_subcomponent(10)
+        assert sub.n_roads == 10
+        assert sub.is_connected()
+
+    def test_connected_subcomponent_too_large(self):
+        roads = [Road(road_id=f"r{i}") for i in range(3)]
+        net = TrafficNetwork(roads, [("r0", "r1")])
+        with pytest.raises(NetworkError, match="only"):
+            net.connected_subcomponent(3)
+
+    def test_connected_subcomponent_bad_size(self, grid_net):
+        with pytest.raises(NetworkError):
+            grid_net.connected_subcomponent(0)
+
+
+class TestNetworkxExport:
+    def test_roundtrip_counts(self, grid_net):
+        g = grid_net.to_networkx()
+        assert g.number_of_nodes() == grid_net.n_roads
+        assert g.number_of_edges() == grid_net.n_edges
+
+    def test_node_attributes(self, grid_net):
+        g = grid_net.to_networkx()
+        attrs = g.nodes["r0"]
+        assert set(attrs) >= {"kind", "length_km", "free_flow_kmh", "position"}

@@ -1,0 +1,64 @@
+"""Unit tests for repro.network.io."""
+
+import json
+
+import pytest
+
+import repro
+from repro.errors import NetworkError
+from repro.network.io import (
+    FORMAT_TAG,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_equality(self, grid_net):
+        rebuilt = network_from_dict(network_to_dict(grid_net))
+        assert rebuilt == grid_net
+
+    def test_format_tag_present(self, line_net):
+        assert network_to_dict(line_net)["format"] == FORMAT_TAG
+
+    def test_wrong_format_rejected(self, line_net):
+        payload = network_to_dict(line_net)
+        payload["format"] = "other/9"
+        with pytest.raises(NetworkError, match="unsupported"):
+            network_from_dict(payload)
+
+    def test_missing_field_rejected(self, line_net):
+        payload = network_to_dict(line_net)
+        del payload["roads"][0]["kind"]
+        with pytest.raises(NetworkError, match="malformed"):
+            network_from_dict(payload)
+
+    def test_bad_kind_rejected(self, line_net):
+        payload = network_to_dict(line_net)
+        payload["roads"][0]["kind"] = "spaceway"
+        with pytest.raises(NetworkError, match="malformed"):
+            network_from_dict(payload)
+
+    def test_preserves_attributes(self):
+        net = repro.ring_radial_network(60, seed=2)
+        rebuilt = network_from_dict(network_to_dict(net))
+        for a, b in zip(net.roads, rebuilt.roads):
+            assert a.kind == b.kind
+            assert a.free_flow_kmh == b.free_flow_kmh
+            assert a.position == b.position
+
+
+class TestJsonRoundtrip:
+    def test_file_roundtrip(self, tmp_path, grid_net):
+        path = tmp_path / "net.json"
+        network_to_json(grid_net, path)
+        assert network_from_json(path) == grid_net
+
+    def test_file_is_valid_json(self, tmp_path, line_net):
+        path = tmp_path / "net.json"
+        network_to_json(line_net, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == FORMAT_TAG
+        assert len(payload["roads"]) == line_net.n_roads

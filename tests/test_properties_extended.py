@@ -1,0 +1,147 @@
+"""Property-based tests for routing, trajectories, mobility and online updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.online_update import OnlineRTFUpdater
+from repro.core.rtf import RTFSlot
+from repro.crowd.mobility import MobilityModel
+from repro.crowd.workers import WorkerPool
+from repro.network.routing import RouteWeight, shortest_route
+from repro.traffic.trajectories import TrajectoryGenerator, extract_road_speeds
+
+
+@st.composite
+def connected_network(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    roads = [repro.Road(road_id=f"r{i}") for i in range(n)]
+    edges = set()
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        edges.add((parent, i))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return repro.TrafficNetwork(roads, [(f"r{i}", f"r{j}") for i, j in sorted(edges)])
+
+
+class TestRoutingProperties:
+    @given(connected_network(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_route_endpoints_and_adjacency(self, net, seed):
+        rng = np.random.default_rng(seed)
+        source = int(rng.integers(net.n_roads))
+        target = int(rng.integers(net.n_roads))
+        route, cost = shortest_route(net, source, target)
+        assert route[0] == source
+        assert route[-1] == target
+        assert cost >= 0
+        for a, b in zip(route, route[1:]):
+            assert net.are_adjacent(a, b)
+
+    @given(connected_network(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_hop_route_matches_bfs_distance(self, net, seed):
+        rng = np.random.default_rng(seed)
+        source = int(rng.integers(net.n_roads))
+        target = int(rng.integers(net.n_roads))
+        _, cost = shortest_route(net, source, target, RouteWeight.HOPS)
+        bfs = net.hop_distances([source])[target]
+        assert cost == bfs
+
+    @given(connected_network(), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_route_cost_symmetric_for_uniform_weights(self, net, seed):
+        rng = np.random.default_rng(seed)
+        a = int(rng.integers(net.n_roads))
+        b = int(rng.integers(net.n_roads))
+        _, cost_ab = shortest_route(net, a, b, RouteWeight.HOPS)
+        _, cost_ba = shortest_route(net, b, a, RouteWeight.HOPS)
+        assert cost_ab == cost_ba
+
+
+class TestTrajectoryProperties:
+    @given(connected_network(), st.integers(0, 10_000), st.floats(10.0, 80.0))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_invariants(self, net, seed, speed):
+        rng = np.random.default_rng(seed)
+        generator = TrajectoryGenerator(
+            net, np.full(net.n_roads, speed), seed=seed, gps_noise_fraction=0.0
+        )
+        start = int(rng.integers(net.n_roads))
+        trace = generator.drive("v", start, duration_s=120)
+        times = [p.timestamp_s for p in trace.points]
+        assert times == sorted(times)
+        visited = trace.roads_visited()
+        assert visited[0] == start
+        for a, b in zip(visited, visited[1:]):
+            assert net.are_adjacent(a, b) or a == b
+
+    @given(connected_network(), st.integers(0, 10_000), st.floats(20.0, 60.0))
+    @settings(max_examples=20, deadline=None)
+    def test_extracted_speeds_positive_and_bounded(self, net, seed, speed):
+        generator = TrajectoryGenerator(
+            net, np.full(net.n_roads, speed), seed=seed,
+            gps_noise_fraction=0.0, fix_interval_s=5.0,
+        )
+        trace = generator.drive("v", 0, duration_s=240)
+        observed = extract_road_speeds(net, trace)
+        for value in observed.values():
+            assert 0 < value < 3 * speed
+
+
+class TestMobilityProperties:
+    @given(connected_network(), st.integers(1, 40), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_walk_preserves_workers_and_validity(self, net, n_workers, seed):
+        pool = WorkerPool.random_distribution(net, n_workers, seed=seed)
+        model = MobilityModel(net, move_probability=0.5, seed=seed)
+        for stepped in model.walk(pool, 3):
+            assert stepped.n_workers == n_workers
+            for worker in stepped.workers:
+                assert 0 <= worker.road_index < net.n_roads
+
+
+class TestOnlineUpdateProperties:
+    @given(
+        connected_network(),
+        st.integers(0, 10_000),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parameters_stay_valid_under_any_stream(self, net, seed, eta):
+        rng = np.random.default_rng(seed)
+        initial = RTFSlot(
+            0,
+            np.full(net.n_roads, 50.0),
+            np.full(net.n_roads, 3.0),
+            np.full(net.n_edges, 0.5),
+        )
+        updater = OnlineRTFUpdater(net, initial, learning_rate=eta)
+        for _ in range(10):
+            sample = rng.uniform(1.0, 140.0, net.n_roads)
+            params = updater.update(sample)
+            assert np.all(params.sigma > 0)
+            assert np.all((params.rho >= 0) & (params.rho <= 1))
+            assert np.all(np.isfinite(params.mu))
+
+    @given(connected_network(), st.floats(30.0, 90.0), st.floats(0.05, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_stream_collapses_sigma(self, net, level, eta):
+        initial = RTFSlot(
+            0,
+            np.full(net.n_roads, level),
+            np.full(net.n_roads, 5.0),
+            np.full(net.n_edges, 0.5),
+        )
+        updater = OnlineRTFUpdater(net, initial, learning_rate=eta)
+        sample = np.full(net.n_roads, level)
+        for _ in range(60):
+            params = updater.update(sample)
+        assert np.all(params.mu == pytest.approx(level, abs=1e-6))
+        assert np.all(params.sigma < 5.0)

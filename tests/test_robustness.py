@@ -1,0 +1,166 @@
+"""Robustness tests: adversarial workers and model misspecification.
+
+Failure-injection beyond the happy path: what happens when some workers
+lie, when probes are wildly wrong, or when the fitted correlations are
+off?  The system should degrade gracefully (and the robust aggregators
+should help), never crash or produce invalid fields.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.crowd.aggregation import Aggregator, aggregate_answers
+from repro.crowd.cost import CostModel
+from repro.crowd.market import CrowdMarket
+from repro.crowd.workers import Worker, WorkerPool
+from repro.core.gsp import GSPConfig, propagate
+from repro.core.rtf import RTFSlot
+
+
+def flat_slot(net, mu=50.0, sigma=3.0, rho=0.6):
+    return RTFSlot(
+        0,
+        np.full(net.n_roads, float(mu)),
+        np.full(net.n_roads, float(sigma)),
+        np.full(net.n_edges, float(rho)),
+    )
+
+
+class TestAdversarialWorkers:
+    def _mixed_pool(self, net, road, n_honest, n_liars, lie=3.0):
+        workers = [
+            Worker(worker_id=f"h{k}", road_index=road, noise_std_fraction=0.05)
+            for k in range(n_honest)
+        ]
+        workers += [
+            Worker(
+                worker_id=f"liar{k}",
+                road_index=road,
+                noise_std_fraction=0.01,
+                bias_fraction=lie,  # reports ~4x the true speed
+            )
+            for k in range(n_liars)
+        ]
+        return WorkerPool(net, workers)
+
+    def test_median_resists_minority_liars(self, line_net, rng):
+        """With < 50% liars the median aggregate stays near the truth
+        while the mean is dragged away."""
+        pool = self._mixed_pool(line_net, road=2, n_honest=7, n_liars=3)
+        costs = CostModel(line_net, [10] * 6)
+        truth = lambda r: 50.0  # noqa: E731
+        errors = {}
+        for aggregator in (Aggregator.MEAN, Aggregator.MEDIAN):
+            market = CrowdMarket(
+                line_net, pool, costs, aggregator=aggregator,
+                rng=np.random.default_rng(3),
+            )
+            probes, _ = market.probe([2], truth)
+            errors[aggregator] = abs(probes[2] - 50.0)
+        assert errors[Aggregator.MEDIAN] < errors[Aggregator.MEAN]
+        assert errors[Aggregator.MEDIAN] < 10.0
+
+    def test_trimmed_mean_resists_symmetric_outliers(self):
+        answers = [48, 52, 50, 49, 51, 500, 1]
+        trimmed = aggregate_answers(answers, Aggregator.TRIMMED_MEAN)
+        assert trimmed == pytest.approx(50.0, abs=2.0)
+
+    def test_majority_liars_defeat_all_aggregators(self, line_net):
+        """Sanity: no aggregator is magic once liars are the majority."""
+        pool = self._mixed_pool(line_net, road=2, n_honest=2, n_liars=8)
+        costs = CostModel(line_net, [10] * 6)
+        market = CrowdMarket(
+            line_net, pool, costs, aggregator=Aggregator.MEDIAN,
+            rng=np.random.default_rng(4),
+        )
+        probes, _ = market.probe([2], lambda r: 50.0)
+        assert probes[2] > 100.0
+
+
+class TestOutlierProbes:
+    def test_wild_probe_stays_localized(self, grid_net):
+        """A single absurd probe perturbs its neighbourhood but cannot
+        drag far-away roads arbitrarily (the prior anchors them)."""
+        params = flat_slot(grid_net, mu=50.0, sigma=3.0, rho=0.5)
+        result = propagate(grid_net, params, {0: 500.0})
+        # The far corner stays near its prior.
+        assert abs(result.speeds[24] - 50.0) < 10.0
+        # And the field stays finite everywhere.
+        assert np.all(np.isfinite(result.speeds))
+
+    def test_conflicting_probes_converge(self, line_net):
+        params = flat_slot(line_net, rho=0.9)
+        result = propagate(
+            line_net, params, {0: 10.0, 5: 90.0},
+            GSPConfig(epsilon=1e-8, max_sweeps=5000),
+        )
+        assert result.converged
+        # Speeds interpolate monotonically-ish between the two probes.
+        assert result.speeds[1] < result.speeds[4]
+
+
+class TestModelMisspecification:
+    def test_zero_rho_weakens_propagation(self, line_net):
+        """ρ = 0 does not sever edges in Eq. 18 (the difference term
+        remains, with σ_ij² = σ_i² + σ_j²), but high ρ pulls neighbours
+        much harder — and both fields stay valid."""
+        tight = flat_slot(line_net, rho=0.95)
+        loose = flat_slot(line_net, rho=0.0)
+        probe = {0: 20.0}
+        pulled_tight = propagate(line_net, tight, probe).speeds[1]
+        pulled_loose = propagate(line_net, loose, probe).speeds[1]
+        assert abs(pulled_tight - 50.0) > abs(pulled_loose - 50.0)
+        for params in (tight, loose):
+            result = propagate(line_net, params, probe)
+            assert result.converged
+            assert np.all(result.speeds > 0)
+
+    def test_relative_sigma_governs_prior_weight(self, line_net):
+        """A road whose own σ is small (strong periodicity) resists the
+        probe pull; one with large σ follows its neighbours.  (With
+        *uniform* σ the Eq. 18 weights cancel — only relative σ
+        matters.)"""
+        sigma_confident = np.array([5.0, 0.1, 5.0, 5.0, 5.0, 5.0])
+        sigma_uncertain = np.array([5.0, 10.0, 5.0, 5.0, 5.0, 5.0])
+        mu = np.full(6, 50.0)
+        rho = np.full(5, 0.5)
+        confident = RTFSlot(0, mu, sigma_confident, rho)
+        uncertain = RTFSlot(0, mu, sigma_uncertain, rho)
+        probe = {0: 20.0}
+        pulled_confident = propagate(line_net, confident, probe).speeds[1]
+        pulled_uncertain = propagate(line_net, uncertain, probe).speeds[1]
+        assert abs(pulled_confident - 50.0) < abs(pulled_uncertain - 50.0)
+
+    def test_uniform_sigma_cancels_in_update(self, line_net):
+        """Documented Eq. 18 property: scaling ALL σ by a constant
+        leaves the propagated field unchanged (both precisions scale by
+        the same factor)."""
+        small = flat_slot(line_net, sigma=0.5, rho=0.5)
+        large = flat_slot(line_net, sigma=8.0, rho=0.5)
+        probe = {0: 20.0}
+        a = propagate(line_net, small, probe).speeds
+        b = propagate(line_net, large, probe).speeds
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_ocs_with_degenerate_sigma(self):
+        """All-zero periodicity weights make every selection worthless;
+        the solver must still return a feasible (possibly empty-gain)
+        answer instead of crashing."""
+        rng = np.random.default_rng(5)
+        n = 8
+        base = rng.uniform(0.1, 0.9, (n, n))
+        corr = (base + base.T) / 2
+        np.fill_diagonal(corr, 1.0)
+        instance = repro.OCSInstance(
+            queried=(0, 1),
+            candidates=tuple(range(n)),
+            costs=np.ones(n),
+            budget=3,
+            theta=0.9,
+            corr=corr,
+            sigma=np.zeros(n),
+        )
+        result = repro.hybrid_greedy(instance)
+        assert instance.is_feasible(result.selected)
+        assert result.objective == 0.0

@@ -1,0 +1,126 @@
+"""Unit tests for the fixed loop-detector substrate and fixed-vs-crowd study."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.traffic.detectors import (
+    DetectorDeployment,
+    DetectorPlacement,
+)
+from repro.experiments import fixed_vs_crowd, allocation_study
+from repro.experiments.common import ExperimentScale
+
+
+class TestDeploymentValidation:
+    def test_empty_rejected(self, line_net):
+        with pytest.raises(DatasetError):
+            DetectorDeployment(line_net, [])
+
+    def test_duplicates_rejected(self, line_net):
+        with pytest.raises(DatasetError):
+            DetectorDeployment(line_net, [1, 1])
+
+    def test_unknown_road_rejected(self, line_net):
+        with pytest.raises(DatasetError):
+            DetectorDeployment(line_net, [9])
+
+    def test_negative_noise_rejected(self, line_net):
+        with pytest.raises(DatasetError):
+            DetectorDeployment(line_net, [0], noise_std_fraction=-1)
+
+
+class TestRead:
+    def test_reads_cover_detector_roads(self, line_net, rng):
+        deployment = DetectorDeployment(line_net, [1, 4])
+        speeds = np.linspace(30, 80, 6)
+        readings = deployment.read(speeds, rng)
+        assert set(readings) == {1, 4}
+
+    def test_noiseless_reads_exact(self, line_net, rng):
+        deployment = DetectorDeployment(line_net, [2], noise_std_fraction=0.0)
+        speeds = np.full(6, 47.0)
+        assert deployment.read(speeds, rng)[2] == 47.0
+
+    def test_noise_near_truth(self, line_net, rng):
+        deployment = DetectorDeployment(line_net, [2], noise_std_fraction=0.01)
+        speeds = np.full(6, 60.0)
+        values = [deployment.read(speeds, rng)[2] for _ in range(100)]
+        assert np.mean(values) == pytest.approx(60.0, rel=0.01)
+
+    def test_shape_check(self, line_net, rng):
+        deployment = DetectorDeployment(line_net, [0])
+        with pytest.raises(DatasetError):
+            deployment.read(np.ones(3), rng)
+
+
+class TestPlacement:
+    @pytest.mark.parametrize("placement", list(DetectorPlacement))
+    def test_count_and_distinctness(self, grid_net, placement):
+        deployment = DetectorDeployment.place(grid_net, 6, placement, seed=1)
+        assert deployment.n_detectors == 6
+        assert len(set(deployment.roads)) == 6
+
+    def test_degree_picks_high_degree(self, grid_net):
+        deployment = DetectorDeployment.place(
+            grid_net, 4, DetectorPlacement.DEGREE
+        )
+        degrees = [grid_net.degree(r) for r in deployment.roads]
+        assert min(degrees) >= 3  # grid interior nodes
+
+    def test_backbone_prefers_highways(self):
+        net = repro.ring_radial_network(100, seed=2)
+        deployment = DetectorDeployment.place(
+            net, 10, DetectorPlacement.BACKBONE
+        )
+        kinds = {net.roads[r].kind.value for r in deployment.roads}
+        assert kinds == {"highway"}
+
+    def test_coverage_dominates_random(self, grid_net):
+        from repro.eval.coverage import k_hop_coverage
+
+        everything = list(range(grid_net.n_roads))
+        cover = DetectorDeployment.place(
+            grid_net, 5, DetectorPlacement.COVERAGE
+        )
+        rand = DetectorDeployment.place(
+            grid_net, 5, DetectorPlacement.RANDOM, seed=3
+        )
+        assert k_hop_coverage(grid_net, cover.roads, everything, 1) >= (
+            k_hop_coverage(grid_net, rand.roads, everything, 1)
+        )
+
+    def test_too_many_detectors(self, line_net):
+        with pytest.raises(DatasetError):
+            DetectorDeployment.place(line_net, 7)
+
+
+class TestFixedVsCrowdStudy:
+    def test_runs_and_crowd_competitive(self):
+        rows = fixed_vs_crowd.run(
+            ExperimentScale.QUICK, query_size=12, n_queries=6
+        )
+        by_policy = {r.policy: r for r in rows}
+        assert "crowd (OCS)" in by_policy
+        assert len(rows) == 1 + len(DetectorPlacement)
+        crowd = by_policy["crowd (OCS)"].mape
+        # Query-aware crowdsourcing is at least as good as every fixed
+        # placement on a moving-hotspot query stream (equal observation
+        # counts and measurement noise).
+        for policy, row in by_policy.items():
+            if policy != "crowd (OCS)":
+                assert crowd <= row.mape + 0.01, policy
+        assert "policy" in fixed_vs_crowd.format_table(rows)
+
+
+class TestAllocationStudyExperiment:
+    def test_runs_quick(self):
+        rows = allocation_study.run(
+            ExperimentScale.QUICK, n_slots=2, total_budget=30, n_trials=1
+        )
+        policies = {r.policy for r in rows}
+        assert policies == {"uniform", "need-based"}
+        totals = {r.total_budget for r in rows}
+        assert len(totals) == 1  # identical spend
+        assert "policy" in allocation_study.format_table(rows)

@@ -1,0 +1,141 @@
+"""Unit tests for repro.traffic.history."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.traffic.history import SpeedHistory
+
+
+def make_history(n_days=5, n_slots=4, n_roads=3, offset=10, seed=0):
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(20, 80, size=(n_days, n_slots, n_roads)).astype(np.float32)
+    ids = [f"r{i}" for i in range(n_roads)]
+    return SpeedHistory(speeds, ids, slot_offset=offset)
+
+
+class TestValidation:
+    def test_shape_must_be_3d(self):
+        with pytest.raises(DatasetError, match="3-d"):
+            SpeedHistory(np.ones((3, 4)), ["a", "b", "c", "d"])
+
+    def test_road_count_mismatch(self):
+        with pytest.raises(DatasetError, match="roads"):
+            SpeedHistory(np.ones((2, 2, 3)), ["a", "b"])
+
+    def test_negative_speed_rejected(self):
+        speeds = np.ones((2, 2, 2))
+        speeds[0, 0, 0] = -1
+        with pytest.raises(DatasetError, match="positive"):
+            SpeedHistory(speeds, ["a", "b"])
+
+    def test_nan_rejected(self):
+        speeds = np.ones((2, 2, 2))
+        speeds[1, 1, 1] = np.nan
+        with pytest.raises(DatasetError, match="NaN"):
+            SpeedHistory(speeds, ["a", "b"])
+
+    def test_window_spill_rejected(self):
+        with pytest.raises(DatasetError, match="spills"):
+            SpeedHistory(np.ones((1, 10, 1)), ["a"], slot_offset=280)
+
+    def test_bad_offset_rejected(self):
+        with pytest.raises(DatasetError):
+            SpeedHistory(np.ones((1, 1, 1)), ["a"], slot_offset=288)
+
+
+class TestAccessors:
+    def test_counts(self):
+        hist = make_history()
+        assert hist.n_days == 5
+        assert hist.n_slots == 4
+        assert hist.n_roads == 3
+        assert hist.n_records == 60
+
+    def test_global_slots(self):
+        hist = make_history(offset=10, n_slots=4)
+        assert list(hist.global_slots) == [10, 11, 12, 13]
+
+    def test_slot_samples_shape(self):
+        hist = make_history()
+        assert hist.slot_samples(11).shape == (5, 3)
+
+    def test_slot_out_of_window(self):
+        hist = make_history(offset=10, n_slots=4)
+        with pytest.raises(DatasetError, match="not covered"):
+            hist.slot_samples(20)
+
+    def test_day_access(self):
+        hist = make_history()
+        assert hist.day(0).shape == (4, 3)
+        with pytest.raises(DatasetError):
+            hist.day(5)
+
+    def test_values_read_only(self):
+        hist = make_history()
+        with pytest.raises(ValueError):
+            hist.values[0, 0, 0] = 1.0
+
+
+class TestStatistics:
+    def test_empirical_mean_matches_numpy(self):
+        hist = make_history(seed=1)
+        samples = hist.slot_samples(12)
+        assert np.allclose(hist.empirical_mean(12), samples.mean(axis=0))
+
+    def test_empirical_std_floored(self):
+        speeds = np.full((4, 1, 2), 50.0, dtype=np.float32)
+        hist = SpeedHistory(speeds, ["a", "b"], slot_offset=0)
+        assert np.all(hist.empirical_std(0) >= 1e-3)
+
+    def test_empirical_correlation_perfect(self):
+        base = np.linspace(30, 60, 6)
+        speeds = np.stack([base, base * 1.5], axis=1)[:, None, :]
+        hist = SpeedHistory(speeds.astype(np.float32), ["a", "b"], slot_offset=0)
+        assert hist.empirical_correlation(0, 0, 1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empirical_correlation_zero_variance(self):
+        speeds = np.ones((4, 1, 2), dtype=np.float32) * 40
+        hist = SpeedHistory(speeds, ["a", "b"], slot_offset=0)
+        assert hist.empirical_correlation(0, 0, 1) == 0.0
+
+
+class TestSplitAndRestrict:
+    def test_split_days(self):
+        hist = make_history(n_days=6)
+        train, test = hist.split_days(4)
+        assert train.n_days == 4 and test.n_days == 2
+        assert np.allclose(train.values, hist.values[:4])
+
+    def test_split_invalid(self):
+        hist = make_history(n_days=3)
+        with pytest.raises(DatasetError):
+            hist.split_days(0)
+        with pytest.raises(DatasetError):
+            hist.split_days(3)
+
+    def test_restrict_roads(self, grid_net):
+        rng = np.random.default_rng(2)
+        speeds = rng.uniform(20, 80, size=(3, 2, grid_net.n_roads)).astype(np.float32)
+        hist = SpeedHistory(speeds, grid_net.road_ids, slot_offset=0)
+        sub = grid_net.connected_subcomponent(6)
+        restricted = hist.restrict_roads(sub)
+        assert restricted.n_roads == 6
+        assert restricted.road_ids == sub.road_ids
+
+    def test_restrict_unknown_road(self, line_net):
+        hist = make_history(n_roads=3)
+        with pytest.raises(DatasetError, match="no record"):
+            hist.restrict_roads(line_net)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        hist = make_history(seed=3)
+        path = tmp_path / "hist.npz"
+        hist.save(path)
+        loaded = SpeedHistory.load(path)
+        assert loaded.road_ids == hist.road_ids
+        assert loaded.slot_offset == hist.slot_offset
+        assert np.allclose(loaded.values, hist.values)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.traffic.incidents."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.traffic.incidents import Incident, IncidentModel
+
+
+class TestIncidentValidation:
+    def test_valid(self):
+        inc = Incident(road_index=0, day=0, start_slot=0, duration_slots=3, severity=0.5)
+        assert inc.severity == 0.5
+
+    def test_bad_duration(self):
+        with pytest.raises(DatasetError):
+            Incident(0, 0, 0, 0, 0.5)
+
+    def test_bad_severity(self):
+        with pytest.raises(DatasetError):
+            Incident(0, 0, 0, 3, 1.5)
+        with pytest.raises(DatasetError):
+            Incident(0, 0, 0, 3, 0.0)
+
+    def test_bad_spread(self):
+        with pytest.raises(DatasetError):
+            Incident(0, 0, 0, 3, 0.5, spread_hops=-1)
+        with pytest.raises(DatasetError):
+            Incident(0, 0, 0, 3, 0.5, spatial_decay=1.5)
+
+
+class TestIncidentModel:
+    def test_rate_zero_no_incidents(self, line_net, rng):
+        model = IncidentModel(line_net, rate_per_day=0.0)
+        assert model.sample(5, 10, rng) == []
+
+    def test_sampled_fields_in_range(self, line_net, rng):
+        model = IncidentModel(line_net, rate_per_day=3.0)
+        incidents = model.sample(4, 12, rng)
+        assert incidents  # expected ~12
+        for inc in incidents:
+            assert 0 <= inc.road_index < line_net.n_roads
+            assert 0 <= inc.day < 4
+            assert 0 <= inc.start_slot < 12
+            assert 0.3 <= inc.severity <= 0.7
+
+    def test_bad_config(self, line_net):
+        with pytest.raises(DatasetError):
+            IncidentModel(line_net, rate_per_day=-1)
+        with pytest.raises(DatasetError):
+            IncidentModel(line_net, severity_range=(0.9, 0.5))
+        with pytest.raises(DatasetError):
+            IncidentModel(line_net, duration_range_slots=(5, 2))
+
+
+class TestSlowdownField:
+    def test_no_incidents_identity(self, line_net):
+        model = IncidentModel(line_net, rate_per_day=0.0)
+        field = model.slowdown_field([], 2, 4)
+        assert np.allclose(field, 1.0)
+
+    def test_epicentre_slowest(self, line_net):
+        model = IncidentModel(line_net, rate_per_day=0.0)
+        inc = Incident(road_index=2, day=0, start_slot=1, duration_slots=6, severity=0.6)
+        field = model.slowdown_field([inc], 1, 8)
+        during = field[0, 1:7, :]
+        epicentre_min = during[:, 2].min()
+        neighbour_min = during[:, 1].min()
+        assert epicentre_min < neighbour_min < 1.0
+
+    def test_decay_with_hops(self, line_net):
+        model = IncidentModel(line_net, rate_per_day=0.0)
+        inc = Incident(
+            road_index=0, day=0, start_slot=0, duration_slots=6, severity=0.6,
+            spread_hops=2, spatial_decay=0.5,
+        )
+        field = model.slowdown_field([inc], 1, 6)
+        # Road 3 is 3 hops away: untouched.
+        assert np.allclose(field[0, :, 3], 1.0)
+        assert field[0, :, 1].min() < 1.0
+        assert field[0, :, 2].min() < 1.0
+        assert field[0, :, 1].min() < field[0, :, 2].min()
+
+    def test_factors_in_unit_interval(self, grid_net, rng):
+        model = IncidentModel(grid_net, rate_per_day=5.0)
+        incidents = model.sample(3, 10, rng)
+        field = model.slowdown_field(incidents, 3, 10)
+        assert np.all(field > 0.0)
+        assert np.all(field <= 1.0)
+
+    def test_day_out_of_window_rejected(self, line_net):
+        model = IncidentModel(line_net, rate_per_day=0.0)
+        inc = Incident(road_index=0, day=5, start_slot=0, duration_slots=2, severity=0.5)
+        with pytest.raises(DatasetError, match="outside window"):
+            model.slowdown_field([inc], 2, 4)
+
+    def test_overlapping_incidents_multiply(self, line_net):
+        model = IncidentModel(line_net, rate_per_day=0.0)
+        one = Incident(road_index=2, day=0, start_slot=0, duration_slots=6, severity=0.4)
+        field_one = model.slowdown_field([one], 1, 6)
+        field_two = model.slowdown_field([one, one], 1, 6)
+        assert field_two[0, :, 2].min() < field_one[0, :, 2].min()

@@ -1,0 +1,139 @@
+"""Unit tests for repro.traffic.profiles."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.network.graph import Road, RoadKind
+from repro.traffic.profiles import (
+    N_SLOTS_PER_DAY,
+    DailyProfile,
+    ProfileKind,
+    build_profile,
+    random_profiles,
+    slot_of_time,
+    time_of_slot,
+)
+
+
+class TestSlotArithmetic:
+    def test_288_slots(self):
+        assert N_SLOTS_PER_DAY == 288
+
+    def test_slot_of_time(self):
+        assert slot_of_time(0, 0) == 0
+        assert slot_of_time(8, 30) == 102
+        assert slot_of_time(23, 55) == 287
+
+    def test_time_of_slot_inverse(self):
+        for slot in (0, 1, 102, 287):
+            h, m = time_of_slot(slot)
+            assert slot_of_time(h, m) == slot
+
+    def test_invalid_time(self):
+        with pytest.raises(DatasetError):
+            slot_of_time(24, 0)
+        with pytest.raises(DatasetError):
+            slot_of_time(0, 60)
+
+    def test_invalid_slot(self):
+        with pytest.raises(DatasetError):
+            time_of_slot(288)
+        with pytest.raises(DatasetError):
+            time_of_slot(-1)
+
+
+class TestBuildProfile:
+    @pytest.fixture()
+    def road(self):
+        return Road(road_id="a", kind=RoadKind.ARTERIAL, free_flow_kmh=60.0)
+
+    @pytest.mark.parametrize("kind", list(ProfileKind))
+    def test_shapes(self, road, kind):
+        profile = build_profile(road, kind)
+        assert profile.mean_kmh.shape == (N_SLOTS_PER_DAY,)
+        assert profile.fluctuation_kmh.shape == (N_SLOTS_PER_DAY,)
+
+    @pytest.mark.parametrize("kind", list(ProfileKind))
+    def test_mean_positive_and_below_free_flow(self, road, kind):
+        profile = build_profile(road, kind)
+        assert np.all(profile.mean_kmh > 0)
+        assert np.all(profile.mean_kmh <= road.free_flow_kmh + 1e-9)
+
+    def test_commuter_has_rush_dip(self, road):
+        profile = build_profile(road, ProfileKind.COMMUTER)
+        rush = profile.mean_kmh[slot_of_time(8)]
+        night = profile.mean_kmh[slot_of_time(3)]
+        assert rush < night
+
+    def test_steady_flatter_than_commuter(self, road):
+        steady = build_profile(road, ProfileKind.STEADY)
+        commuter = build_profile(road, ProfileKind.COMMUTER)
+        assert steady.mean_kmh.std() < commuter.mean_kmh.std()
+
+    def test_volatile_has_larger_fluctuation(self, road):
+        volatile = build_profile(road, ProfileKind.VOLATILE)
+        steady = build_profile(road, ProfileKind.STEADY)
+        assert volatile.fluctuation_kmh.mean() > 2 * steady.fluctuation_kmh.mean()
+
+    def test_periodicity_strength_ordering(self, road):
+        volatile = build_profile(road, ProfileKind.VOLATILE)
+        steady = build_profile(road, ProfileKind.STEADY)
+        assert steady.periodicity_strength > volatile.periodicity_strength
+
+    def test_jitter_varies_with_rng(self, road):
+        rng = np.random.default_rng(0)
+        a = build_profile(road, ProfileKind.COMMUTER, rng)
+        b = build_profile(road, ProfileKind.COMMUTER, rng)
+        assert not np.allclose(a.mean_kmh, b.mean_kmh)
+
+
+class TestDailyProfileValidation:
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DatasetError):
+            DailyProfile("a", ProfileKind.STEADY, np.ones(10), np.ones(10))
+
+    def test_nonpositive_mean_rejected(self):
+        mean = np.ones(N_SLOTS_PER_DAY)
+        mean[0] = 0.0
+        with pytest.raises(DatasetError):
+            DailyProfile("a", ProfileKind.STEADY, mean, np.ones(N_SLOTS_PER_DAY))
+
+    def test_negative_fluct_rejected(self):
+        fluct = np.zeros(N_SLOTS_PER_DAY)
+        fluct[3] = -1.0
+        with pytest.raises(DatasetError):
+            DailyProfile("a", ProfileKind.STEADY, np.ones(N_SLOTS_PER_DAY), fluct)
+
+
+class TestRandomProfiles:
+    def test_aligned_with_network(self, grid_net):
+        profiles = random_profiles(grid_net, seed=1)
+        assert len(profiles) == grid_net.n_roads
+        for road, profile in zip(grid_net.roads, profiles):
+            assert profile.road_id == road.road_id
+
+    def test_deterministic(self, grid_net):
+        a = random_profiles(grid_net, seed=5)
+        b = random_profiles(grid_net, seed=5)
+        for pa, pb in zip(a, b):
+            assert np.allclose(pa.mean_kmh, pb.mean_kmh)
+
+    def test_volatile_fraction(self, grid_net):
+        profiles = random_profiles(grid_net, seed=2, volatile_fraction=0.4)
+        n_volatile = sum(1 for p in profiles if p.kind is ProfileKind.VOLATILE)
+        assert n_volatile == round(0.4 * grid_net.n_roads)
+
+    def test_volatile_fraction_bounds(self, grid_net):
+        with pytest.raises(DatasetError):
+            random_profiles(grid_net, volatile_fraction=1.5)
+
+    def test_highways_mostly_steady(self):
+        net = repro.ring_radial_network(200, seed=3)
+        profiles = random_profiles(net, seed=4)
+        highway_profiles = [
+            p for p, r in zip(profiles, net.roads) if r.kind.value == "highway"
+        ]
+        steady = sum(1 for p in highway_profiles if p.kind is ProfileKind.STEADY)
+        assert steady > len(highway_profiles) / 2

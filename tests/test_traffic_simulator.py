@@ -1,0 +1,140 @@
+"""Unit tests for repro.traffic.simulator."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.traffic.incidents import Incident, IncidentModel
+from repro.traffic.profiles import ProfileKind, build_profile, random_profiles
+from repro.traffic.simulator import SimulationConfig, TrafficSimulator
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.n_slots == 288
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_days": 0},
+            {"n_slots": 0},
+            {"slot_start": 288},
+            {"slot_start": 280, "n_slots": 20},
+            {"temporal_ar": 1.0},
+            {"spatial_passes": -1},
+            {"spatial_weight": 1.5},
+            {"min_speed_kmh": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(DatasetError):
+            SimulationConfig(**kwargs)
+
+
+class TestSimulatorConstruction:
+    def test_profile_count_mismatch(self, line_net):
+        profiles = random_profiles(line_net, seed=1)[:-1]
+        with pytest.raises(DatasetError, match="profiles"):
+            TrafficSimulator(line_net, profiles)
+
+    def test_profile_order_mismatch(self, line_net):
+        profiles = random_profiles(line_net, seed=1)
+        swapped = [profiles[1], profiles[0]] + list(profiles[2:])
+        with pytest.raises(DatasetError, match="expected"):
+            TrafficSimulator(line_net, swapped)
+
+
+class TestSimulationOutput:
+    @pytest.fixture(scope="class")
+    def sim_setup(self):
+        network = repro.grid_network(4, 4)
+        profiles = random_profiles(network, seed=2)
+        config = SimulationConfig(n_days=30, slot_start=96, n_slots=6, seed=3)
+        simulator = TrafficSimulator(network, profiles, config)
+        return network, profiles, config, simulator.simulate()
+
+    def test_history_shape(self, sim_setup):
+        network, _, config, history = sim_setup
+        assert history.n_days == config.n_days
+        assert history.n_slots == config.n_slots
+        assert history.n_roads == network.n_roads
+        assert history.slot_offset == config.slot_start
+
+    def test_speeds_positive(self, sim_setup):
+        _, _, _, history = sim_setup
+        assert np.all(history.values > 0)
+
+    def test_mean_tracks_profile(self, sim_setup):
+        network, profiles, config, history = sim_setup
+        slot = config.slot_start + 2
+        sample_mean = history.empirical_mean(slot)
+        profile_mean = np.array([p.mean_kmh[slot] for p in profiles])
+        rel = np.abs(sample_mean - profile_mean) / profile_mean
+        assert np.median(rel) < 0.1
+
+    def test_adjacent_roads_positively_correlated(self, sim_setup):
+        network, _, config, history = sim_setup
+        slot = config.slot_start + 3
+        corrs = [
+            history.empirical_correlation(slot, i, j) for i, j in network.edges
+        ]
+        assert np.mean(corrs) > 0.3
+
+    def test_adjacent_more_correlated_than_distant(self, sim_setup):
+        network, _, config, history = sim_setup
+        slot = config.slot_start + 3
+        adjacent = np.mean(
+            [history.empirical_correlation(slot, i, j) for i, j in network.edges]
+        )
+        # Opposite grid corners (0 and 15) are 6 hops apart.
+        distant = history.empirical_correlation(slot, 0, 15)
+        assert adjacent > distant
+
+    def test_deterministic_given_seed(self):
+        network = repro.line_network(5)
+        profiles = random_profiles(network, seed=4)
+        config = SimulationConfig(n_days=3, slot_start=0, n_slots=4, seed=9)
+        a = TrafficSimulator(network, profiles, config).simulate()
+        b = TrafficSimulator(network, profiles, config).simulate()
+        assert np.allclose(a.values, b.values)
+
+
+class TestIncidentsInSimulation:
+    def test_explicit_incident_slows_traffic(self):
+        network = repro.line_network(7)
+        profiles = random_profiles(network, seed=5)
+        config = SimulationConfig(n_days=2, slot_start=0, n_slots=12, seed=6)
+        simulator = TrafficSimulator(network, profiles, config)
+        clean = simulator.simulate(incidents=[])
+        incident = Incident(
+            road_index=3, day=1, start_slot=2, duration_slots=8, severity=0.6
+        )
+        shocked = simulator.simulate(incidents=[incident])
+        # Same seed: day 0 identical, day 1 road 3 slower during incident.
+        assert np.allclose(clean.values[0], shocked.values[0])
+        during = slice(3, 9)
+        assert (
+            shocked.values[1, during, 3].mean() < clean.values[1, during, 3].mean()
+        )
+
+    def test_incident_model_sampled(self):
+        network = repro.grid_network(3, 3)
+        profiles = random_profiles(network, seed=7)
+        config = SimulationConfig(n_days=4, slot_start=0, n_slots=10, seed=8)
+        model = IncidentModel(network, rate_per_day=3.0)
+        with_incidents = TrafficSimulator(network, profiles, config, model).simulate()
+        without = TrafficSimulator(network, profiles, config).simulate()
+        assert not np.allclose(with_incidents.values, without.values)
+
+    def test_volatile_roads_fluctuate_more(self):
+        network = repro.line_network(2)
+        steady = build_profile(network.roads[0], ProfileKind.STEADY)
+        volatile = build_profile(network.roads[1], ProfileKind.VOLATILE)
+        config = SimulationConfig(
+            n_days=60, slot_start=100, n_slots=2, seed=10, spatial_passes=0
+        )
+        history = TrafficSimulator(network, [steady, volatile], config).simulate()
+        stds = history.empirical_std(101)
+        assert stds[1] > stds[0]

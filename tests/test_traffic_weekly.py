@@ -1,0 +1,97 @@
+"""Tests for the weekly traffic cycle and day-type splitting."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import DatasetError
+from repro.traffic.profiles import ProfileKind, build_profile, slot_of_time
+from repro.traffic.simulator import SimulationConfig, TrafficSimulator
+
+
+class TestWeekendConfig:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            SimulationConfig(weekend_factor=1.5)
+        with pytest.raises(DatasetError):
+            SimulationConfig(first_weekday=7)
+
+    def test_is_weekend(self):
+        cfg = SimulationConfig(first_weekday=0)  # day 0 = Monday
+        assert not cfg.is_weekend(0)
+        assert cfg.is_weekend(5) and cfg.is_weekend(6)
+        assert not cfg.is_weekend(7)
+        cfg_sat = SimulationConfig(first_weekday=5)
+        assert cfg_sat.is_weekend(0)
+
+
+class TestWeekendEffect:
+    @pytest.fixture(scope="class")
+    def world(self):
+        network = repro.line_network(8)
+        profiles = [
+            build_profile(road, ProfileKind.COMMUTER) for road in network.roads
+        ]
+        config = SimulationConfig(
+            n_days=14,
+            slot_start=slot_of_time(8),
+            n_slots=4,
+            seed=9,
+            weekend_factor=0.3,
+        )
+        history = TrafficSimulator(network, profiles, config).simulate()
+        return network, config, history
+
+    def test_weekends_faster_at_rush_hour(self, world):
+        _, config, history = world
+        weekdays = [d for d in range(14) if not config.is_weekend(d)]
+        weekends = [d for d in range(14) if config.is_weekend(d)]
+        samples = history.slot_samples(slot_of_time(8))
+        assert samples[weekends].mean() > samples[weekdays].mean()
+
+    def test_factor_one_means_no_cycle(self):
+        network = repro.line_network(5)
+        profiles = [
+            build_profile(road, ProfileKind.COMMUTER) for road in network.roads
+        ]
+        base = SimulationConfig(n_days=7, slot_start=96, n_slots=3, seed=2)
+        cycled = SimulationConfig(
+            n_days=7, slot_start=96, n_slots=3, seed=2, weekend_factor=1.0
+        )
+        a = TrafficSimulator(network, profiles, base).simulate()
+        b = TrafficSimulator(network, profiles, cycled).simulate()
+        assert np.allclose(a.values, b.values)
+
+    def test_day_type_models_differ(self, world):
+        """Fitting RTF per day type yields different weekday means."""
+        network, config, history = world
+        weekdays = [d for d in range(14) if not config.is_weekend(d)]
+        weekends = [d for d in range(14) if config.is_weekend(d)]
+        slot = slot_of_time(8) + 1
+        weekday_params = repro.empirical_slot_parameters(
+            network, history.select_days(weekdays).slot_samples(slot), slot
+        )
+        weekend_params = repro.empirical_slot_parameters(
+            network, history.select_days(weekends).slot_samples(slot), slot
+        )
+        assert weekend_params.mu.mean() > weekday_params.mu.mean()
+
+
+class TestSelectDays:
+    def test_selection(self, small_world):
+        history = small_world["history"]
+        selected = history.select_days([0, 2, 4])
+        assert selected.n_days == 3
+        assert np.allclose(selected.values[1], history.values[2])
+
+    def test_order_preserved(self, small_world):
+        history = small_world["history"]
+        swapped = history.select_days([3, 1])
+        assert np.allclose(swapped.values[0], history.values[3])
+
+    def test_validation(self, small_world):
+        history = small_world["history"]
+        with pytest.raises(DatasetError):
+            history.select_days([])
+        with pytest.raises(DatasetError):
+            history.select_days([99])

@@ -1,0 +1,98 @@
+"""Unit tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ExperimentError
+from repro.viz import (
+    congestion_strip,
+    convergence_sparkline,
+    render_speed_table,
+    speed_histogram,
+)
+
+
+class TestCongestionStrip:
+    def test_free_flow_renders_light(self):
+        strip = congestion_strip([60, 60, 60], [60, 60, 60])
+        assert strip == "   "
+
+    def test_jam_renders_dark(self):
+        strip = congestion_strip([1, 60], [60, 60])
+        assert strip[0] == "█"
+        assert strip[1] == " "
+
+    def test_width_downsampling_keeps_max(self):
+        speeds = [60.0] * 9 + [5.0]
+        strip = congestion_strip(speeds, [60.0] * 10, width=2)
+        assert len(strip) == 2
+        assert strip[1] in "▓█"
+
+    def test_length_matches_roads(self):
+        strip = congestion_strip([30] * 7, [60] * 7)
+        assert len(strip) == 7
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            congestion_strip([], [])
+        with pytest.raises(ExperimentError):
+            congestion_strip([10, 20], [60])
+        with pytest.raises(ExperimentError):
+            congestion_strip([10], [0])
+        with pytest.raises(ExperimentError):
+            congestion_strip([10], [60], width=0)
+
+
+class TestSparkline:
+    def test_monotone_history_descends(self):
+        spark = convergence_sparkline([1.0, 0.1, 0.01, 0.001])
+        assert spark[0] == "█"
+        assert spark[-1] == "▁"
+
+    def test_flat_history(self):
+        spark = convergence_sparkline([0.5, 0.5, 0.5])
+        assert spark == "▁▁▁"
+
+    def test_length(self):
+        assert len(convergence_sparkline(np.geomspace(1, 1e-6, 12))) == 12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            convergence_sparkline([])
+
+
+class TestSpeedHistogram:
+    def test_counts_sum(self, rng):
+        speeds = rng.uniform(20, 80, 100)
+        text = speed_histogram(speeds, n_bins=5)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        total = sum(int(line.rsplit(" ", 1)[-1]) for line in lines)
+        assert total == 100
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            speed_histogram([30.0], n_bins=0)
+
+
+class TestRenderSpeedTable:
+    def test_slowest_first(self, grid_net):
+        speeds = np.full(25, 40.0)
+        speeds[13] = 4.0  # the jam
+        text = render_speed_table(grid_net, speeds, limit=3)
+        first_row = text.splitlines()[1]
+        assert first_row.startswith("r13")
+
+    def test_reference_column(self, grid_net):
+        speeds = np.full(25, 40.0)
+        text = render_speed_table(grid_net, speeds, reference_kmh=speeds, limit=2)
+        assert "reference" in text.splitlines()[0]
+
+    def test_limit_respected(self, grid_net):
+        text = render_speed_table(grid_net, np.full(25, 40.0), limit=5)
+        assert len(text.splitlines()) == 6  # header + 5 rows
+
+    def test_shape_check(self, grid_net):
+        with pytest.raises(ExperimentError):
+            render_speed_table(grid_net, np.ones(3))
