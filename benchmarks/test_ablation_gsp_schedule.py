@@ -35,6 +35,11 @@ def test_ablation_gsp_schedule(benchmark, schedule, world):
 
     result = benchmark(propagate, semisyn.network, params, probes, config)
     assert result.converged
+    # The result records its own provenance — assert on it instead of
+    # re-deriving which path config resolution picked.
+    assert result.schedule is schedule
+    assert result.kernel is config.resolved_kernel()
+    assert result.sweeps == len(result.max_delta_history)
 
     reference = propagate(
         semisyn.network, params, probes, GSPConfig(epsilon=1e-10, max_sweeps=5000)

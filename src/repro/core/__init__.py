@@ -32,11 +32,19 @@ from repro.core.ocs import (
     trivial_solution,
 )
 from repro.core.gsp import (
+    CompiledSchedule,
+    GSPCacheStats,
     GSPConfig,
+    GSPEngine,
+    GSPKernel,
     GSPResult,
     GSPSchedule,
+    PropagationStructure,
+    build_propagation_structure,
+    engine_for,
     independent_update_groups,
     propagate,
+    propagate_batch,
 )
 from repro.core.allocation import allocate_budget, slot_need
 from repro.core.exact_inference import (
@@ -73,11 +81,19 @@ __all__ = [
     "random_selection",
     "ratio_greedy",
     "trivial_solution",
+    "CompiledSchedule",
+    "GSPCacheStats",
     "GSPConfig",
+    "GSPEngine",
+    "GSPKernel",
     "GSPResult",
     "GSPSchedule",
+    "PropagationStructure",
+    "build_propagation_structure",
+    "engine_for",
     "independent_update_groups",
     "propagate",
+    "propagate_batch",
     "allocate_budget",
     "slot_need",
     "exact_conditional_mean",

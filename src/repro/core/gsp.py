@@ -17,12 +17,31 @@ swept repeatedly until the largest value change drops below ε.  Two
 alternative schedules (random order, plain index order) are provided for
 the ablation bench, plus a layer-parallel Jacobi variant matching the
 parallelization discussion at the end of §VI.
+
+Two kernels implement the sweep:
+
+* the **reference** kernel — the per-node Python loop of Alg. 5, kept
+  verbatim as the correctness oracle, and
+* the **vectorized** kernel — a CSR-style flat neighbour structure
+  (:class:`PropagationStructure`) plus per-group gather/segment-sum
+  arrays (:class:`CompiledSchedule`), which updates a whole BFS layer
+  (``BFS_PARALLEL``) or colour group (``BFS_COLORED``) in one fused
+  numpy operation.  §VI's parallelization condition (same group, not
+  adjacent) is exactly what makes the fused group update equal the
+  sequential sweep.
+
+:class:`GSPEngine` owns both kernels for one network and caches the
+expensive precomputations: the propagation structure per slot-parameter
+signature, and the BFS layers / colourings per ``frozenset(R^c)``, so
+repeated queries with overlapping selections skip the graph work.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -48,6 +67,24 @@ class GSPSchedule(str, enum.Enum):
     RANDOM = "random"
     #: Plain index order (ablation).
     INDEX = "index"
+
+
+class GSPKernel(str, enum.Enum):
+    """Which sweep implementation to run."""
+
+    #: Vectorized for parallel schedules, reference otherwise.
+    AUTO = "auto"
+    #: The per-node Python loop (Alg. 5 verbatim) — the testing oracle.
+    REFERENCE = "reference"
+    #: Fused numpy group updates; requires ``BFS_PARALLEL``/``BFS_COLORED``.
+    VECTORIZED = "vectorized"
+
+
+#: Schedules whose group updates commute, so the vectorized kernel's
+#: fused group update reproduces the sequential result exactly.
+VECTORIZABLE_SCHEDULES = frozenset(
+    {GSPSchedule.BFS_PARALLEL, GSPSchedule.BFS_COLORED}
+)
 
 
 def independent_update_groups(
@@ -92,6 +129,11 @@ class GSPConfig:
         epsilon: Convergence threshold on the max per-road change.
         max_sweeps: Sweep cap; a sweep updates every non-observed road.
         schedule: Update ordering; see :class:`GSPSchedule`.
+        kernel: Sweep implementation; see :class:`GSPKernel`.  The
+            vectorized kernel only supports the parallel schedules
+            (``BFS_PARALLEL``, ``BFS_COLORED``) whose group updates
+            commute; requesting it with any other schedule raises
+            :class:`ModelError` at propagation time.
         strict: Raise :class:`ConvergenceError` when the sweep budget is
             exhausted (default: return the last iterate).
         seed: RNG seed for the RANDOM schedule.
@@ -100,6 +142,7 @@ class GSPConfig:
     epsilon: float = 1e-3
     max_sweeps: int = 200
     schedule: GSPSchedule = GSPSchedule.BFS
+    kernel: GSPKernel = GSPKernel.AUTO
     strict: bool = False
     seed: Optional[int] = None
 
@@ -108,6 +151,23 @@ class GSPConfig:
             raise ModelError(f"epsilon must be positive, got {self.epsilon}")
         if self.max_sweeps <= 0:
             raise ModelError(f"max_sweeps must be positive, got {self.max_sweeps}")
+
+    def resolved_kernel(self) -> GSPKernel:
+        """The concrete kernel AUTO resolves to for this schedule."""
+        if self.kernel is GSPKernel.AUTO:
+            if self.schedule in VECTORIZABLE_SCHEDULES:
+                return GSPKernel.VECTORIZED
+            return GSPKernel.REFERENCE
+        if (
+            self.kernel is GSPKernel.VECTORIZED
+            and self.schedule not in VECTORIZABLE_SCHEDULES
+        ):
+            raise ModelError(
+                f"vectorized kernel requires a parallel schedule "
+                f"({sorted(s.value for s in VECTORIZABLE_SCHEDULES)}), "
+                f"got {self.schedule.value!r}"
+            )
+        return self.kernel
 
 
 @dataclass(frozen=True)
@@ -121,6 +181,13 @@ class GSPResult:
         converged: Whether the ε threshold was met.
         max_delta_history: Largest per-road change after each sweep.
         runtime_seconds: Wall-clock time.
+        schedule: Update ordering that produced this result.
+        kernel: Code path that produced it (``REFERENCE``/``VECTORIZED``).
+        structure_cache_hit: Whether the propagation structure came out
+            of the engine cache (False for cold runs and the stateless
+            reference builder).
+        schedule_cache_hit: Whether the BFS layers / colouring came out
+            of the engine cache.
     """
 
     speeds: np.ndarray
@@ -128,6 +195,486 @@ class GSPResult:
     converged: bool
     max_delta_history: Tuple[float, ...]
     runtime_seconds: float
+    schedule: GSPSchedule = GSPSchedule.BFS
+    kernel: GSPKernel = GSPKernel.REFERENCE
+    structure_cache_hit: bool = False
+    schedule_cache_hit: bool = False
+
+
+# ----------------------------------------------------------------------
+# Cached precomputations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PropagationStructure:
+    """CSR-style neighbour structure for one ``(network, slot)`` pair.
+
+    Flat arrays over all *directed* neighbour slots: road ``i``'s
+    neighbours occupy ``indices[indptr[i]:indptr[i+1]]`` with edge
+    precisions ``weights`` (``1/σ_ij²``) in the matching positions.  The
+    value-independent parts of Eq. 18 are folded once:
+
+    * ``const_pull[i] = μ_i/σ_i² + Σ_j (μ_i - μ_j)/σ_ij²`` and
+    * ``denom[i]      = 1/σ_i²  + Σ_j 1/σ_ij²``,
+
+    so a sweep only gathers neighbour values and segment-sums
+    ``weights * v[indices]``.
+
+    Attributes:
+        indptr: Row pointers, shape ``(n_roads + 1,)``.
+        indices: Flat neighbour indices, shape ``(2·n_edges,)``.
+        weights: Edge precisions per flat slot, shape ``(2·n_edges,)``.
+        const_pull: Value-independent numerator per road.
+        denom: Eq. 18 denominator per road.
+        mu: Prior means (the propagation's initial iterate).
+        signature: Content digest of the slot parameters this structure
+            was compiled from — the engine's cache key.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    const_pull: np.ndarray
+    denom: np.ndarray
+    mu: np.ndarray
+    signature: bytes
+
+    @property
+    def n_roads(self) -> int:
+        """Number of roads the structure covers."""
+        return self.denom.shape[0]
+
+
+@dataclass(frozen=True)
+class _GroupKernel:
+    """Gather/segment-sum arrays for one fused group update.
+
+    ``nodes`` are the group's road indices; ``flat`` indexes the
+    structure's CSR arrays (all neighbour slots of the group's nodes,
+    concatenated in node order) and ``owner`` maps each flat slot back
+    to its position within ``nodes``.
+    """
+
+    nodes: np.ndarray
+    flat: np.ndarray
+    owner: np.ndarray
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """BFS layers / colour groups compiled against the CSR layout.
+
+    Depends only on the topology and ``frozenset(R^c)`` — never on slot
+    parameters — so one compilation serves every slot.
+
+    Attributes:
+        schedule: The ordering this compilation realizes.
+        groups: Fused-update groups, swept in order (layers for
+            ``BFS_PARALLEL``, colour groups for ``BFS_COLORED``).
+        node_groups: The same groups as plain index lists, for the
+            reference kernel.
+    """
+
+    schedule: GSPSchedule
+    groups: Tuple[_GroupKernel, ...]
+    node_groups: Tuple[Tuple[int, ...], ...]
+
+
+def params_signature(params: RTFSlot) -> bytes:
+    """Content digest of one slot's parameters (the structure cache key)."""
+    digest = hashlib.sha1()
+    digest.update(np.int64(params.slot).tobytes())
+    digest.update(np.ascontiguousarray(params.mu, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(params.sigma, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(params.rho, dtype=np.float64).tobytes())
+    return digest.digest()
+
+
+def build_propagation_structure(
+    network: TrafficNetwork, params: RTFSlot
+) -> PropagationStructure:
+    """Compile the CSR neighbour structure for one slot (vectorized).
+
+    Uses :meth:`RTFSlot.propagation_arrays` for the per-road and
+    per-edge precisions; every step below is array work, no per-node
+    Python loop.
+    """
+    params.check_against(network)
+    n = network.n_roads
+    prior_precision, prior_pull, edge_precision, edge_mu = params.propagation_arrays(
+        network
+    )
+    if network.edges:
+        ei, ej = np.array(network.edges, dtype=np.intp).T
+        src = np.concatenate([ei, ej])
+        dst = np.concatenate([ej, ei])
+        w = np.concatenate([edge_precision, edge_precision])
+        # mu_ij is order-sensitive: from i's viewpoint the pull constant
+        # is w_ij * (mu_i - mu_j) = w_ij * mu_src-to-dst difference.
+        pull_const = np.concatenate([edge_mu * edge_precision, -edge_mu * edge_precision])
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        indices = dst[order]
+        weights = w[order]
+        pull_const = pull_const[order]
+        counts = np.bincount(src, minlength=n)
+        const_pull = prior_pull + np.bincount(src, weights=pull_const, minlength=n)
+        denom = prior_precision + np.bincount(src, weights=weights, minlength=n)
+    else:
+        indices = np.zeros(0, dtype=np.intp)
+        weights = np.zeros(0)
+        counts = np.zeros(n, dtype=np.intp)
+        const_pull = prior_pull.copy()
+        denom = prior_precision.copy()
+    indptr = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(counts, out=indptr[1:])
+    return PropagationStructure(
+        indptr=indptr,
+        indices=indices,
+        weights=weights,
+        const_pull=const_pull,
+        denom=denom,
+        mu=params.mu.astype(np.float64, copy=True),
+        signature=params_signature(params),
+    )
+
+
+def _compile_groups(
+    structure_indptr: np.ndarray, node_groups: Sequence[Sequence[int]]
+) -> Tuple[_GroupKernel, ...]:
+    """Build the gather/segment arrays for each update group."""
+    kernels: List[_GroupKernel] = []
+    for group in node_groups:
+        nodes = np.asarray(group, dtype=np.intp)
+        starts = structure_indptr[nodes]
+        counts = structure_indptr[nodes + 1] - starts
+        total = int(counts.sum())
+        owner = np.repeat(np.arange(nodes.size, dtype=np.intp), counts)
+        offsets = np.zeros(nodes.size, dtype=np.intp)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        flat = np.arange(total, dtype=np.intp) - offsets[owner] + starts[owner]
+        kernels.append(_GroupKernel(nodes=nodes, flat=flat, owner=owner))
+    return tuple(kernels)
+
+
+def _schedule_node_groups(
+    network: TrafficNetwork,
+    schedule: GSPSchedule,
+    sources: Sequence[int],
+    clamped: np.ndarray,
+    free: Sequence[int],
+) -> List[List[int]]:
+    """The update groups of one sweep (sweep-invariant schedules only)."""
+    if schedule in (
+        GSPSchedule.BFS,
+        GSPSchedule.BFS_PARALLEL,
+        GSPSchedule.BFS_COLORED,
+    ):
+        if sources:
+            layers = [
+                [i for i in layer if not clamped[i]]
+                for layer in network.bfs_layers(sorted(sources))
+            ]
+            layers = [layer for layer in layers if layer]
+        else:
+            layers = [list(free)] if free else []
+        if schedule is GSPSchedule.BFS_COLORED:
+            # Refine each layer into independent groups; groups are then
+            # swept Gauss-Seidel, but within a group every update could
+            # run on its own core with an identical result.
+            layers = [
+                group
+                for layer in layers
+                for group in independent_update_groups(network, layer)
+            ]
+        return layers
+    if schedule is GSPSchedule.INDEX:
+        return [list(free)] if free else []
+    if schedule is GSPSchedule.RANDOM:
+        return [list(free)] if free else []  # permuted per sweep by the kernel
+    raise ModelError(f"unknown schedule {schedule!r}")  # pragma: no cover
+
+
+@dataclass
+class GSPCacheStats:
+    """Hit/miss counters of one :class:`GSPEngine`."""
+
+    structure_hits: int = 0
+    structure_misses: int = 0
+    schedule_hits: int = 0
+    schedule_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for logs and tests)."""
+        return {
+            "structure_hits": self.structure_hits,
+            "structure_misses": self.structure_misses,
+            "schedule_hits": self.schedule_hits,
+            "schedule_misses": self.schedule_misses,
+        }
+
+
+class GSPEngine:
+    """Vectorized GSP solver with cached precomputations for one network.
+
+    The engine owns two keyed LRU caches:
+
+    * **structures** — :class:`PropagationStructure` per slot-parameter
+      content digest (:func:`params_signature`).  Changing ``mu`` /
+      ``sigma`` / ``rho`` changes the digest, so stale precisions can
+      never be reused.
+    * **schedules** — :class:`CompiledSchedule` per
+      ``(schedule, frozenset(R^c))``.  Layers and colourings depend only
+      on topology and the observed set, so one compilation serves every
+      slot and every repeated query with the same selection.
+
+    The engine is bound to one immutable :class:`TrafficNetwork`;
+    propagating with parameters of mismatched dimensions raises
+    :class:`ModelError` (networks themselves are immutable, so a changed
+    road graph is necessarily a *different* network object and gets a
+    fresh engine — see :func:`engine_for`).
+
+    Args:
+        network: The road graph.
+        max_structures: LRU capacity of the structure cache.
+        max_schedules: LRU capacity of the schedule cache.
+    """
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        max_structures: int = 8,
+        max_schedules: int = 64,
+    ) -> None:
+        if max_structures <= 0 or max_schedules <= 0:
+            raise ModelError("cache capacities must be positive")
+        self._network = network
+        self._max_structures = max_structures
+        self._max_schedules = max_schedules
+        self._structures: "OrderedDict[bytes, PropagationStructure]" = OrderedDict()
+        self._schedules: "OrderedDict[Tuple[GSPSchedule, frozenset], CompiledSchedule]" = (
+            OrderedDict()
+        )
+        self.stats = GSPCacheStats()
+
+    @property
+    def network(self) -> TrafficNetwork:
+        """The road graph this engine is compiled against."""
+        return self._network
+
+    def clear(self) -> None:
+        """Drop both caches (counters are kept)."""
+        self._structures.clear()
+        self._schedules.clear()
+
+    # -- cache plumbing -------------------------------------------------
+
+    def structure_for(
+        self, params: RTFSlot
+    ) -> Tuple[PropagationStructure, bool]:
+        """The CSR structure for one slot, compiling on miss.
+
+        Returns:
+            ``(structure, cache_hit)``.
+        """
+        key = params_signature(params)
+        cached = self._structures.get(key)
+        if cached is not None:
+            self._structures.move_to_end(key)
+            self.stats.structure_hits += 1
+            return cached, True
+        structure = build_propagation_structure(self._network, params)
+        self._structures[key] = structure
+        if len(self._structures) > self._max_structures:
+            self._structures.popitem(last=False)
+        self.stats.structure_misses += 1
+        return structure, False
+
+    def schedule_for(
+        self,
+        schedule: GSPSchedule,
+        observed_roads: frozenset,
+        structure: PropagationStructure,
+    ) -> Tuple[CompiledSchedule, bool]:
+        """The compiled update groups for one ``(schedule, R^c)`` pair.
+
+        Returns:
+            ``(compiled, cache_hit)``.
+        """
+        key = (schedule, observed_roads)
+        cached = self._schedules.get(key)
+        if cached is not None:
+            self._schedules.move_to_end(key)
+            self.stats.schedule_hits += 1
+            return cached, True
+        n = self._network.n_roads
+        clamped = np.zeros(n, dtype=bool)
+        for road in observed_roads:
+            clamped[road] = True
+        free = [i for i in range(n) if not clamped[i]]
+        node_groups = _schedule_node_groups(
+            self._network, schedule, sorted(observed_roads), clamped, free
+        )
+        compiled = CompiledSchedule(
+            schedule=schedule,
+            groups=_compile_groups(structure.indptr, node_groups),
+            node_groups=tuple(tuple(int(i) for i in g) for g in node_groups),
+        )
+        self._schedules[key] = compiled
+        if len(self._schedules) > self._max_schedules:
+            self._schedules.popitem(last=False)
+        self.stats.schedule_misses += 1
+        return compiled, False
+
+    # -- solving --------------------------------------------------------
+
+    def propagate(
+        self,
+        params: RTFSlot,
+        observed: Mapping[int, float],
+        config: Optional[GSPConfig] = None,
+    ) -> GSPResult:
+        """Run GSP for one slot (Alg. 5), using the cached structures.
+
+        Args:
+            params: RTF parameters of the query slot.
+            observed: Probed speeds keyed by road index; clamped.
+            config: Solver knobs.
+
+        Returns:
+            A :class:`GSPResult`.
+
+        Raises:
+            ModelError: On index/shape problems or an impossible
+                kernel/schedule combination.
+            ConvergenceError: In ``strict`` mode when ε is not reached.
+        """
+        cfg = config or GSPConfig()
+        kernel = cfg.resolved_kernel()
+        params.check_against(self._network)
+        n = self._network.n_roads
+        for road, value in observed.items():
+            if not 0 <= road < n:
+                raise ModelError(f"observed road index {road} outside 0..{n - 1}")
+            if not np.isfinite(value) or value <= 0:
+                raise ModelError(f"observed speed for road {road} must be positive")
+
+        start = time.perf_counter()
+        speeds = params.mu.astype(np.float64).copy()
+        for road, value in observed.items():
+            speeds[road] = float(value)
+        observed_set = frozenset(int(road) for road in observed)
+        if len(observed_set) == n:
+            return GSPResult(
+                speeds=speeds,
+                sweeps=0,
+                converged=True,
+                max_delta_history=(),
+                runtime_seconds=time.perf_counter() - start,
+                schedule=cfg.schedule,
+                kernel=kernel,
+            )
+
+        if kernel is GSPKernel.VECTORIZED:
+            structure, structure_hit = self.structure_for(params)
+            compiled, schedule_hit = self.schedule_for(
+                cfg.schedule, observed_set, structure
+            )
+            speeds, sweeps, converged, history = _vectorized_sweeps(
+                structure, compiled, speeds, cfg
+            )
+        else:
+            structure_hit = schedule_hit = False
+            speeds, sweeps, converged, history = _reference_sweeps(
+                self._network, params, observed_set, speeds, cfg
+            )
+
+        if not converged and cfg.strict:
+            raise ConvergenceError(
+                f"GSP did not reach epsilon={cfg.epsilon} within {cfg.max_sweeps} "
+                f"sweeps (last delta {history[-1]:.4g})"
+            )
+        return GSPResult(
+            speeds=speeds,
+            sweeps=sweeps,
+            converged=converged,
+            max_delta_history=tuple(history),
+            runtime_seconds=time.perf_counter() - start,
+            schedule=cfg.schedule,
+            kernel=kernel,
+            structure_cache_hit=structure_hit,
+            schedule_cache_hit=schedule_hit,
+        )
+
+    def propagate_batch(
+        self,
+        items: Sequence[Tuple[RTFSlot, Mapping[int, float]]],
+        config: Optional[GSPConfig] = None,
+    ) -> List[GSPResult]:
+        """Answer several time slots in one call.
+
+        Each item is a ``(slot parameters, observed speeds)`` pair; the
+        BFS/colouring compilation is shared across items whose observed
+        sets coincide, and structures are shared across items that reuse
+        a slot's parameters.
+
+        Args:
+            items: Per-slot propagation inputs.
+            config: Solver knobs applied to every item.
+
+        Returns:
+            One :class:`GSPResult` per item, in input order.
+        """
+        return [self.propagate(params, observed, config) for params, observed in items]
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+
+def _vectorized_sweeps(
+    structure: PropagationStructure,
+    compiled: CompiledSchedule,
+    speeds: np.ndarray,
+    cfg: GSPConfig,
+) -> Tuple[np.ndarray, int, bool, List[float]]:
+    """Fused group updates until ε-convergence (Eq. 18, whole groups)."""
+    # Gather the per-group parameter slices once per call; only the
+    # neighbour-value gather remains inside the sweep loop.
+    prepared = []
+    for group in compiled.groups:
+        prepared.append(
+            (
+                group.nodes,
+                structure.indices[group.flat],
+                structure.weights[group.flat],
+                group.owner,
+                structure.const_pull[group.nodes],
+                structure.denom[group.nodes],
+                group.nodes.size,
+            )
+        )
+    history: List[float] = []
+    converged = False
+    sweeps = 0
+    for sweep in range(1, cfg.max_sweeps + 1):
+        sweeps = sweep
+        max_delta = 0.0
+        for nodes, gather, weights, owner, const_pull, denom, size in prepared:
+            contrib = np.bincount(owner, weights=weights * speeds[gather], minlength=size)
+            new = (const_pull + contrib) / denom
+            if size:
+                delta = float(np.max(np.abs(new - speeds[nodes])))
+                if delta > max_delta:
+                    max_delta = delta
+                speeds[nodes] = new
+        history.append(max_delta)
+        if max_delta < cfg.epsilon:
+            converged = True
+            break
+    return speeds, sweeps, converged, history
 
 
 def _build_update_structure(
@@ -142,7 +689,10 @@ def _build_update_structure(
               / (prior_precision[i] + Σ_k edge_weight[i][k])
 
     The ``mu_ij`` pull is folded into a constant, so the loop only
-    gathers neighbour values.
+    gathers neighbour values.  This is the reference kernel's builder;
+    it deliberately goes through the per-node ``neighbors``/``edge_id``
+    API rather than the CSR export, so the two kernels compute their
+    precisions through independent code paths.
     """
     n = network.n_roads
     sigma2 = params.sigma * params.sigma
@@ -151,7 +701,6 @@ def _build_update_structure(
     edge_var = params.edge_variance(network)
     neighbor_idx: List[np.ndarray] = []
     edge_weight: List[np.ndarray] = []
-    mu = params.mu
     for i in range(n):
         neigh = np.array(network.neighbors(i), dtype=int)
         if neigh.size:
@@ -165,91 +714,25 @@ def _build_update_structure(
     return prior_precision, prior_pull, neighbor_idx, edge_weight
 
 
-def propagate(
+def _reference_sweeps(
     network: TrafficNetwork,
     params: RTFSlot,
-    observed: Mapping[int, float],
-    config: Optional[GSPConfig] = None,
-) -> GSPResult:
-    """Run GSP (Alg. 5).
-
-    Args:
-        network: Road graph.
-        params: RTF parameters of the query slot.
-        observed: Probed speeds keyed by road index (the crowdsourced
-            data ``V̂_{R^c}``); these roads stay clamped.
-        config: Solver knobs.
-
-    Returns:
-        A :class:`GSPResult` with the inferred full speed field.
-
-    Raises:
-        ModelError: On index/shape problems.
-        ConvergenceError: In ``strict`` mode when ε is not reached.
-    """
-    cfg = config or GSPConfig()
-    params.check_against(network)
+    observed_set: frozenset,
+    speeds: np.ndarray,
+    cfg: GSPConfig,
+) -> Tuple[np.ndarray, int, bool, List[float]]:
+    """The per-node Alg. 5 loop — the oracle the fast path is tested against."""
     n = network.n_roads
-    for road, value in observed.items():
-        if not 0 <= road < n:
-            raise ModelError(f"observed road index {road} outside 0..{n - 1}")
-        if not np.isfinite(value) or value <= 0:
-            raise ModelError(f"observed speed for road {road} must be positive")
-
-    start = time.perf_counter()
-    speeds = params.mu.astype(np.float64).copy()
-    for road, value in observed.items():
-        speeds[road] = float(value)
     clamped = np.zeros(n, dtype=bool)
-    for road in observed:
+    for road in observed_set:
         clamped[road] = True
-
     free = [i for i in range(n) if not clamped[i]]
-    if not free:
-        return GSPResult(
-            speeds=speeds,
-            sweeps=0,
-            converged=True,
-            max_delta_history=(),
-            runtime_seconds=time.perf_counter() - start,
-        )
-
     prior_precision, prior_pull, neighbor_idx, edge_weight = _build_update_structure(
         network, params
     )
     mu = params.mu
-
-    # Update schedule.
     rng = np.random.default_rng(cfg.seed)
-    sources = sorted(observed)
-    if cfg.schedule in (
-        GSPSchedule.BFS,
-        GSPSchedule.BFS_PARALLEL,
-        GSPSchedule.BFS_COLORED,
-    ):
-        if sources:
-            layers = [
-                [i for i in layer if not clamped[i]]
-                for layer in network.bfs_layers(sources)
-            ]
-            layers = [layer for layer in layers if layer]
-        else:
-            layers = [free]
-        if cfg.schedule is GSPSchedule.BFS_COLORED:
-            # Refine each layer into independent groups; groups are then
-            # swept Gauss-Seidel, but within a group every update could
-            # run on its own core with an identical result.
-            layers = [
-                group
-                for layer in layers
-                for group in independent_update_groups(network, layer)
-            ]
-    elif cfg.schedule is GSPSchedule.INDEX:
-        layers = [free]
-    elif cfg.schedule is GSPSchedule.RANDOM:
-        layers = [free]  # permuted per sweep below
-    else:  # pragma: no cover - enum is exhaustive
-        raise ModelError(f"unknown schedule {cfg.schedule!r}")
+    layers = _schedule_node_groups(network, cfg.schedule, sorted(observed_set), clamped, free)
 
     def updated_value(i: int, values: np.ndarray) -> float:
         neigh = neighbor_idx[i]
@@ -291,16 +774,71 @@ def propagate(
         if max_delta < cfg.epsilon:
             converged = True
             break
+    return speeds, sweeps, converged, history
 
-    if not converged and cfg.strict:
-        raise ConvergenceError(
-            f"GSP did not reach epsilon={cfg.epsilon} within {cfg.max_sweeps} sweeps "
-            f"(last delta {history[-1]:.4g})"
-        )
-    return GSPResult(
-        speeds=speeds,
-        sweeps=sweeps,
-        converged=converged,
-        max_delta_history=tuple(history),
-        runtime_seconds=time.perf_counter() - start,
-    )
+
+# ----------------------------------------------------------------------
+# Module-level facade
+# ----------------------------------------------------------------------
+
+#: Engines keyed by network, LRU-bounded.  Keyed by network *content*
+#: (TrafficNetwork is immutable with value equality/hash), so an equal
+#: rebuild of the same city shares its engine while any topology change
+#: necessarily maps to a fresh one.
+_ENGINES: "OrderedDict[TrafficNetwork, GSPEngine]" = OrderedDict()
+_MAX_ENGINES = 4
+
+
+def engine_for(network: TrafficNetwork) -> GSPEngine:
+    """The shared :class:`GSPEngine` for a network (created on demand)."""
+    engine = _ENGINES.get(network)
+    if engine is None:
+        engine = GSPEngine(network)
+        _ENGINES[network] = engine
+        if len(_ENGINES) > _MAX_ENGINES:
+            _ENGINES.popitem(last=False)
+    else:
+        _ENGINES.move_to_end(network)
+    return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop every shared engine (mainly for tests)."""
+    _ENGINES.clear()
+
+
+def propagate(
+    network: TrafficNetwork,
+    params: RTFSlot,
+    observed: Mapping[int, float],
+    config: Optional[GSPConfig] = None,
+) -> GSPResult:
+    """Run GSP (Alg. 5).
+
+    Stateless facade over the shared per-network :class:`GSPEngine`, so
+    repeated calls on the same network reuse cached structures.
+
+    Args:
+        network: Road graph.
+        params: RTF parameters of the query slot.
+        observed: Probed speeds keyed by road index (the crowdsourced
+            data ``V̂_{R^c}``); these roads stay clamped.
+        config: Solver knobs.
+
+    Returns:
+        A :class:`GSPResult` with the inferred full speed field.
+
+    Raises:
+        ModelError: On index/shape problems.
+        ConvergenceError: In ``strict`` mode when ε is not reached.
+    """
+    return engine_for(network).propagate(params, observed, config)
+
+
+def propagate_batch(
+    network: TrafficNetwork,
+    items: Sequence[Tuple[RTFSlot, Mapping[int, float]]],
+    config: Optional[GSPConfig] = None,
+) -> List[GSPResult]:
+    """Answer several time slots in one call (see :meth:`GSPEngine.propagate_batch`)."""
+    return engine_for(network).propagate_batch(items, config)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import ModelError, SelectionError
 from repro.core.correlation import CorrelationTable, PathWeightMode
-from repro.core.gsp import GSPConfig, GSPResult, propagate
+from repro.core.gsp import GSPConfig, GSPEngine, GSPResult
 from repro.core.inference import RTFInferenceConfig, fit_rtf
 from repro.core.ocs import (
     OCSInstance,
@@ -95,6 +95,9 @@ class CrowdRTSE:
         self._network = network
         self._model = model
         self._correlations = correlations
+        # One engine per system: repeated queries share the cached CSR
+        # structures and BFS/colouring compilations across slots.
+        self._gsp_engine = GSPEngine(network)
 
     @classmethod
     def fit(
@@ -132,6 +135,11 @@ class CrowdRTSE:
     def correlations(self) -> CorrelationTable:
         """The precomputed correlation table Γ_R."""
         return self._correlations
+
+    @property
+    def gsp_engine(self) -> GSPEngine:
+        """The propagation engine (exposes cache stats for diagnostics)."""
+        return self._gsp_engine
 
     # ------------------------------------------------------------------
     # Online stage
@@ -218,7 +226,7 @@ class CrowdRTSE:
         probes, receipts = market.probe(selection.selected, truth, ledger)
 
         params = self._model.slot(slot)
-        gsp_result = propagate(self._network, params, probes, gsp_config)
+        gsp_result = self._gsp_engine.propagate(params, probes, gsp_config)
 
         queried_tuple = tuple(int(q) for q in queried)
         estimates = gsp_result.speeds[np.asarray(queried_tuple, dtype=int)]
@@ -232,3 +240,31 @@ class CrowdRTSE:
             gsp=gsp_result,
             budget_spent=ledger.spent,
         )
+
+    def propagate_slots(
+        self,
+        observations: Mapping[int, Mapping[int, float]],
+        gsp_config: Optional[GSPConfig] = None,
+    ) -> Dict[int, GSPResult]:
+        """Propagate probe sets for several time slots in one call.
+
+        Batched counterpart of the GSP step of :meth:`answer_query` —
+        drivers that replay a day (or answer one query across adjacent
+        slots) hand every slot's probes over at once and the engine
+        shares its cached structures across the batch: the BFS layers /
+        colourings are keyed by the observed set alone, so slots probing
+        the same roads compile the schedule exactly once.
+
+        Args:
+            observations: Probed speeds per road, keyed by slot index;
+                every slot must be fitted.
+            gsp_config: Propagation knobs applied to every slot.
+
+        Returns:
+            The :class:`GSPResult` per slot, keyed like the input.
+        """
+        slots = list(observations)
+        results = self._gsp_engine.propagate_batch(
+            [(self._model.slot(t), observations[t]) for t in slots], gsp_config
+        )
+        return dict(zip(slots, results))

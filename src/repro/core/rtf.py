@@ -142,6 +142,37 @@ class RTFSlot:
         return float(np.sqrt(max(var, PAIR_VARIANCE_FLOOR)))
 
     # ------------------------------------------------------------------
+    # Array export for the propagation kernels
+    # ------------------------------------------------------------------
+
+    def propagation_arrays(
+        self, network: TrafficNetwork
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Precision arrays the GSP kernels are compiled from.
+
+        Returns:
+            ``(prior_precision, prior_pull, edge_precision, edge_mu)``:
+
+            * ``prior_precision`` — ``1/σ_i²`` per road, shape ``(n_roads,)``;
+            * ``prior_pull`` — ``μ_i/σ_i²`` per road;
+            * ``edge_precision`` — ``1/σ_ij²`` per edge, aligned with
+              :attr:`TrafficNetwork.edges`, shape ``(n_edges,)``;
+            * ``edge_mu`` — ``μ_ij = μ_i - μ_j`` per edge (``i < j``
+              orientation; callers negate for the reverse direction).
+
+        Everything is derived vectorized — no per-node Python loop — so
+        :func:`repro.core.gsp.build_propagation_structure` can compile a
+        2k-road city in milliseconds.
+        """
+        self.check_against(network)
+        prior_precision = 1.0 / (self.sigma * self.sigma)
+        prior_pull = self.mu * prior_precision
+        edge_precision = (
+            1.0 / self.edge_variance(network) if network.edges else np.zeros(0)
+        )
+        return prior_precision, prior_pull, edge_precision, self.edge_mu(network)
+
+    # ------------------------------------------------------------------
     # Likelihoods
     # ------------------------------------------------------------------
 

@@ -5,7 +5,7 @@ import pytest
 
 import repro
 from repro.errors import ConvergenceError, ModelError
-from repro.core.gsp import GSPConfig, GSPSchedule, propagate
+from repro.core.gsp import GSPConfig, GSPKernel, GSPSchedule, propagate
 from repro.core.rtf import RTFSlot
 
 
@@ -26,6 +26,25 @@ class TestConfig:
     def test_invalid_sweeps(self):
         with pytest.raises(ModelError):
             GSPConfig(max_sweeps=0)
+
+    def test_auto_kernel_resolution(self):
+        assert (
+            GSPConfig(schedule=GSPSchedule.BFS).resolved_kernel()
+            is GSPKernel.REFERENCE
+        )
+        assert (
+            GSPConfig(schedule=GSPSchedule.BFS_PARALLEL).resolved_kernel()
+            is GSPKernel.VECTORIZED
+        )
+        assert (
+            GSPConfig(schedule=GSPSchedule.BFS_COLORED).resolved_kernel()
+            is GSPKernel.VECTORIZED
+        )
+
+    def test_vectorized_kernel_rejects_gauss_seidel_schedules(self):
+        config = GSPConfig(schedule=GSPSchedule.BFS, kernel=GSPKernel.VECTORIZED)
+        with pytest.raises(ModelError):
+            config.resolved_kernel()
 
 
 class TestPropagation:
@@ -89,6 +108,18 @@ class TestPropagation:
         deltas = result.max_delta_history
         assert deltas[-1] < deltas[0]
         assert result.converged
+
+    def test_result_records_provenance(self, grid_net):
+        params = flat_slot(grid_net)
+        observed = {0: 20.0}
+        sequential = propagate(grid_net, params, observed)
+        assert sequential.schedule is GSPSchedule.BFS
+        assert sequential.kernel is GSPKernel.REFERENCE
+        assert sequential.sweeps == len(sequential.max_delta_history)
+        config = GSPConfig(schedule=GSPSchedule.BFS_COLORED)
+        fused = propagate(grid_net, params, observed, config)
+        assert fused.schedule is GSPSchedule.BFS_COLORED
+        assert fused.kernel is GSPKernel.VECTORIZED
 
 
 class TestFixedPoint:

@@ -21,6 +21,7 @@ class TestScalability:
             assert p.gamma_build_s >= 0
             assert p.ocs_s >= 0
             assert p.gsp_s >= 0
+            assert p.gsp_vectorized_s >= 0
             assert p.exact_solve_s >= 0
             assert p.gsp_sweeps >= 1
 
@@ -33,4 +34,5 @@ class TestScalability:
     def test_format(self, points):
         text = scalability.format_table(points)
         assert "GSP sweeps" in text
+        assert "GSP (vec)" in text
         assert "|R|" in text
