@@ -8,11 +8,15 @@ Subcommands:
 * ``query``   — answer one realtime query end to end and print the
   selection, spend, and quality against the simulated ground truth.
 * ``experiment`` — run one of the paper's tables/figures.
+* ``stats``   — run a small instrumented query and dump the telemetry
+  (Prometheus text plus optional JSON / trace artifacts).
 
 Examples::
 
     python -m repro.cli dataset --name semisyn --roads 150
     python -m repro.cli query --budget 30 --selector hybrid
+    python -m repro.cli query --trace trace.jsonl --metrics-out metrics.json
+    python -m repro.cli stats --metrics-out metrics.json --trace trace.jsonl
     python -m repro.cli experiment figure2 --scale quick
 """
 
@@ -25,6 +29,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 import repro
+from repro import obs
 from repro.experiments.common import ExperimentScale
 
 
@@ -61,6 +66,46 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--test-days", type=int, default=5)
     parser.add_argument("--slots", type=int, default=12, help="simulated slots per day")
     parser.add_argument("--seed", type=int, default=2018)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", help="write the metrics snapshot JSON here"
+    )
+    group.add_argument(
+        "--trace", help="write the span tree as JSON-lines here"
+    )
+    group.add_argument(
+        "--chrome-trace",
+        help="write a chrome://tracing-compatible trace event file here",
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(args.metrics_out or args.trace or args.chrome_trace)
+
+
+def _enable_obs(args: argparse.Namespace) -> None:
+    """Turn on metrics/tracing for the outputs the user asked for."""
+    obs.configure(
+        metrics=bool(args.metrics_out),
+        tracing=bool(args.trace or args.chrome_trace),
+    )
+    obs.reset()
+
+
+def _export_obs(args: argparse.Namespace) -> None:
+    if args.metrics_out:
+        obs.write_metrics_json(obs.get_metrics().snapshot(), args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}")
+    tracer = obs.get_tracer()
+    if args.trace:
+        tracer.export_jsonl(args.trace)
+        print(f"trace ({len(tracer.records())} spans) written to {args.trace}")
+    if args.chrome_trace:
+        tracer.export_chrome_trace(args.chrome_trace)
+        print(f"chrome trace written to {args.chrome_trace}")
 
 
 def cmd_dataset(args: argparse.Namespace) -> int:
@@ -101,6 +146,8 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """``query`` subcommand."""
+    if _obs_requested(args):
+        _enable_obs(args)
     data = _build_dataset(args)
     system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=[data.slot])
     market = repro.CrowdMarket(
@@ -131,6 +178,44 @@ def cmd_query(args: argparse.Namespace) -> int:
         print("\nroad      estimate   truth")
         for road, estimate in zip(data.queried, result.estimates_kmh):
             print(f"r{road:<8} {estimate:7.1f}   {truth(road):7.1f}")
+    if _obs_requested(args):
+        _export_obs(args)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats`` subcommand: instrumented end-to-end run + telemetry dump.
+
+    Runs one small query with metrics and tracing enabled, prints the
+    resulting registry in Prometheus text format, and writes whichever
+    artifacts were requested.  This is also the CI observability smoke
+    surface.
+    """
+    obs.configure(metrics=True, tracing=True)
+    obs.reset()
+    data = _build_dataset(args)
+    system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=[data.slot])
+    market = repro.CrowdMarket(
+        data.network, data.pool, data.cost_model,
+        rng=np.random.default_rng(args.seed),
+    )
+    truth = repro.truth_oracle_for(data.test_history, day=0, slot=data.slot)
+    result = system.answer_query(
+        data.queried,
+        data.slot,
+        budget=args.budget,
+        market=market,
+        truth=truth,
+        selector=args.selector,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(
+        f"# instrumented query: selected {len(result.selection.selected)} roads, "
+        f"spent {result.budget_spent}/{args.budget}, "
+        f"{result.gsp.sweeps} GSP sweeps"
+    )
+    print(obs.prometheus_text(), end="")
+    _export_obs(args)
     return 0
 
 
@@ -205,12 +290,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--day", type=int, default=0, help="test day to query")
     p_query.add_argument("--verbose", action="store_true", help="print per-road rows")
+    _add_obs_args(p_query)
     p_query.set_defaults(func=cmd_query)
 
     p_exp = subparsers.add_parser("experiment", help="run a paper table/figure")
     p_exp.add_argument("which", choices=EXPERIMENTS)
     p_exp.add_argument("--scale", choices=("paper", "quick"), default="quick")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_stats = subparsers.add_parser(
+        "stats", help="run an instrumented query and dump telemetry"
+    )
+    _add_dataset_args(p_stats)
+    p_stats.set_defaults(roads=60, queried=10, train_days=8, test_days=2, slots=4)
+    p_stats.add_argument("--budget", type=int, default=20, help="crowdsourcing budget K")
+    p_stats.add_argument(
+        "--selector",
+        choices=("hybrid", "ratio", "objective", "random"),
+        default="hybrid",
+    )
+    _add_obs_args(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -37,6 +37,7 @@ from repro.core.gsp import (
     GSPConfig,
     GSPEngine,
     GSPKernel,
+    GSPProvenance,
     GSPResult,
     GSPSchedule,
     PropagationStructure,
@@ -86,6 +87,7 @@ __all__ = [
     "GSPConfig",
     "GSPEngine",
     "GSPKernel",
+    "GSPProvenance",
     "GSPResult",
     "GSPSchedule",
     "PropagationStructure",

@@ -41,15 +41,17 @@ from __future__ import annotations
 import enum
 import hashlib
 import time
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConvergenceError, ModelError
+from repro.errors import ConvergenceError, ConvergenceWarning, ModelError
 from repro.core.rtf import RTFSlot
 from repro.network.graph import TrafficNetwork
+from repro.obs import DEFAULT_ITERATION_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 
 
 class GSPSchedule(str, enum.Enum):
@@ -171,6 +173,26 @@ class GSPConfig:
 
 
 @dataclass(frozen=True)
+class GSPProvenance:
+    """Cache provenance of one propagation.
+
+    Mirrors the ``gsp.cache.lookups`` metric series; kept on the result
+    so a single propagation stays self-describing without reading the
+    registry.
+
+    Attributes:
+        structure_cache_hit: Whether the propagation structure came out
+            of the engine cache (False for cold runs and the stateless
+            reference builder).
+        schedule_cache_hit: Whether the BFS layers / colouring came out
+            of the engine cache.
+    """
+
+    structure_cache_hit: bool = False
+    schedule_cache_hit: bool = False
+
+
+@dataclass(frozen=True)
 class GSPResult:
     """Outcome of one propagation.
 
@@ -183,11 +205,9 @@ class GSPResult:
         runtime_seconds: Wall-clock time.
         schedule: Update ordering that produced this result.
         kernel: Code path that produced it (``REFERENCE``/``VECTORIZED``).
-        structure_cache_hit: Whether the propagation structure came out
-            of the engine cache (False for cold runs and the stateless
-            reference builder).
-        schedule_cache_hit: Whether the BFS layers / colouring came out
-            of the engine cache.
+        provenance: Cache hit/miss provenance of this propagation; the
+            same facts are published on the ``gsp.cache.lookups`` metric
+            and the ``gsp.cache`` trace events.
     """
 
     speeds: np.ndarray
@@ -197,8 +217,31 @@ class GSPResult:
     runtime_seconds: float
     schedule: GSPSchedule = GSPSchedule.BFS
     kernel: GSPKernel = GSPKernel.REFERENCE
-    structure_cache_hit: bool = False
-    schedule_cache_hit: bool = False
+    provenance: GSPProvenance = field(default_factory=GSPProvenance)
+
+    @property
+    def structure_cache_hit(self) -> bool:
+        """Deprecated alias for ``provenance.structure_cache_hit``."""
+        warnings.warn(
+            "GSPResult.structure_cache_hit is deprecated; read "
+            "result.provenance.structure_cache_hit (or the gsp.cache.lookups "
+            "metric) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.provenance.structure_cache_hit
+
+    @property
+    def schedule_cache_hit(self) -> bool:
+        """Deprecated alias for ``provenance.schedule_cache_hit``."""
+        warnings.warn(
+            "GSPResult.schedule_cache_hit is deprecated; read "
+            "result.provenance.schedule_cache_hit (or the gsp.cache.lookups "
+            "metric) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.provenance.schedule_cache_hit
 
 
 # ----------------------------------------------------------------------
@@ -479,16 +522,23 @@ class GSPEngine:
             ``(structure, cache_hit)``.
         """
         key = params_signature(params)
+        metrics = get_metrics()
         cached = self._structures.get(key)
         if cached is not None:
             self._structures.move_to_end(key)
             self.stats.structure_hits += 1
+            metrics.counter(
+                "gsp.cache.lookups", {"cache": "structure", "result": "hit"}
+            ).inc()
             return cached, True
         structure = build_propagation_structure(self._network, params)
         self._structures[key] = structure
         if len(self._structures) > self._max_structures:
             self._structures.popitem(last=False)
         self.stats.structure_misses += 1
+        metrics.counter(
+            "gsp.cache.lookups", {"cache": "structure", "result": "miss"}
+        ).inc()
         return structure, False
 
     def schedule_for(
@@ -503,10 +553,14 @@ class GSPEngine:
             ``(compiled, cache_hit)``.
         """
         key = (schedule, observed_roads)
+        metrics = get_metrics()
         cached = self._schedules.get(key)
         if cached is not None:
             self._schedules.move_to_end(key)
             self.stats.schedule_hits += 1
+            metrics.counter(
+                "gsp.cache.lookups", {"cache": "schedule", "result": "hit"}
+            ).inc()
             return cached, True
         n = self._network.n_roads
         clamped = np.zeros(n, dtype=bool)
@@ -525,6 +579,9 @@ class GSPEngine:
         if len(self._schedules) > self._max_schedules:
             self._schedules.popitem(last=False)
         self.stats.schedule_misses += 1
+        metrics.counter(
+            "gsp.cache.lookups", {"cache": "schedule", "result": "miss"}
+        ).inc()
         return compiled, False
 
     # -- solving --------------------------------------------------------
@@ -549,6 +606,11 @@ class GSPEngine:
             ModelError: On index/shape problems or an impossible
                 kernel/schedule combination.
             ConvergenceError: In ``strict`` mode when ε is not reached.
+
+        Warns:
+            ConvergenceWarning: In non-strict mode when the sweep budget
+                is exhausted before ε (also counted on the
+                ``gsp.convergence.failures`` metric).
         """
         cfg = config or GSPConfig()
         kernel = cfg.resolved_kernel()
@@ -560,52 +622,109 @@ class GSPEngine:
             if not np.isfinite(value) or value <= 0:
                 raise ModelError(f"observed speed for road {road} must be positive")
 
-        start = time.perf_counter()
-        speeds = params.mu.astype(np.float64).copy()
-        for road, value in observed.items():
-            speeds[road] = float(value)
-        observed_set = frozenset(int(road) for road in observed)
-        if len(observed_set) == n:
+        tracer = get_tracer()
+        with tracer.span(
+            "gsp.propagate",
+            slot=int(params.slot),
+            schedule=cfg.schedule.value,
+            kernel=kernel.value,
+            observed_roads=len(observed),
+        ) as span:
+            start = time.perf_counter()
+            speeds = params.mu.astype(np.float64).copy()
+            for road, value in observed.items():
+                speeds[road] = float(value)
+            observed_set = frozenset(int(road) for road in observed)
+            if len(observed_set) == n:
+                runtime = time.perf_counter() - start
+                span.set_attr("sweeps", 0)
+                span.set_attr("converged", True)
+                self._record_metrics(cfg, kernel, 0, True, (), runtime, observed_set)
+                return GSPResult(
+                    speeds=speeds,
+                    sweeps=0,
+                    converged=True,
+                    max_delta_history=(),
+                    runtime_seconds=runtime,
+                    schedule=cfg.schedule,
+                    kernel=kernel,
+                )
+
+            if kernel is GSPKernel.VECTORIZED:
+                structure, structure_hit = self.structure_for(params)
+                compiled, schedule_hit = self.schedule_for(
+                    cfg.schedule, observed_set, structure
+                )
+                tracer.event(
+                    "gsp.cache", structure_hit=structure_hit, schedule_hit=schedule_hit
+                )
+                speeds, sweeps, converged, history = _vectorized_sweeps(
+                    structure, compiled, speeds, cfg
+                )
+            else:
+                structure_hit = schedule_hit = False
+                speeds, sweeps, converged, history = _reference_sweeps(
+                    self._network, params, observed_set, speeds, cfg
+                )
+
+            runtime = time.perf_counter() - start
+            span.set_attr("sweeps", sweeps)
+            span.set_attr("converged", converged)
+            self._record_metrics(
+                cfg, kernel, sweeps, converged, history, runtime, observed_set
+            )
+            if not converged:
+                residual = history[-1] if history else float("inf")
+                if cfg.strict:
+                    raise ConvergenceError(
+                        f"GSP did not reach epsilon={cfg.epsilon} within "
+                        f"{cfg.max_sweeps} sweeps (last delta {residual:.4g})"
+                    )
+                warnings.warn(
+                    f"GSP stopped at the max_sweeps={cfg.max_sweeps} cap without "
+                    f"reaching epsilon={cfg.epsilon} (residual {residual:.4g}); "
+                    f"returning the last iterate",
+                    ConvergenceWarning,
+                    stacklevel=3,
+                )
             return GSPResult(
                 speeds=speeds,
-                sweeps=0,
-                converged=True,
-                max_delta_history=(),
-                runtime_seconds=time.perf_counter() - start,
+                sweeps=sweeps,
+                converged=converged,
+                max_delta_history=tuple(history),
+                runtime_seconds=runtime,
                 schedule=cfg.schedule,
                 kernel=kernel,
+                provenance=GSPProvenance(
+                    structure_cache_hit=structure_hit,
+                    schedule_cache_hit=schedule_hit,
+                ),
             )
 
-        if kernel is GSPKernel.VECTORIZED:
-            structure, structure_hit = self.structure_for(params)
-            compiled, schedule_hit = self.schedule_for(
-                cfg.schedule, observed_set, structure
-            )
-            speeds, sweeps, converged, history = _vectorized_sweeps(
-                structure, compiled, speeds, cfg
-            )
-        else:
-            structure_hit = schedule_hit = False
-            speeds, sweeps, converged, history = _reference_sweeps(
-                self._network, params, observed_set, speeds, cfg
-            )
-
-        if not converged and cfg.strict:
-            raise ConvergenceError(
-                f"GSP did not reach epsilon={cfg.epsilon} within {cfg.max_sweeps} "
-                f"sweeps (last delta {history[-1]:.4g})"
-            )
-        return GSPResult(
-            speeds=speeds,
-            sweeps=sweeps,
-            converged=converged,
-            max_delta_history=tuple(history),
-            runtime_seconds=time.perf_counter() - start,
-            schedule=cfg.schedule,
-            kernel=kernel,
-            structure_cache_hit=structure_hit,
-            schedule_cache_hit=schedule_hit,
+    def _record_metrics(
+        self,
+        cfg: GSPConfig,
+        kernel: GSPKernel,
+        sweeps: int,
+        converged: bool,
+        history: Sequence[float],
+        runtime: float,
+        observed_set: frozenset,
+    ) -> None:
+        """Publish one propagation's counters (no-op while disabled)."""
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        labels = {"schedule": cfg.schedule.value, "kernel": kernel.value}
+        metrics.counter("gsp.propagations", labels).inc()
+        metrics.histogram("gsp.sweeps", DEFAULT_ITERATION_BUCKETS, labels).observe(sweeps)
+        metrics.histogram("gsp.runtime_seconds", DEFAULT_TIME_BUCKETS, labels).observe(
+            runtime
         )
+        metrics.counter("gsp.clamped_roads").inc(len(observed_set))
+        metrics.gauge("gsp.last_max_delta").set(history[-1] if history else 0.0)
+        if not converged:
+            metrics.counter("gsp.convergence.failures", labels).inc()
 
     def propagate_batch(
         self,
@@ -656,6 +775,8 @@ def _vectorized_sweeps(
                 group.nodes.size,
             )
         )
+    tracer = get_tracer()
+    trace_sweeps = tracer.enabled  # one bool check per sweep when disabled
     history: List[float] = []
     converged = False
     sweeps = 0
@@ -671,6 +792,8 @@ def _vectorized_sweeps(
                     max_delta = delta
                 speeds[nodes] = new
         history.append(max_delta)
+        if trace_sweeps:
+            tracer.event("gsp.sweep", sweep=sweep, max_delta=max_delta)
         if max_delta < cfg.epsilon:
             converged = True
             break
@@ -747,6 +870,8 @@ def _reference_sweeps(
             precision = prior_precision[i]
         return pull / precision
 
+    tracer = get_tracer()
+    trace_sweeps = tracer.enabled
     history: List[float] = []
     converged = False
     sweeps = 0
@@ -771,6 +896,8 @@ def _reference_sweeps(
                     max_delta = max(max_delta, abs(value - speeds[int(i)]))
                     speeds[int(i)] = value
         history.append(max_delta)
+        if trace_sweeps:
+            tracer.event("gsp.sweep", sweep=sweep, max_delta=max_delta)
         if max_delta < cfg.epsilon:
             converged = True
             break

@@ -27,14 +27,16 @@ Everything is vectorized over roads/edges; each CCD iteration costs
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConvergenceError, ModelError
+from repro.errors import ConvergenceError, ConvergenceWarning, ModelError
 from repro.core.rtf import PAIR_VARIANCE_FLOOR, RTFModel, RTFSlot, SIGMA_FLOOR
 from repro.network.graph import TrafficNetwork
+from repro.obs import DEFAULT_ITERATION_BUCKETS, get_metrics, get_tracer
 from repro.traffic.history import SpeedHistory
 
 
@@ -253,6 +255,10 @@ def infer_slot_parameters(
     Raises:
         ConvergenceError: Only in ``strict`` mode when the iteration
             budget is exhausted before the tolerance is met.
+
+    Warns:
+        ConvergenceWarning: In non-strict mode when the iteration budget
+            is exhausted; the last iterate is still returned.
     """
     cfg = config or RTFInferenceConfig()
     samples = _validate_samples(network, samples)
@@ -310,28 +316,66 @@ def infer_slot_parameters(
         return 0.0, trial
 
     diagnostics = InferenceDiagnostics()
+    tracer = get_tracer()
+    trace_iters = tracer.enabled
     step_mu = step_sigma = step_rho = cfg.step
-    for iteration in range(1, cfg.max_iters + 1):
-        g_mu = objective.grad_mu(mu, sigma, rho)
-        _, step_mu = ascend("mu", g_mu, step_mu)
-        g_sigma = objective.grad_sigma(mu, sigma, rho)
-        _, step_sigma = ascend("sigma", g_sigma, step_sigma)
-        g_rho = objective.grad_rho(mu, sigma, rho)
-        _, step_rho = ascend("rho", g_rho, step_rho)
+    with tracer.span(
+        "inference.fit_slot",
+        slot=int(slot),
+        init=cfg.init,
+        n_samples=int(samples.shape[0]),
+        n_roads=int(network.n_roads),
+    ) as span:
+        for iteration in range(1, cfg.max_iters + 1):
+            g_mu = objective.grad_mu(mu, sigma, rho)
+            _, step_mu = ascend("mu", g_mu, step_mu)
+            g_sigma = objective.grad_sigma(mu, sigma, rho)
+            _, step_sigma = ascend("sigma", g_sigma, step_sigma)
+            g_rho = objective.grad_rho(mu, sigma, rho)
+            _, step_rho = ascend("rho", g_rho, step_rho)
 
-        max_grad = float(np.max(np.abs(g_mu))) if g_mu.size else 0.0
-        diagnostics.iterations = iteration
-        diagnostics.final_grad_mu = max_grad
-        diagnostics.grad_mu_history.append(max_grad)
-        diagnostics.objective_history.append(objective.value(mu, sigma, rho))
-        if max_grad < cfg.tol:
-            diagnostics.converged = True
-            break
+            max_grad = float(np.max(np.abs(g_mu))) if g_mu.size else 0.0
+            diagnostics.iterations = iteration
+            diagnostics.final_grad_mu = max_grad
+            diagnostics.grad_mu_history.append(max_grad)
+            diagnostics.objective_history.append(objective.value(mu, sigma, rho))
+            if trace_iters:
+                tracer.event(
+                    "inference.iteration",
+                    iteration=iteration,
+                    max_grad_mu=max_grad,
+                    objective=diagnostics.objective_history[-1],
+                )
+            if max_grad < cfg.tol:
+                diagnostics.converged = True
+                break
+        span.set_attr("iterations", diagnostics.iterations)
+        span.set_attr("converged", diagnostics.converged)
 
-    if not diagnostics.converged and cfg.strict:
-        raise ConvergenceError(
-            f"slot {slot}: max |∂L/∂mu| = {diagnostics.final_grad_mu:.4g} after "
-            f"{cfg.max_iters} iterations (tol {cfg.tol})"
+    metrics = get_metrics()
+    if metrics.enabled:
+        labels = {"init": cfg.init}
+        metrics.counter("inference.fits", labels).inc()
+        metrics.histogram(
+            "inference.iterations", DEFAULT_ITERATION_BUCKETS, labels
+        ).observe(diagnostics.iterations)
+        metrics.gauge("inference.final_grad_mu").set(diagnostics.final_grad_mu)
+        if not diagnostics.converged:
+            metrics.counter("inference.nonconverged", labels).inc()
+
+    if not diagnostics.converged:
+        if cfg.strict:
+            raise ConvergenceError(
+                f"slot {slot}: max |∂L/∂mu| = {diagnostics.final_grad_mu:.4g} after "
+                f"{cfg.max_iters} iterations (tol {cfg.tol})"
+            )
+        warnings.warn(
+            f"RTF inference for slot {slot} stopped at the max_iters="
+            f"{cfg.max_iters} cap without reaching tol={cfg.tol} "
+            f"(max |∂L/∂mu| {diagnostics.final_grad_mu:.4g}); "
+            "returning the last iterate",
+            ConvergenceWarning,
+            stacklevel=2,
         )
     return RTFSlot(slot=slot, mu=mu, sigma=sigma, rho=rho), diagnostics
 

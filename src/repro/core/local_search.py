@@ -18,6 +18,7 @@ from typing import Optional, Sequence, Set, Tuple
 
 from repro.errors import SelectionError
 from repro.core.ocs import OCSInstance, OCSResult
+from repro.obs import DEFAULT_ITERATION_BUCKETS, get_metrics, get_tracer
 
 
 def _is_feasible_swap(
@@ -59,10 +60,13 @@ def local_search(
     if not instance.is_feasible(list(initial)):
         raise SelectionError("local search needs a feasible starting selection")
     start = time.perf_counter()
+    tracer = get_tracer()
     selected: Set[int] = {int(r) for r in initial}
     candidates = list(instance.candidates)
     best_objective = instance.objective(sorted(selected))
     rounds = 0
+    objective_evaluations = 1
+    moves_applied = {"add": 0, "swap": 0}
     for _ in range(max_rounds):
         rounds += 1
         best_move: Optional[Tuple[Optional[int], Optional[int]]] = None
@@ -74,12 +78,14 @@ def local_search(
             if not _is_feasible_swap(instance, selected, None, road):
                 continue
             gain = instance.objective(sorted(selected | {road})) - best_objective
+            objective_evaluations += 1
             if gain > best_gain:
                 best_gain, best_move = gain, (None, road)
         # Swaps (drop one, add one).
         for out in list(selected):
             without = selected - {out}
             base_without = instance.objective(sorted(without))
+            objective_evaluations += 1
             for road in candidates:
                 if road in selected:
                     continue
@@ -88,6 +94,7 @@ def local_search(
                 gain = (
                     instance.objective(sorted(without | {road})) - best_objective
                 )
+                objective_evaluations += 1
                 if gain > best_gain:
                     best_gain, best_move = gain, (out, road)
             # Pure drops can never improve a monotone objective; skip.
@@ -99,9 +106,14 @@ def local_search(
             selected.discard(out)
         if into is not None:
             selected.add(into)
+        kind = "add" if out is None else "swap"
+        moves_applied[kind] += 1
+        tracer.event(
+            "ocs.local_search.move", kind=kind, gain=best_gain, round=rounds
+        )
         best_objective += best_gain
     final = sorted(selected)
-    return OCSResult(
+    result = OCSResult(
         selected=tuple(final),
         objective=instance.objective(final),
         cost=instance.selection_cost(final),
@@ -109,6 +121,18 @@ def local_search(
         runtime_seconds=time.perf_counter() - start,
         algorithm="local-search",
     )
+    metrics = get_metrics()
+    if metrics.enabled:
+        labels = {"algorithm": "local-search"}
+        metrics.counter("ocs.solves", labels).inc()
+        metrics.counter("ocs.objective_evaluations", labels).inc(objective_evaluations)
+        metrics.histogram(
+            "ocs.local_search.rounds", DEFAULT_ITERATION_BUCKETS
+        ).observe(rounds)
+        for kind, count in moves_applied.items():
+            if count:
+                metrics.counter("ocs.local_search.moves", {"kind": kind}).inc(count)
+    return result
 
 
 def greedy_plus_local_search(

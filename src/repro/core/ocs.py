@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import BudgetError, SelectionError
+from repro.obs import DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics
 
 #: Hard cap for :func:`brute_force_ocs`; beyond this the search space
 #: (2^n subsets) is unreasonable.
@@ -175,9 +176,18 @@ class _GreedyState:
         self.remaining = float(instance.budget)
         self.selected: List[int] = []
         self.iterations = 0
+        # Telemetry tallies, flushed once per solve (see
+        # ``_flush_solver_metrics``): how many per-candidate marginal
+        # gains were evaluated and how many candidates the θ-redundancy
+        # bound pruned from R^w.
+        self.gain_calls = 0
+        self.candidate_evaluations = 0
+        self.pruned = 0
 
     def gains(self) -> np.ndarray:
         """Objective increment of adding each candidate (vector |c|)."""
+        self.gain_calls += 1
+        self.candidate_evaluations += self.c.size
         improvement = np.clip(self.corr_qc - self.best[:, None], 0.0, None)
         return self.sigma_q @ improvement
 
@@ -194,8 +204,46 @@ class _GreedyState:
         self.available[candidate_pos] = False
         # Redundancy: drop candidates too correlated with the new road.
         too_close = self.instance.corr[road, self.c] > self.instance.theta + 1e-12
+        self.pruned += int(np.count_nonzero(self.available & too_close))
         self.available &= ~too_close
         self.iterations += 1
+
+
+def _flush_solver_metrics(
+    result: OCSResult,
+    instance: OCSInstance,
+    state: Optional[_GreedyState] = None,
+    objective_evaluations: int = 0,
+) -> None:
+    """Publish one solver run's counters (single branch while disabled).
+
+    Greedy solvers hand their :class:`_GreedyState` over so the
+    per-round tallies (marginal-gain calls, candidate evaluations,
+    θ-pruned candidates) land on the registry in one flush instead of
+    touching it inside the selection loop.
+    """
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    labels = {"algorithm": result.algorithm}
+    metrics.counter("ocs.solves", labels).inc()
+    metrics.histogram("ocs.runtime_seconds", DEFAULT_TIME_BUCKETS, labels).observe(
+        result.runtime_seconds
+    )
+    metrics.histogram("ocs.selected_size", DEFAULT_SIZE_BUCKETS, labels).observe(
+        len(result.selected)
+    )
+    if objective_evaluations:
+        metrics.counter("ocs.objective_evaluations", labels).inc(objective_evaluations)
+    if state is not None:
+        metrics.counter("ocs.marginal_gain_calls", labels).inc(state.gain_calls)
+        metrics.counter("ocs.candidate_evaluations", labels).inc(
+            state.candidate_evaluations
+        )
+        metrics.counter("ocs.pruned_candidates", labels).inc(state.pruned)
+        metrics.gauge("ocs.pruning_rate", labels).set(
+            state.pruned / instance.n_candidates
+        )
 
 
 def _run_greedy(
@@ -217,7 +265,7 @@ def _run_greedy(
             break
         state.take(best_pos)
     runtime = time.perf_counter() - start
-    return OCSResult(
+    result = OCSResult(
         selected=tuple(state.selected),
         objective=instance.objective(state.selected),
         cost=instance.selection_cost(state.selected),
@@ -225,6 +273,8 @@ def _run_greedy(
         runtime_seconds=runtime,
         algorithm=name,
     )
+    _flush_solver_metrics(result, instance, state)
+    return result
 
 
 def ratio_greedy(instance: OCSInstance) -> OCSResult:
@@ -255,7 +305,7 @@ def hybrid_greedy(instance: OCSInstance) -> OCSResult:
     objective = objective_greedy(instance)
     winner = ratio if ratio.objective >= objective.objective else objective
     runtime = time.perf_counter() - start
-    return OCSResult(
+    result = OCSResult(
         selected=winner.selected,
         objective=winner.objective,
         cost=winner.cost,
@@ -263,6 +313,10 @@ def hybrid_greedy(instance: OCSInstance) -> OCSResult:
         runtime_seconds=runtime,
         algorithm="hybrid-greedy",
     )
+    # The two sub-greedies already flushed their own tallies; this only
+    # counts the hybrid solve itself.
+    _flush_solver_metrics(result, instance)
+    return result
 
 
 def random_selection(
@@ -277,7 +331,7 @@ def random_selection(
         if state.available[pos] and state.costs[pos] <= state.remaining + 1e-9:
             state.take(int(pos))
     runtime = time.perf_counter() - start
-    return OCSResult(
+    result = OCSResult(
         selected=tuple(state.selected),
         objective=instance.objective(state.selected),
         cost=instance.selection_cost(state.selected),
@@ -285,6 +339,8 @@ def random_selection(
         runtime_seconds=runtime,
         algorithm="random",
     )
+    _flush_solver_metrics(result, instance, state)
+    return result
 
 
 def brute_force_ocs(instance: OCSInstance) -> OCSResult:
@@ -328,7 +384,7 @@ def brute_force_ocs(instance: OCSInstance) -> OCSResult:
 
     recurse(0, [], 0.0)
     runtime = time.perf_counter() - start
-    return OCSResult(
+    result = OCSResult(
         selected=best_sel,
         objective=best_obj,
         cost=instance.selection_cost(best_sel),
@@ -336,6 +392,8 @@ def brute_force_ocs(instance: OCSInstance) -> OCSResult:
         runtime_seconds=runtime,
         algorithm="brute-force",
     )
+    _flush_solver_metrics(result, instance, objective_evaluations=examined)
+    return result
 
 
 def trivial_solution(instance: OCSInstance) -> Optional[OCSResult]:
@@ -362,7 +420,7 @@ def trivial_solution(instance: OCSInstance) -> Optional[OCSResult]:
     else:
         return None
     runtime = time.perf_counter() - start
-    return OCSResult(
+    result = OCSResult(
         selected=selected,
         objective=instance.objective(selected),
         cost=instance.selection_cost(selected),
@@ -370,3 +428,5 @@ def trivial_solution(instance: OCSInstance) -> Optional[OCSResult]:
         runtime_seconds=runtime,
         algorithm="trivial",
     )
+    _flush_solver_metrics(result, instance)
+    return result

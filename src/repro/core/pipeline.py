@@ -9,12 +9,14 @@ speed field from which the queried roads are answered.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ModelError, SelectionError
+from repro.obs import DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 from repro.core.correlation import CorrelationTable, PathWeightMode
 from repro.core.gsp import GSPConfig, GSPEngine, GSPResult
 from repro.core.inference import RTFInferenceConfig, fit_rtf
@@ -205,31 +207,48 @@ class CrowdRTSE:
         Returns:
             A :class:`QueryResult`.
         """
-        instance = self.build_ocs_instance(queried, slot, budget, market, theta)
-        selection: Optional[OCSResult] = None
-        if use_trivial_fast_path and selector != "random":
-            selection = trivial_solution(instance)
-        if selection is None:
-            if selector == "random":
-                selection = random_selection(instance, rng)
-            else:
-                try:
-                    solve = SELECTORS[selector]
-                except KeyError:
-                    raise SelectionError(
-                        f"unknown selector {selector!r}; choose from "
-                        f"{sorted(SELECTORS) + ['random']}"
-                    ) from None
-                selection = solve(instance)
+        tracer = get_tracer()
+        start = time.perf_counter()
+        with tracer.span(
+            "pipeline.answer_query",
+            slot=int(slot),
+            budget=float(budget),
+            queried=len(queried),
+            selector=selector,
+        ) as query_span:
+            instance = self.build_ocs_instance(queried, slot, budget, market, theta)
+            with tracer.span("ocs.select", selector=selector) as select_span:
+                selection: Optional[OCSResult] = None
+                if use_trivial_fast_path and selector != "random":
+                    selection = trivial_solution(instance)
+                if selection is None:
+                    if selector == "random":
+                        selection = random_selection(instance, rng)
+                    else:
+                        try:
+                            solve = SELECTORS[selector]
+                        except KeyError:
+                            raise SelectionError(
+                                f"unknown selector {selector!r}; choose from "
+                                f"{sorted(SELECTORS) + ['random']}"
+                            ) from None
+                        selection = solve(instance)
+                select_span.set_attr("algorithm", selection.algorithm)
+                select_span.set_attr("selected", len(selection.selected))
 
-        ledger = BudgetLedger(budget)
-        probes, receipts = market.probe(selection.selected, truth, ledger)
+            ledger = BudgetLedger(budget)
+            probes, receipts = market.probe(selection.selected, truth, ledger)
 
-        params = self._model.slot(slot)
-        gsp_result = self._gsp_engine.propagate(params, probes, gsp_config)
+            params = self._model.slot(slot)
+            gsp_result = self._gsp_engine.propagate(params, probes, gsp_config)
 
-        queried_tuple = tuple(int(q) for q in queried)
-        estimates = gsp_result.speeds[np.asarray(queried_tuple, dtype=int)]
+            queried_tuple = tuple(int(q) for q in queried)
+            estimates = gsp_result.speeds[np.asarray(queried_tuple, dtype=int)]
+            query_span.set_attr("budget_spent", ledger.spent)
+            query_span.set_attr("gsp_sweeps", gsp_result.sweeps)
+        self._record_query_metrics(
+            selector, ledger, time.perf_counter() - start
+        )
         return QueryResult(
             queried=queried_tuple,
             estimates_kmh=estimates,
@@ -240,6 +259,20 @@ class CrowdRTSE:
             gsp=gsp_result,
             budget_spent=ledger.spent,
         )
+
+    @staticmethod
+    def _record_query_metrics(
+        selector: str, ledger: BudgetLedger, latency_seconds: float
+    ) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        labels = {"selector": selector}
+        metrics.counter("pipeline.queries", labels).inc()
+        metrics.histogram(
+            "pipeline.latency_seconds", DEFAULT_TIME_BUCKETS, labels
+        ).observe(latency_seconds)
+        metrics.counter("pipeline.budget_spent").inc(ledger.spent)
 
     def propagate_slots(
         self,
@@ -264,7 +297,8 @@ class CrowdRTSE:
             The :class:`GSPResult` per slot, keyed like the input.
         """
         slots = list(observations)
-        results = self._gsp_engine.propagate_batch(
-            [(self._model.slot(t), observations[t]) for t in slots], gsp_config
-        )
+        with get_tracer().span("pipeline.propagate_slots", slots=len(slots)):
+            results = self._gsp_engine.propagate_batch(
+                [(self._model.slot(t), observations[t]) for t in slots], gsp_config
+            )
         return dict(zip(slots, results))

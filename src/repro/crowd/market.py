@@ -19,6 +19,7 @@ from repro.crowd.aggregation import Aggregator, aggregate_answers
 from repro.crowd.cost import CostModel
 from repro.crowd.workers import WorkerPool
 from repro.network.graph import TrafficNetwork
+from repro.obs import get_metrics, get_tracer
 
 #: A ground-truth oracle: road index -> current true speed (km/h).
 TruthOracle = Callable[[int], float]
@@ -154,30 +155,60 @@ class CrowdMarket:
             NoWorkersError: If a road has no workers.
             BudgetError: If the ledger cannot cover the answers.
         """
+        tracer = get_tracer()
+        trace_roads = tracer.enabled
         probes: Dict[int, float] = {}
         receipts: List[ProbeReceipt] = []
-        for road in roads:
-            road = int(road)
-            workers = self._pool.workers_on(road)
-            required = self._cost_model.cost_of(road)
-            if ledger is not None:
-                ledger.charge(road, required)
-            true_speed = float(truth(road))
-            if true_speed <= 0:
-                raise CrowdError(f"truth oracle returned {true_speed} for road {road}")
-            answers: List[float] = []
-            for k in range(required):
-                worker = workers[k % len(workers)]
-                answers.append(worker.measure(true_speed, self._rng))
-            value = aggregate_answers(answers, self._aggregator)
-            probes[road] = value
-            receipts.append(
-                ProbeReceipt(
-                    road_index=road,
-                    answers=tuple(answers),
-                    aggregated_kmh=value,
-                    paid=required,
-                    true_kmh=true_speed,
+        with tracer.span("crowd.execute", roads=len(roads)) as span:
+            for road in roads:
+                road = int(road)
+                workers = self._pool.workers_on(road)
+                required = self._cost_model.cost_of(road)
+                if ledger is not None:
+                    ledger.charge(road, required)
+                true_speed = float(truth(road))
+                if true_speed <= 0:
+                    raise CrowdError(
+                        f"truth oracle returned {true_speed} for road {road}"
+                    )
+                answers: List[float] = []
+                for k in range(required):
+                    worker = workers[k % len(workers)]
+                    answers.append(worker.measure(true_speed, self._rng))
+                value = aggregate_answers(answers, self._aggregator)
+                probes[road] = value
+                receipts.append(
+                    ProbeReceipt(
+                        road_index=road,
+                        answers=tuple(answers),
+                        aggregated_kmh=value,
+                        paid=required,
+                        true_kmh=true_speed,
+                    )
                 )
-            )
+                if trace_roads:
+                    tracer.event(
+                        "crowd.probe",
+                        road=road,
+                        answers=required,
+                        aggregated_kmh=value,
+                    )
+            span.set_attr("cost", sum(r.paid for r in receipts))
+        self._record_metrics(receipts, ledger)
         return probes, receipts
+
+    def _record_metrics(
+        self, receipts: Sequence[ProbeReceipt], ledger: Optional[BudgetLedger]
+    ) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled or not receipts:
+            return
+        metrics.counter("crowd.tasks_posted").inc(len(receipts))
+        metrics.counter("crowd.answers_collected").inc(
+            sum(len(r.answers) for r in receipts)
+        )
+        metrics.counter("crowd.cost_spent").inc(sum(r.paid for r in receipts))
+        if ledger is not None:
+            metrics.gauge("crowd.budget_total").set(ledger.budget)
+            metrics.gauge("crowd.budget_spent").set(ledger.spent)
+            metrics.gauge("crowd.budget_remaining").set(ledger.remaining)

@@ -71,3 +71,23 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
+
+
+class ObservabilityError(ReproError):
+    """Raised when the observability layer is misused.
+
+    Covers invalid metric names/labels, kind conflicts (re-registering a
+    counter name as a gauge), label-cardinality explosions, and exported
+    artifacts that fail schema validation.
+    """
+
+
+class ConvergenceWarning(RuntimeWarning):
+    """Warned when a non-strict iterative solver exhausts its budget.
+
+    Non-strict solvers historically returned their last iterate with a
+    ``converged=False`` flag and nothing else; this warning (plus the
+    ``*.convergence.failures`` counters) makes that failure visible
+    without changing the return contract.  Not a :class:`ReproError`
+    subclass — warnings must derive from :class:`Warning`.
+    """

@@ -13,6 +13,7 @@ import time
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.experiments import (
     ablations,
     allocation_study,
@@ -82,6 +83,7 @@ def _sections(scale: ExperimentScale) -> List[Tuple[str, Callable[[], str]]]:
 def run_all(
     scale: ExperimentScale = ExperimentScale.QUICK,
     out_dir: Optional[Path] = None,
+    metrics_out: Optional[Path] = None,
 ) -> str:
     """Run everything; return (and optionally write) the Markdown report.
 
@@ -89,7 +91,12 @@ def run_all(
         scale: Experiment sizing.
         out_dir: When given, writes ``REPORT.md`` plus one ``.txt`` per
             section into this directory.
+        metrics_out: When given, enables the metrics registry for the
+            run and writes its final snapshot JSON here.
     """
+    if metrics_out is not None:
+        obs.configure(metrics=True)
+        obs.get_metrics().reset()
     lines: List[str] = [
         f"# CrowdRTSE experiment report (scale: {scale.value})",
         "",
@@ -110,6 +117,8 @@ def run_all(
     report = "\n".join(lines)
     if out_dir is not None:
         (out_dir / "REPORT.md").write_text(report)
+    if metrics_out is not None:
+        obs.write_metrics_json(obs.get_metrics().snapshot(), metrics_out)
     return report
 
 
@@ -118,9 +127,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description="run every experiment")
     parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
     parser.add_argument("--out", default=None, help="output directory")
+    parser.add_argument(
+        "--metrics-out", default=None, help="write the metrics snapshot JSON here"
+    )
     args = parser.parse_args(argv)
     scale = ExperimentScale(args.scale)
-    report = run_all(scale, Path(args.out) if args.out else None)
+    report = run_all(
+        scale,
+        Path(args.out) if args.out else None,
+        Path(args.metrics_out) if args.metrics_out else None,
+    )
     print(report)
 
 

@@ -9,12 +9,15 @@ build, at a fixed budget.
 
 from __future__ import annotations
 
+import argparse
+import sys
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.correlation import CorrelationTable
 from repro.core.exact_inference import exact_conditional_mean
 from repro.core.gsp import GSPConfig, GSPEngine, GSPKernel, GSPSchedule
@@ -143,11 +146,27 @@ def format_table(points: Sequence[ScalabilityPoint]) -> str:
     return format_rows(header, body)
 
 
-def main() -> None:
-    """CLI entry: print the scalability table."""
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry: print the scalability table.
+
+    ``argv`` defaults to *no* arguments (not ``sys.argv``) because the
+    ``repro experiment`` dispatcher calls ``main()`` with its own CLI
+    flags still on ``sys.argv``.
+    """
+    parser = argparse.ArgumentParser(description="online-stage scalability")
+    parser.add_argument("--scale", choices=("quick", "paper"), default="paper")
+    parser.add_argument(
+        "--metrics-out", default=None, help="write the metrics snapshot JSON here"
+    )
+    args = parser.parse_args(argv if argv is not None else [])
+    if args.metrics_out:
+        obs.configure(metrics=True)
+        obs.get_metrics().reset()
     print("Online-stage scalability vs network size (budget fixed)")
-    print(format_table(run(ExperimentScale.PAPER)))
+    print(format_table(run(ExperimentScale(args.scale))))
+    if args.metrics_out:
+        obs.write_metrics_json(obs.get_metrics().snapshot(), args.metrics_out)
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

@@ -1,0 +1,148 @@
+"""Observability for the CrowdRTSE pipeline (zero hard dependencies).
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  of labeled counters, gauges, and fixed-bucket histograms;
+* :mod:`repro.obs.tracing` — a :class:`Tracer` producing nested spans
+  (``pipeline.answer_query`` → ``ocs.select`` → ``crowd.execute`` →
+  ``gsp.propagate`` → per-sweep events) with wall/CPU time, exportable
+  as JSON-lines and Chrome trace-event JSON;
+* :mod:`repro.obs.export` — Prometheus-text / JSON exporters plus the
+  schema validators behind ``python -m repro.obs.export``.
+
+Both the default registry and the default tracer are **disabled** at
+import: every instrumentation site in the hot paths degrades to a
+branch-and-return, enforced by ``benchmarks/test_perf_obs_overhead.py``.
+Turn them on with :func:`configure` (or ``REPRO_OBS=metrics,trace`` in
+the environment), e.g.::
+
+    from repro import obs
+
+    obs.configure(metrics=True, tracing=True)
+    ...  # run queries
+    print(obs.prometheus_text())
+    obs.get_tracer().export_jsonl("trace.jsonl")
+
+The metric name catalog and trace schema live in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_ITERATION_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, SpanRecord, Tracer
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    metrics_from_jsonl,
+    metrics_to_jsonl,
+    parse_prometheus_text,
+    read_metrics_json,
+    to_prometheus_text,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_trace_jsonl,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "METRICS_SCHEMA",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_ITERATION_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "configure",
+    "disable_all",
+    "get_metrics",
+    "get_tracer",
+    "metrics_from_jsonl",
+    "metrics_to_jsonl",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_metrics_json",
+    "reset",
+    "to_prometheus_text",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
+    "validate_trace_jsonl",
+    "write_metrics_json",
+]
+
+#: The process-wide registry/tracer the instrumented code paths use.
+_metrics = MetricsRegistry(enabled=False)
+_tracer = Tracer(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (disabled by default)."""
+    return _metrics
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled by default)."""
+    return _tracer
+
+
+def configure(
+    metrics: Optional[bool] = None, tracing: Optional[bool] = None
+) -> None:
+    """Enable/disable the process-wide registry and tracer.
+
+    Args:
+        metrics: When given, enable (True) or disable (False) metrics.
+        tracing: When given, enable (True) or disable (False) tracing.
+    """
+    if metrics is not None:
+        (_metrics.enable if metrics else _metrics.disable)()
+    if tracing is not None:
+        (_tracer.enable if tracing else _tracer.disable)()
+
+
+def disable_all() -> None:
+    """Disable both the registry and the tracer."""
+    configure(metrics=False, tracing=False)
+
+
+def reset() -> None:
+    """Zero the registry and drop completed spans (state kept enabled/disabled)."""
+    _metrics.reset()
+    _tracer.reset()
+
+
+def prometheus_text() -> str:
+    """The current registry snapshot in Prometheus text format."""
+    return to_prometheus_text(_metrics.snapshot())
+
+
+def _configure_from_env() -> None:
+    """Honour ``REPRO_OBS`` (``1``/``all``, ``metrics``, ``trace``)."""
+    raw = os.environ.get("REPRO_OBS", "").strip().lower()
+    if not raw:
+        return
+    parts = {part.strip() for part in raw.split(",") if part.strip()}
+    if parts & {"1", "all", "true", "on"}:
+        configure(metrics=True, tracing=True)
+        return
+    configure(
+        metrics=True if "metrics" in parts else None,
+        tracing=True if {"trace", "tracing"} & parts else None,
+    )
+
+
+_configure_from_env()

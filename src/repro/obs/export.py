@@ -1,0 +1,372 @@
+"""Exporters and schema validators for the observability artifacts.
+
+Three interchange formats:
+
+* **Prometheus text** (:func:`to_prometheus_text`) — the standard
+  exposition format; counters gain a ``_total`` suffix, histograms
+  expand into cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+  ``_count``.  :func:`parse_prometheus_text` inverts it so snapshots
+  round-trip (modulo the ``.`` → ``_`` name sanitization).
+* **Metrics JSON / JSON-lines** (:func:`write_metrics_json`,
+  :func:`metrics_to_jsonl` / :func:`metrics_from_jsonl`) — lossless
+  snapshot serialization; the ``--metrics-out`` artifact the experiment
+  drivers write next to their results so benchmark deltas diff cleanly.
+* **Trace exports** — produced by :class:`repro.obs.tracing.Tracer`;
+  validated here (:func:`validate_trace_jsonl`,
+  :func:`validate_chrome_trace`).
+
+``python -m repro.obs.export --validate-metrics m.json --validate-trace
+t.jsonl`` validates artifacts from the command line (the CI smoke job's
+second half).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Identifies the metrics snapshot artifact schema.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ ]+)$"
+)
+_PROM_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name for Prometheus (``.`` → ``_``)."""
+    return _PROM_NAME_RE.sub("_", name)
+
+
+def _format_labels(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format."""
+    lines: List[str] = []
+    seen_type: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_type:
+            seen_type.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = prometheus_name(entry["name"]) + "_total"
+        type_line(name, "counter")
+        lines.append(f"{name}{_format_labels(entry['labels'])} {_format_value(entry['value'])}")
+    for entry in snapshot.get("gauges", ()):
+        name = prometheus_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_format_labels(entry['labels'])} {_format_value(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        name = prometheus_name(entry["name"])
+        type_line(name, "histogram")
+        cumulative = 0
+        edges = list(entry["buckets"]) + [float("inf")]
+        for edge, count in zip(edges, entry["counts"]):
+            cumulative += count
+            le = ("le", _format_value(edge))
+            lines.append(
+                f"{name}_bucket{_format_labels(entry['labels'], (le,))} {cumulative}"
+            )
+        lines.append(f"{name}_sum{_format_labels(entry['labels'])} {_format_value(entry['sum'])}")
+        lines.append(f"{name}_count{_format_labels(entry['labels'])} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse Prometheus text back into ``{family: {series: value}}``.
+
+    Returns a dict keyed by family name; each family holds ``kind`` and
+    ``samples`` — a dict from the rendered ``name{labels}`` series key
+    to its float value.  Used by tests to prove snapshots round-trip.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"kind": kind.strip(), "samples": {}})
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_LINE_RE.match(line)
+        if not match:
+            raise ObservabilityError(f"unparseable Prometheus line: {raw!r}")
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        series = match.group("name") + (
+            "{" + match.group("labels") + "}" if match.group("labels") else ""
+        )
+        # Attach the sample to its family (histogram children _bucket /
+        # _sum / _count belong to the base family).
+        base = match.group("name")
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in families:
+                base = base[: -len(suffix)]
+                break
+        family = families.setdefault(base, {"kind": "untyped", "samples": {}})
+        family["samples"][series] = value
+    return families
+
+
+# ----------------------------------------------------------------------
+# Metrics JSON / JSON-lines
+# ----------------------------------------------------------------------
+
+
+def metrics_to_jsonl(snapshot: Mapping[str, Any]) -> str:
+    """One JSON line per series: ``{"kind", "name", "labels", ...}``."""
+    lines: List[str] = []
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in snapshot.get(kind, ()):
+            record = {"kind": kind[:-1], **entry}
+            lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_from_jsonl(text: str) -> Dict[str, List[Dict[str, Any]]]:
+    """Invert :func:`metrics_to_jsonl` back into a snapshot dict."""
+    snapshot: Dict[str, List[Dict[str, Any]]] = {
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+    }
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.pop("kind", None)
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ObservabilityError(f"bad metrics JSONL record kind: {kind!r}")
+        snapshot[kind + "s"].append(record)
+    return snapshot
+
+
+def write_metrics_json(snapshot: Mapping[str, Any], path: str) -> None:
+    """Write the ``--metrics-out`` artifact (schema-tagged snapshot)."""
+    document = {"schema": METRICS_SCHEMA, "snapshot": snapshot}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_metrics_json(path: str) -> Dict[str, Any]:
+    """Load and validate a ``--metrics-out`` artifact; return the snapshot."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("schema") != METRICS_SCHEMA:
+        raise ObservabilityError(
+            f"{path}: not a {METRICS_SCHEMA} document"
+        )
+    snapshot = document.get("snapshot")
+    validate_metrics_snapshot(snapshot)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Validators
+# ----------------------------------------------------------------------
+
+
+def validate_metrics_snapshot(snapshot: Any) -> None:
+    """Raise :class:`ObservabilityError` unless ``snapshot`` is well-formed."""
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        raise ObservabilityError("metrics snapshot must be a dict")
+    for kind in ("counters", "gauges", "histograms"):
+        entries = snapshot.get(kind)
+        if not isinstance(entries, list):
+            problems.append(f"missing or non-list {kind!r} section")
+            continue
+        for i, entry in enumerate(entries):
+            where = f"{kind}[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: not a dict")
+                continue
+            if not isinstance(entry.get("name"), str) or not entry.get("name"):
+                problems.append(f"{where}: missing name")
+            if not isinstance(entry.get("labels"), dict):
+                problems.append(f"{where}: missing labels dict")
+            if kind == "histograms":
+                buckets = entry.get("buckets")
+                counts = entry.get("counts")
+                if not isinstance(buckets, list) or not isinstance(counts, list):
+                    problems.append(f"{where}: missing buckets/counts")
+                elif len(counts) != len(buckets) + 1:
+                    problems.append(
+                        f"{where}: counts must have len(buckets)+1 entries "
+                        f"(+Inf bucket), got {len(counts)} for {len(buckets)}"
+                    )
+                elif list(buckets) != sorted(buckets):
+                    problems.append(f"{where}: buckets not sorted")
+                if not isinstance(entry.get("count"), int):
+                    problems.append(f"{where}: missing integer count")
+                elif isinstance(counts, list) and len(counts) == len(buckets or []) + 1 \
+                        and sum(counts) != entry["count"]:
+                    problems.append(f"{where}: bucket counts do not sum to count")
+            else:
+                if not isinstance(entry.get("value"), (int, float)):
+                    problems.append(f"{where}: missing numeric value")
+    if problems:
+        raise ObservabilityError(
+            "invalid metrics snapshot: " + "; ".join(problems)
+        )
+
+
+_SPAN_REQUIRED = {
+    "type": str,
+    "span_id": int,
+    "name": str,
+    "thread": str,
+    "thread_id": int,
+    "start_unix": (int, float),
+    "wall_s": (int, float),
+    "cpu_s": (int, float),
+    "attrs": dict,
+    "events": list,
+}
+
+
+def validate_trace_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Validate a JSON-lines trace export; return the parsed spans.
+
+    Checks field presence/types, that every non-null ``parent_id``
+    refers to an exported span, and that events carry a name and a
+    non-negative offset.
+    """
+    spans: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        for key, kinds in _SPAN_REQUIRED.items():
+            if not isinstance(span.get(key), kinds):
+                problems.append(f"line {lineno}: bad or missing {key!r}")
+        if span.get("type") != "span":
+            problems.append(f"line {lineno}: type must be 'span'")
+        parent = span.get("parent_id")
+        if parent is not None and not isinstance(parent, int):
+            problems.append(f"line {lineno}: parent_id must be int or null")
+        for j, event in enumerate(span.get("events", [])):
+            if not isinstance(event, dict) or not isinstance(event.get("name"), str):
+                problems.append(f"line {lineno}: event[{j}] missing name")
+            elif not isinstance(event.get("t_offset_s"), (int, float)) or event["t_offset_s"] < 0:
+                problems.append(f"line {lineno}: event[{j}] bad t_offset_s")
+        spans.append(span)
+    ids = {span.get("span_id") for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"span {span.get('span_id')}: dangling parent_id {parent}"
+            )
+    if not spans:
+        problems.append("trace contains no spans")
+    if problems:
+        raise ObservabilityError("invalid trace JSONL: " + "; ".join(problems))
+    return spans
+
+
+def validate_chrome_trace(document: Any) -> List[Dict[str, Any]]:
+    """Validate a Chrome trace-event export; return the event list."""
+    problems: List[str] = []
+    if not isinstance(document, dict) or not isinstance(
+        document.get("traceEvents"), list
+    ):
+        raise ObservabilityError("chrome trace must be {'traceEvents': [...]}")
+    events = document["traceEvents"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"traceEvents[{i}]: not a dict")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"traceEvents[{i}]: missing name")
+        if event.get("ph") not in ("X", "i", "I", "B", "E"):
+            problems.append(f"traceEvents[{i}]: bad ph {event.get('ph')!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"traceEvents[{i}]: missing ts")
+        if event.get("ph") == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"traceEvents[{i}]: complete event missing dur")
+    if problems:
+        raise ObservabilityError("invalid chrome trace: " + "; ".join(problems))
+    return events
+
+
+# ----------------------------------------------------------------------
+# CLI validation surface (used by the CI observability smoke job)
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Validate exported observability artifacts from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.export",
+        description="validate exported metrics/trace artifacts",
+    )
+    parser.add_argument("--validate-metrics", help="metrics JSON artifact path")
+    parser.add_argument("--validate-trace", help="trace JSON-lines artifact path")
+    parser.add_argument("--validate-chrome", help="chrome trace-event artifact path")
+    args = parser.parse_args(argv)
+    if not (args.validate_metrics or args.validate_trace or args.validate_chrome):
+        parser.error("nothing to validate")
+    try:
+        if args.validate_metrics:
+            snapshot = read_metrics_json(args.validate_metrics)
+            n = sum(len(snapshot[k]) for k in ("counters", "gauges", "histograms"))
+            print(f"{args.validate_metrics}: valid metrics snapshot ({n} series)")
+        if args.validate_trace:
+            with open(args.validate_trace, "r", encoding="utf-8") as handle:
+                spans = validate_trace_jsonl(handle.read())
+            roots = sum(1 for span in spans if span["parent_id"] is None)
+            print(
+                f"{args.validate_trace}: valid trace "
+                f"({len(spans)} spans, {roots} roots)"
+            )
+        if args.validate_chrome:
+            with open(args.validate_chrome, "r", encoding="utf-8") as handle:
+                events = validate_chrome_trace(json.load(handle))
+            print(f"{args.validate_chrome}: valid chrome trace ({len(events)} events)")
+    except (OSError, json.JSONDecodeError, ObservabilityError) as exc:
+        print(f"validation failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

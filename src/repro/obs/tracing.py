@@ -1,0 +1,332 @@
+"""Nested span tracing for the online CrowdRTSE loop.
+
+A :class:`Tracer` produces a tree of spans — ``pipeline.answer_query``
+→ ``ocs.select`` / ``crowd.execute`` / ``gsp.propagate`` → per-sweep
+events — with wall *and* CPU time per span.  Completed spans are kept
+in-process and exported on demand as JSON-lines (one span per line) or
+Chrome ``chrome://tracing`` / Perfetto trace-event JSON.
+
+Design constraints:
+
+* **Zero hard dependencies** — stdlib only.
+* **No-op cheap when disabled** — ``tracer.span(...)`` returns a shared
+  null context manager without allocating, and ``tracer.event(...)``
+  returns after one branch.  Hot loops additionally gate on
+  :attr:`Tracer.enabled` so a disabled tracer costs one bool check per
+  sweep.
+* **Thread-safe and reentrant** — the active-span stack is per-thread
+  (``threading.local``), so concurrent queries on worker threads build
+  independent, correctly-parented subtrees; the completed-span list is
+  guarded by a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # thread CPU clock: Linux/macOS; fall back to the process clock.
+    time.thread_time()
+    _cpu_clock = time.thread_time
+except (AttributeError, OSError):  # pragma: no cover - exotic platforms
+    _cpu_clock = time.process_time
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        span_id: Unique id within the tracer (creation order).
+        parent_id: Enclosing span's id, or ``None`` for roots.
+        name: Span name, dotted (``gsp.propagate``).
+        thread: Name of the thread the span ran on.
+        thread_id: OS-level thread ident.
+        start_unix: Wall-clock start (seconds since the epoch).
+        wall_s: Wall-clock duration in seconds.
+        cpu_s: CPU time consumed by the owning thread, in seconds.
+        attrs: Static attributes set at creation or via ``set_attr``.
+        events: Point-in-time events: ``{"name", "t_offset_s", "attrs"}``
+            dicts, offset from the span start.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    thread: str
+    thread_id: int
+    start_unix: float
+    wall_s: float
+    cpu_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: Tuple[Dict[str, Any], ...] = ()
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def event(self, name: str, **attrs: Any) -> None:  # noqa: D102 - no-op
+        pass
+
+    def set_attr(self, key: str, value: Any) -> None:  # noqa: D102 - no-op
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """An active span; use as a context manager (via :meth:`Tracer.span`)."""
+
+    __slots__ = (
+        "tracer", "name", "attrs", "events",
+        "span_id", "parent_id", "_t0", "_cpu0", "start_unix",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+        self.start_unix = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = self.tracer._next_id()
+        stack.append(self)
+        self.start_unix = time.time()
+        self._cpu0 = _cpu_clock()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = _cpu_clock() - self._cpu0
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - misnested exit
+            stack.remove(self)
+        self.tracer._append(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                thread=threading.current_thread().name,
+                thread_id=threading.get_ident(),
+                start_unix=self.start_unix,
+                wall_s=wall,
+                cpu_s=cpu,
+                attrs=self.attrs,
+                events=tuple(self.events),
+            )
+        )
+        return False
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point-in-time event to this span."""
+        self.events.append(
+            {
+                "name": name,
+                "t_offset_s": time.perf_counter() - self._t0,
+                "attrs": attrs,
+            }
+        )
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Set a span attribute (visible in every export format)."""
+        self.attrs[key] = value
+
+
+class Tracer:
+    """Produces nested spans; see the module docstring.
+
+    Args:
+        enabled: Initial state; disabled tracers are no-op cheap.
+        max_spans: Cap on retained completed spans; further spans are
+            dropped (counted in :attr:`dropped`) so a forgotten enabled
+            tracer cannot grow memory without bound.
+    """
+
+    def __init__(self, enabled: bool = False, max_spans: int = 100_000) -> None:
+        self._enabled = bool(enabled)
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+        self._id_counter = 0
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans/events are recorded."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (``span()`` returns a shared null span)."""
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all completed spans (active spans are unaffected)."""
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    # -- recording ------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._records.append(record)
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with tracer.span("gsp.propagate", ...):``.
+
+        Returns the shared null span while disabled.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach an event to the innermost active span on this thread.
+
+        Dropped silently when disabled or when no span is active (an
+        event without a span has no position in the tree).
+        """
+        if not self._enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].event(name, **attrs)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost active span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def records(self) -> Tuple[SpanRecord, ...]:
+        """All completed spans, in completion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    # -- export ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize completed spans as JSON-lines (one span per line)."""
+        lines = []
+        for record in self.records():
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "span_id": record.span_id,
+                        "parent_id": record.parent_id,
+                        "name": record.name,
+                        "thread": record.thread,
+                        "thread_id": record.thread_id,
+                        "start_unix": record.start_unix,
+                        "wall_s": record.wall_s,
+                        "cpu_s": record.cpu_s,
+                        "attrs": record.attrs,
+                        "events": list(record.events),
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Serialize as Chrome/Perfetto trace-event JSON.
+
+        Spans become complete (``"ph": "X"``) events with microsecond
+        timestamps; span events become thread-scoped instant
+        (``"ph": "i"``) events.  Load the result in ``chrome://tracing``
+        or https://ui.perfetto.dev.
+        """
+        records = self.records()
+        # Small stable tids: order of first appearance.
+        tid_of: Dict[int, int] = {}
+        for record in records:
+            tid_of.setdefault(record.thread_id, len(tid_of))
+        events: List[Dict[str, Any]] = []
+        for record in records:
+            ts_us = record.start_unix * 1e6
+            tid = tid_of[record.thread_id]
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": record.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": ts_us,
+                    "dur": record.wall_s * 1e6,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {
+                        **record.attrs,
+                        "span_id": record.span_id,
+                        "parent_id": record.parent_id,
+                        "cpu_s": record.cpu_s,
+                    },
+                }
+            )
+            for event in record.events:
+                events.append(
+                    {
+                        "name": event["name"],
+                        "cat": event["name"].split(".", 1)[0],
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts_us + event["t_offset_s"] * 1e6,
+                        "pid": 0,
+                        "tid": tid,
+                        "args": dict(event.get("attrs", {})),
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_jsonl(self, path: str) -> None:
+        """Write :meth:`to_jsonl` output to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` output to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, sort_keys=True)

@@ -1,0 +1,191 @@
+"""Tests for the exporters and validators (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics_from_jsonl,
+    metrics_to_jsonl,
+    parse_prometheus_text,
+    read_metrics_json,
+    to_prometheus_text,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    validate_trace_jsonl,
+    write_metrics_json,
+)
+from repro.obs.export import main as export_main, prometheus_name
+
+
+@pytest.fixture()
+def sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("gsp.propagations", {"schedule": "bfs", "kernel": "vec"}).inc(3)
+    registry.counter("crowd.cost_spent").inc(42)
+    registry.gauge("crowd.budget_remaining").set(18.0)
+    hist = registry.histogram("gsp.sweeps", buckets=(1.0, 5.0, 10.0))
+    for value in (1, 4, 6, 20):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestPrometheus:
+    def test_golden_text(self, sample_snapshot):
+        text = to_prometheus_text(sample_snapshot)
+        expected = (
+            "# TYPE crowd_cost_spent_total counter\n"
+            "crowd_cost_spent_total 42\n"
+            "# TYPE gsp_propagations_total counter\n"
+            'gsp_propagations_total{kernel="vec",schedule="bfs"} 3\n'
+            "# TYPE crowd_budget_remaining gauge\n"
+            "crowd_budget_remaining 18\n"
+            "# TYPE gsp_sweeps histogram\n"
+            'gsp_sweeps_bucket{le="1"} 1\n'
+            'gsp_sweeps_bucket{le="5"} 2\n'
+            'gsp_sweeps_bucket{le="10"} 3\n'
+            'gsp_sweeps_bucket{le="+Inf"} 4\n'
+            "gsp_sweeps_sum 31\n"
+            "gsp_sweeps_count 4\n"
+        )
+        assert text == expected
+
+    def test_round_trip_recovers_families_and_values(self, sample_snapshot):
+        families = parse_prometheus_text(to_prometheus_text(sample_snapshot))
+        assert families["crowd_cost_spent_total"]["kind"] == "counter"
+        assert families["crowd_cost_spent_total"]["samples"] == {
+            "crowd_cost_spent_total": 42.0
+        }
+        assert families["gsp_sweeps"]["kind"] == "histogram"
+        samples = families["gsp_sweeps"]["samples"]
+        assert samples['gsp_sweeps_bucket{le="+Inf"}'] == 4.0
+        assert samples["gsp_sweeps_count"] == 4.0
+        assert samples["gsp_sweeps_sum"] == 31.0
+        assert (
+            families["gsp_propagations_total"]["samples"][
+                'gsp_propagations_total{kernel="vec",schedule="bfs"}'
+            ]
+            == 3.0
+        )
+
+    def test_name_sanitization(self):
+        assert prometheus_name("gsp.cache.lookups") == "gsp_cache_lookups"
+        assert prometheus_name("ok_name") == "ok_name"
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ObservabilityError, match="unparseable"):
+            parse_prometheus_text("!!! not prometheus")
+
+
+class TestMetricsJson:
+    def test_jsonl_round_trip_is_lossless(self, sample_snapshot):
+        assert metrics_from_jsonl(metrics_to_jsonl(sample_snapshot)) == sample_snapshot
+
+    def test_jsonl_bad_kind_raises(self):
+        with pytest.raises(ObservabilityError, match="kind"):
+            metrics_from_jsonl('{"kind": "mystery", "name": "x"}')
+
+    def test_file_round_trip_with_schema(self, sample_snapshot, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(sample_snapshot, str(path))
+        assert read_metrics_json(str(path)) == sample_snapshot
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.metrics/v1"
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/v9", "snapshot": {}}')
+        with pytest.raises(ObservabilityError, match="repro.metrics/v1"):
+            read_metrics_json(str(path))
+
+
+class TestValidators:
+    def test_metrics_validator_accepts_real_snapshot(self, sample_snapshot):
+        validate_metrics_snapshot(sample_snapshot)
+
+    def test_metrics_validator_rejects_bad_counts(self, sample_snapshot):
+        sample_snapshot["histograms"][0]["counts"].append(99)
+        with pytest.raises(ObservabilityError, match="len\\(buckets\\)\\+1"):
+            validate_metrics_snapshot(sample_snapshot)
+
+    def test_metrics_validator_rejects_count_mismatch(self, sample_snapshot):
+        sample_snapshot["histograms"][0]["count"] = 999
+        with pytest.raises(ObservabilityError, match="do not sum"):
+            validate_metrics_snapshot(sample_snapshot)
+
+    def test_trace_validator_accepts_real_export(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner") as span:
+                span.event("tick", n=1)
+        spans = validate_trace_jsonl(tracer.to_jsonl())
+        assert {s["name"] for s in spans} == {"outer", "inner"}
+
+    def test_trace_validator_rejects_dangling_parent(self):
+        line = json.dumps(
+            {
+                "type": "span", "span_id": 2, "parent_id": 99, "name": "s",
+                "thread": "t", "thread_id": 1, "start_unix": 0.0,
+                "wall_s": 0.0, "cpu_s": 0.0, "attrs": {}, "events": [],
+            }
+        )
+        with pytest.raises(ObservabilityError, match="dangling parent_id"):
+            validate_trace_jsonl(line)
+
+    def test_trace_validator_rejects_empty(self):
+        with pytest.raises(ObservabilityError, match="no spans"):
+            validate_trace_jsonl("")
+
+    def test_chrome_validator_accepts_real_export(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s") as span:
+            span.event("e")
+        events = validate_chrome_trace(tracer.to_chrome_trace())
+        assert len(events) == 2
+
+    def test_chrome_validator_rejects_bad_shape(self):
+        with pytest.raises(ObservabilityError, match="traceEvents"):
+            validate_chrome_trace(["not", "a", "dict"])
+        with pytest.raises(ObservabilityError, match="missing dur"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0}]}
+            )
+
+
+class TestCli:
+    def test_validate_all_artifacts(self, sample_snapshot, tmp_path, capsys):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        chrome_path = tmp_path / "c.json"
+        write_metrics_json(sample_snapshot, str(metrics_path))
+        tracer.export_jsonl(str(trace_path))
+        tracer.export_chrome_trace(str(chrome_path))
+        code = export_main(
+            [
+                "--validate-metrics", str(metrics_path),
+                "--validate-trace", str(trace_path),
+                "--validate-chrome", str(chrome_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid metrics snapshot (4 series)" in out
+        assert "valid trace (1 spans, 1 roots)" in out
+        assert "valid chrome trace (1 events)" in out
+
+    def test_invalid_artifact_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert export_main(["--validate-metrics", str(bad)]) == 1
+        assert "validation failed" in capsys.readouterr().err

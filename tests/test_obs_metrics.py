@@ -1,0 +1,173 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import _NOOP
+
+
+class TestCounter:
+    def test_counts_and_defaults(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("gsp.propagations")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            registry.counter("ocs.solves").inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.counter("gsp.sweeps", {"schedule": "bfs"}).inc(3)
+        registry.counter("gsp.sweeps", {"schedule": "bfs_colored"}).inc(7)
+        assert registry.counter("gsp.sweeps", {"schedule": "bfs"}).value == 3
+        assert registry.counter("gsp.sweeps", {"schedule": "bfs_colored"}).value == 7
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("x", {"a": 1, "b": 2}).inc()
+        registry.counter("x", {"b": 2, "a": 1}).inc()
+        (entry,) = registry.snapshot()["counters"]
+        assert entry["value"] == 2
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("crowd.budget_remaining")
+        gauge.set(30.0)
+        gauge.inc(-10.0)
+        assert gauge.value == 20.0
+
+
+class TestHistogram:
+    def test_bucket_edges_le_semantics(self):
+        """A value equal to an edge lands in that edge's bucket."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 1.0001, 5.0, 10.0, 11.0):
+            hist.observe(value)
+        # buckets: <=1 gets {0.5, 1.0}; <=5 gets {1.0001, 5.0}; <=10 gets
+        # {10.0}; +Inf gets {11.0}.
+        assert hist.bucket_counts() == (2, 2, 1, 1)
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(28.5001)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            registry.histogram("h", buckets=(5.0, 1.0))
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            registry.histogram("h2", buckets=(1.0, 1.0, 2.0))
+
+    def test_bucket_redefinition_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        # Same edges are fine (idempotent re-registration).
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("gsp.sweeps")
+        with pytest.raises(ObservabilityError, match="is a counter"):
+            registry.gauge("gsp.sweeps")
+
+    def test_invalid_names_and_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="invalid metric name"):
+            registry.counter("Bad-Name")
+        with pytest.raises(ObservabilityError, match="invalid label key"):
+            registry.counter("ok", {"Bad Key": "x"})
+
+    def test_label_cardinality_cap(self):
+        registry = MetricsRegistry(max_series_per_metric=3)
+        for i in range(3):
+            registry.counter("c", {"road": i}).inc()
+        with pytest.raises(ObservabilityError, match="high-cardinality"):
+            registry.counter("c", {"road": 99})
+        # Existing series remain reachable after the rejection.
+        assert registry.counter("c", {"road": 0}).value == 1
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("anything.goes")
+        assert counter is _NOOP
+        counter.inc(100)
+        assert counter.value == 0.0
+        # Nothing was registered.
+        snap = registry.snapshot()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_enable_disable_toggles_recording(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.enable()
+        registry.counter("c").inc()
+        registry.disable()
+        registry.counter("c").inc()
+        registry.enable()
+        assert registry.counter("c").value == 1
+
+    def test_reset_zeroes_but_keeps_handles_live(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", buckets=(1.0,))
+        counter.inc(5)
+        hist.observe(0.5)
+        registry.reset()
+        assert counter.value == 0
+        assert hist.count == 0
+        counter.inc()  # the old handle still feeds the registry
+        assert registry.snapshot()["counters"][0]["value"] == 1
+
+    def test_snapshot_is_deterministic_and_jsonable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b.counter", {"z": 1, "a": 2}).inc()
+        registry.counter("a.counter").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(3.0)
+        snap = registry.snapshot()
+        assert [e["name"] for e in snap["counters"]] == ["a.counter", "b.counter"]
+        assert snap["histograms"][0]["counts"] == [0, 0, 1]
+        json.dumps(snap)  # must not raise
+        assert registry.snapshot() == snap
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", buckets=(10.0, 100.0))
+        n_threads, n_iters = 8, 500
+
+        def worker(seed: int) -> None:
+            for i in range(n_iters):
+                counter.inc()
+                hist.observe(float((seed + i) % 150))
+                registry.counter("labeled", {"t": seed % 4}).inc()
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == n_threads * n_iters
+        assert hist.count == n_threads * n_iters
+        assert sum(hist.bucket_counts()) == n_threads * n_iters
+        labeled = registry.snapshot()["counters"]
+        total = sum(e["value"] for e in labeled if e["name"] == "labeled")
+        assert total == n_threads * n_iters

@@ -1,0 +1,200 @@
+"""Unit tests for the span tracer (repro.obs.tracing)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.tracing import _NULL_SPAN
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner"):
+                    pass
+        records = {r.name: r for r in tracer.records()}
+        assert records["outer"].parent_id is None
+        assert records["middle"].parent_id == records["outer"].span_id
+        assert records["inner"].parent_id == records["middle"].span_id
+        # Children complete before parents.
+        assert [r.name for r in tracer.records()] == ["inner", "middle", "outer"]
+        assert outer.span_id != middle.span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        records = {r.name: r for r in tracer.records()}
+        assert records["a"].parent_id == records["root"].span_id
+        assert records["b"].parent_id == records["root"].span_id
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = tracer.records()
+        assert record.name == "doomed"
+        assert record.wall_s >= 0
+        # Stack is clean: a following span is a root again.
+        with tracer.span("next"):
+            pass
+        assert tracer.records()[-1].parent_id is None
+
+
+class TestEvents:
+    def test_span_events_carry_offset_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("gsp.propagate") as span:
+            span.event("gsp.sweep", sweep=0, max_delta=1.5)
+            span.event("gsp.sweep", sweep=1, max_delta=0.2)
+        (record,) = tracer.records()
+        assert [e["name"] for e in record.events] == ["gsp.sweep", "gsp.sweep"]
+        assert record.events[1]["attrs"] == {"sweep": 1, "max_delta": 0.2}
+        assert record.events[0]["t_offset_s"] <= record.events[1]["t_offset_s"]
+
+    def test_tracer_event_attaches_to_innermost_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("tick", n=1)
+        records = {r.name: r for r in tracer.records()}
+        assert len(records["inner"].events) == 1
+        assert records["outer"].events == ()
+
+    def test_event_without_active_span_is_dropped(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("orphan")
+        assert tracer.records() == ()
+
+    def test_set_attr(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", static=1) as span:
+            span.set_attr("sweeps", 12)
+        (record,) = tracer.records()
+        assert record.attrs == {"static": 1, "sweeps": 12}
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("x", a=1)
+        assert span is _NULL_SPAN
+        with span as inner:
+            inner.event("e")
+            inner.set_attr("k", "v")
+        tracer.event("e2")
+        assert tracer.records() == ()
+
+    def test_reenable_records_again(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("skipped"):
+            pass
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        assert [r.name for r in tracer.records()] == ["kept"]
+
+
+class TestThreads:
+    def test_threads_build_independent_subtrees(self):
+        tracer = Tracer(enabled=True)
+        barrier = threading.Barrier(4)
+
+        def worker(tag: int) -> None:
+            barrier.wait()
+            with tracer.span(f"root-{tag}"):
+                with tracer.span(f"child-{tag}"):
+                    tracer.event("tick", tag=tag)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = {r.name: r for r in tracer.records()}
+        assert len(records) == 8
+        ids = [r.span_id for r in records.values()]
+        assert len(set(ids)) == 8, "span ids must be unique across threads"
+        for tag in range(4):
+            root = records[f"root-{tag}"]
+            child = records[f"child-{tag}"]
+            assert root.parent_id is None
+            assert child.parent_id == root.span_id, "no cross-thread parenting"
+            assert child.thread_id == root.thread_id
+            assert child.events[0]["attrs"] == {"tag": tag}
+
+    def test_max_spans_cap_drops_not_grows(self):
+        tracer = Tracer(enabled=True, max_spans=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.records()) == 3
+        assert tracer.dropped == 2
+        tracer.reset()
+        assert tracer.records() == ()
+        assert tracer.dropped == 0
+
+
+class TestExports:
+    def test_jsonl_round_trip(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", slot=93):
+            with tracer.span("inner") as inner:
+                inner.event("tick")
+        lines = tracer.to_jsonl().splitlines()
+        spans = [json.loads(line) for line in lines]
+        assert len(spans) == 2
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["outer"]["attrs"] == {"slot": 93}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["events"][0]["name"] == "tick"
+        for span in spans:
+            assert span["type"] == "span"
+            assert span["wall_s"] >= 0
+            assert span["cpu_s"] >= 0
+
+    def test_empty_tracer_exports_empty(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.to_jsonl() == ""
+        assert tracer.to_chrome_trace() == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_chrome_trace_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("gsp.propagate", slot=93) as span:
+            span.event("gsp.sweep", sweep=0)
+        doc = tracer.to_chrome_trace()
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 1 and len(instants) == 1
+        (x,) = complete
+        assert x["name"] == "gsp.propagate"
+        assert x["cat"] == "gsp"
+        assert x["dur"] >= 0
+        assert x["args"]["slot"] == 93
+        (i,) = instants
+        assert i["ts"] >= x["ts"]
+        assert i["tid"] == x["tid"]
+
+    def test_export_files(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "chrome.json"
+        tracer.export_jsonl(str(jsonl))
+        tracer.export_chrome_trace(str(chrome))
+        assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "s"
+        assert json.loads(chrome.read_text())["traceEvents"]
