@@ -7,6 +7,8 @@ Subcommands:
 * ``fit``     — run the offline stage and save the RTF model.
 * ``query``   — answer one realtime query end to end and print the
   selection, spend, and quality against the simulated ground truth.
+* ``refresh`` — replay test days through the versioned model store
+  (hot model refresh) and print version/derivation counters.
 * ``experiment`` — run one of the paper's tables/figures.
 * ``stats``   — run a small instrumented query and dump the telemetry
   (Prometheus text plus optional JSON / trace artifacts).
@@ -219,6 +221,59 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_refresh(args: argparse.Namespace) -> int:
+    """``refresh`` subcommand: replay test days through the model store.
+
+    Fits the offline stage once, then absorbs each test day with
+    :meth:`CrowdRTSE.refresh` and answers a query against the refreshed
+    snapshot, printing the published store version and the derivation
+    counters that show copy-on-write economy (one Γ_R re-derivation per
+    refreshed slot, everything else cache hits).
+    """
+    if _obs_requested(args):
+        _enable_obs(args)
+    data = _build_dataset(args)
+    system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=[data.slot])
+    local = data.test_history.local_slot(data.slot)
+    n_days = args.days if args.days is not None else data.test_history.n_days
+    n_days = min(n_days, data.test_history.n_days)
+    print(f"store version {system.store.version} (offline fit, slot {data.slot})")
+    for day in range(n_days):
+        truth = repro.truth_oracle_for(data.test_history, day, data.slot)
+        market = repro.CrowdMarket(
+            data.network, data.pool, data.cost_model,
+            rng=np.random.default_rng(args.seed + day),
+        )
+        result = system.answer_query(
+            data.queried,
+            data.slot,
+            budget=args.budget,
+            market=market,
+            truth=truth,
+            rng=np.random.default_rng(args.seed + day),
+        )
+        truths = np.array([truth(q) for q in data.queried])
+        mape = repro.mean_absolute_percentage_error(result.estimates_kmh, truths)
+        snapshot = system.refresh(
+            {data.slot: data.test_history.day(day)[local]},
+            learning_rate=args.learning_rate,
+        )
+        print(
+            f"day {day}: MAPE {mape:.4f}; refreshed -> version {snapshot.version}"
+        )
+    stats = system.store.stats
+    print(
+        f"store: {stats.publishes} publishes, "
+        f"{stats.correlation_derivations} Γ_R derivations / "
+        f"{stats.correlation_hits} hits, "
+        f"{stats.propagation_derivations} propagation derivations / "
+        f"{stats.propagation_hits} hits"
+    )
+    if _obs_requested(args):
+        _export_obs(args)
+    return 0
+
+
 #: Experiment registry: name -> module path inside repro.experiments.
 EXPERIMENTS = (
     "table2",
@@ -235,6 +290,7 @@ EXPERIMENTS = (
     "allocation_study",
     "fixed_vs_crowd",
     "noise_sensitivity",
+    "daily_refresh",
 )
 
 
@@ -292,6 +348,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--verbose", action="store_true", help="print per-road rows")
     _add_obs_args(p_query)
     p_query.set_defaults(func=cmd_query)
+
+    p_refresh = subparsers.add_parser(
+        "refresh", help="replay test days through the versioned model store"
+    )
+    _add_dataset_args(p_refresh)
+    p_refresh.set_defaults(roads=60, queried=10, train_days=8, test_days=3, slots=4)
+    p_refresh.add_argument("--budget", type=int, default=20, help="crowdsourcing budget K")
+    p_refresh.add_argument(
+        "--learning-rate", type=float, default=0.05,
+        help="forgetting factor η of the online updater",
+    )
+    p_refresh.add_argument(
+        "--days", type=int, default=None,
+        help="number of test days to replay (default: all)",
+    )
+    _add_obs_args(p_refresh)
+    p_refresh.set_defaults(func=cmd_refresh)
 
     p_exp = subparsers.add_parser("experiment", help="run a paper table/figure")
     p_exp.add_argument("which", choices=EXPERIMENTS)

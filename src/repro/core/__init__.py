@@ -8,7 +8,7 @@
 * :mod:`repro.core.pipeline` — the offline/online facade (Fig. 1).
 """
 
-from repro.core.rtf import RTFModel, RTFSlot
+from repro.core.rtf import RTFModel, RTFSlot, network_fingerprint, params_signature
 from repro.core.inference import (
     InferenceDiagnostics,
     RTFInferenceConfig,
@@ -58,14 +58,22 @@ from repro.core.uncertainty import (
     confidence_intervals,
     most_uncertain_roads,
 )
-from repro.core.online_update import OnlineRTFUpdater, refresh_model
+from repro.core.online_update import OnlineRTFUpdater, refresh_model, refresh_slots
 from repro.core.batch import BatchResult, answer_batch, sequential_baseline
 from repro.core.local_search import greedy_plus_local_search, local_search
+from repro.core.store import (
+    ModelSnapshot,
+    ModelStore,
+    SnapshotCorrelations,
+    StoreStats,
+)
 from repro.core.pipeline import CrowdRTSE, QueryResult
 
 __all__ = [
     "RTFModel",
     "RTFSlot",
+    "network_fingerprint",
+    "params_signature",
     "InferenceDiagnostics",
     "RTFInferenceConfig",
     "empirical_slot_parameters",
@@ -106,6 +114,11 @@ __all__ = [
     "most_uncertain_roads",
     "OnlineRTFUpdater",
     "refresh_model",
+    "refresh_slots",
+    "ModelSnapshot",
+    "ModelStore",
+    "SnapshotCorrelations",
+    "StoreStats",
     "BatchResult",
     "answer_batch",
     "sequential_baseline",

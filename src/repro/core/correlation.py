@@ -29,7 +29,7 @@ import scipy.sparse as sp
 from scipy.sparse.csgraph import dijkstra
 
 from repro.errors import ModelError
-from repro.core.rtf import RTFModel
+from repro.core.rtf import RTFModel, params_signature
 from repro.network.graph import TrafficNetwork
 
 #: Correlations below this are treated as zero (no usable path).
@@ -154,6 +154,7 @@ class CorrelationTable:
         network: TrafficNetwork,
         matrices: Mapping[int, np.ndarray],
         mode: PathWeightMode = PathWeightMode.LOG,
+        digests: Optional[Mapping[int, bytes]] = None,
     ) -> None:
         n = network.n_roads
         for slot, matrix in matrices.items():
@@ -166,6 +167,7 @@ class CorrelationTable:
         self._network = network
         self._matrices = dict(matrices)
         self._mode = mode
+        self._digests: Dict[int, bytes] = dict(digests or {})
 
     @classmethod
     def precompute(
@@ -174,13 +176,19 @@ class CorrelationTable:
         slots: Optional[Sequence[int]] = None,
         mode: PathWeightMode = PathWeightMode.LOG,
     ) -> "CorrelationTable":
-        """Compute Γ_R for the given slots (default: all fitted slots)."""
+        """Compute Γ_R for the given slots (default: all fitted slots).
+
+        The table records the parameter digest of every slot it was
+        derived from, so downstream consumers (``CrowdRTSE``) can detect
+        a table that no longer matches its model generation.
+        """
         use_slots = list(slots) if slots is not None else list(model.slots)
         matrices = {
             t: road_road_correlation_matrix(model.network, model.slot(t).rho, mode)
             for t in use_slots
         }
-        return cls(model.network, matrices, mode)
+        digests = {t: params_signature(model.slot(t)) for t in use_slots}
+        return cls(model.network, matrices, mode, digests=digests)
 
     @property
     def network(self) -> TrafficNetwork:
@@ -205,6 +213,15 @@ class CorrelationTable:
             raise ModelError(
                 f"slot {slot} not in correlation table (available: {self.slots})"
             ) from None
+
+    def digest(self, slot: int) -> Optional[bytes]:
+        """Parameter digest the slot's matrix was derived from.
+
+        ``None`` for tables built directly from matrices (no provenance
+        recorded) — only :meth:`precompute` and the snapshot views fill
+        this in.
+        """
+        return self._digests.get(slot)
 
     # ------------------------------------------------------------------
     # Paper Eq. 7–13

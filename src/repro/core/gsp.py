@@ -39,7 +39,7 @@ repeated queries with overlapping selections skip the graph work.
 from __future__ import annotations
 
 import enum
-import hashlib
+import threading
 import time
 import warnings
 from collections import OrderedDict
@@ -49,7 +49,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConvergenceError, ConvergenceWarning, ModelError
-from repro.core.rtf import RTFSlot
+from repro.core.rtf import RTFSlot, params_signature
 from repro.network.graph import TrafficNetwork
 from repro.obs import DEFAULT_ITERATION_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 
@@ -324,16 +324,6 @@ class CompiledSchedule:
     node_groups: Tuple[Tuple[int, ...], ...]
 
 
-def params_signature(params: RTFSlot) -> bytes:
-    """Content digest of one slot's parameters (the structure cache key)."""
-    digest = hashlib.sha1()
-    digest.update(np.int64(params.slot).tobytes())
-    digest.update(np.ascontiguousarray(params.mu, dtype=np.float64).tobytes())
-    digest.update(np.ascontiguousarray(params.sigma, dtype=np.float64).tobytes())
-    digest.update(np.ascontiguousarray(params.rho, dtype=np.float64).tobytes())
-    return digest.digest()
-
-
 def build_propagation_structure(
     network: TrafficNetwork, params: RTFSlot
 ) -> PropagationStructure:
@@ -499,6 +489,12 @@ class GSPEngine:
         self._schedules: "OrderedDict[Tuple[GSPSchedule, frozenset], CompiledSchedule]" = (
             OrderedDict()
         )
+        # Guards the two LRU OrderedDicts: concurrent readers (snapshot-
+        # isolated answer_query calls) share one engine, and OrderedDict
+        # mutation is not thread-safe.  Compilation on miss happens
+        # outside the lock; a racing duplicate build is harmless (last
+        # write wins on identical immutable values).
+        self._lock = threading.RLock()
         self.stats = GSPCacheStats()
 
     @property
@@ -508,8 +504,9 @@ class GSPEngine:
 
     def clear(self) -> None:
         """Drop both caches (counters are kept)."""
-        self._structures.clear()
-        self._schedules.clear()
+        with self._lock:
+            self._structures.clear()
+            self._schedules.clear()
 
     # -- cache plumbing -------------------------------------------------
 
@@ -523,19 +520,21 @@ class GSPEngine:
         """
         key = params_signature(params)
         metrics = get_metrics()
-        cached = self._structures.get(key)
-        if cached is not None:
-            self._structures.move_to_end(key)
-            self.stats.structure_hits += 1
-            metrics.counter(
-                "gsp.cache.lookups", {"cache": "structure", "result": "hit"}
-            ).inc()
-            return cached, True
+        with self._lock:
+            cached = self._structures.get(key)
+            if cached is not None:
+                self._structures.move_to_end(key)
+                self.stats.structure_hits += 1
+                metrics.counter(
+                    "gsp.cache.lookups", {"cache": "structure", "result": "hit"}
+                ).inc()
+                return cached, True
         structure = build_propagation_structure(self._network, params)
-        self._structures[key] = structure
-        if len(self._structures) > self._max_structures:
-            self._structures.popitem(last=False)
-        self.stats.structure_misses += 1
+        with self._lock:
+            self._structures[key] = structure
+            if len(self._structures) > self._max_structures:
+                self._structures.popitem(last=False)
+            self.stats.structure_misses += 1
         metrics.counter(
             "gsp.cache.lookups", {"cache": "structure", "result": "miss"}
         ).inc()
@@ -554,14 +553,15 @@ class GSPEngine:
         """
         key = (schedule, observed_roads)
         metrics = get_metrics()
-        cached = self._schedules.get(key)
-        if cached is not None:
-            self._schedules.move_to_end(key)
-            self.stats.schedule_hits += 1
-            metrics.counter(
-                "gsp.cache.lookups", {"cache": "schedule", "result": "hit"}
-            ).inc()
-            return cached, True
+        with self._lock:
+            cached = self._schedules.get(key)
+            if cached is not None:
+                self._schedules.move_to_end(key)
+                self.stats.schedule_hits += 1
+                metrics.counter(
+                    "gsp.cache.lookups", {"cache": "schedule", "result": "hit"}
+                ).inc()
+                return cached, True
         n = self._network.n_roads
         clamped = np.zeros(n, dtype=bool)
         for road in observed_roads:
@@ -575,10 +575,11 @@ class GSPEngine:
             groups=_compile_groups(structure.indptr, node_groups),
             node_groups=tuple(tuple(int(i) for i in g) for g in node_groups),
         )
-        self._schedules[key] = compiled
-        if len(self._schedules) > self._max_schedules:
-            self._schedules.popitem(last=False)
-        self.stats.schedule_misses += 1
+        with self._lock:
+            self._schedules[key] = compiled
+            if len(self._schedules) > self._max_schedules:
+                self._schedules.popitem(last=False)
+            self.stats.schedule_misses += 1
         metrics.counter(
             "gsp.cache.lookups", {"cache": "schedule", "result": "miss"}
         ).inc()
@@ -914,24 +915,27 @@ def _reference_sweeps(
 #: necessarily maps to a fresh one.
 _ENGINES: "OrderedDict[TrafficNetwork, GSPEngine]" = OrderedDict()
 _MAX_ENGINES = 4
+_ENGINES_LOCK = threading.Lock()
 
 
 def engine_for(network: TrafficNetwork) -> GSPEngine:
     """The shared :class:`GSPEngine` for a network (created on demand)."""
-    engine = _ENGINES.get(network)
-    if engine is None:
-        engine = GSPEngine(network)
-        _ENGINES[network] = engine
-        if len(_ENGINES) > _MAX_ENGINES:
-            _ENGINES.popitem(last=False)
-    else:
-        _ENGINES.move_to_end(network)
-    return engine
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(network)
+        if engine is None:
+            engine = GSPEngine(network)
+            _ENGINES[network] = engine
+            if len(_ENGINES) > _MAX_ENGINES:
+                _ENGINES.popitem(last=False)
+        else:
+            _ENGINES.move_to_end(network)
+        return engine
 
 
 def clear_engine_cache() -> None:
     """Drop every shared engine (mainly for tests)."""
-    _ENGINES.clear()
+    with _ENGINES_LOCK:
+        _ENGINES.clear()
 
 
 def propagate(

@@ -20,7 +20,7 @@ loop is needed per day.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Mapping
 
 import numpy as np
 
@@ -129,6 +129,45 @@ class OnlineRTFUpdater:
         return RTFSlot(slot=self._slot, mu=self._mean.copy(), sigma=sigma, rho=rho)
 
 
+def refresh_slots(
+    network: TrafficNetwork,
+    current: Mapping[int, RTFSlot],
+    day_samples: Mapping[int, np.ndarray],
+    learning_rate: float = 0.05,
+) -> List[RTFSlot]:
+    """Advance exactly the touched slots by one daily sample.
+
+    The shared building block of :func:`refresh_model` and
+    :meth:`repro.core.store.ModelStore.refresh`: only slots named in
+    ``day_samples`` are updated and returned; everything else is left to
+    the caller's sharing strategy (copy-on-write in the store).
+
+    Args:
+        network: Road graph.
+        current: Present parameters per slot (must cover every key of
+            ``day_samples``).
+        day_samples: Mapping slot → today's speed vector for that slot.
+        learning_rate: Forgetting factor η.
+
+    Returns:
+        The refreshed :class:`RTFSlot` per touched slot, in mapping
+        order.
+
+    Raises:
+        ModelError: When a sampled slot has no current parameters.
+    """
+    refreshed: List[RTFSlot] = []
+    for slot, sample in day_samples.items():
+        if slot not in current:
+            raise ModelError(
+                f"cannot refresh slot {slot}: no current parameters "
+                f"(available: {sorted(current)})"
+            )
+        updater = OnlineRTFUpdater(network, current[slot], learning_rate)
+        refreshed.append(updater.update(sample))
+    return refreshed
+
+
 def refresh_model(
     network: TrafficNetwork,
     model: RTFModel,
@@ -147,11 +186,15 @@ def refresh_model(
     Returns:
         A new :class:`RTFModel` with the refreshed slots.
     """
-    refreshed = []
-    for slot in model.slots:
-        params = model.slot(slot)
-        if slot in day_samples:
-            updater = OnlineRTFUpdater(network, params, learning_rate)
-            params = updater.update(day_samples[slot])
-        refreshed.append(params)
-    return RTFModel(network, refreshed)
+    current = {slot: model.slot(slot) for slot in model.slots}
+    touched = {
+        slot: sample for slot, sample in day_samples.items() if slot in current
+    }
+    replacements = {
+        params.slot: params
+        for params in refresh_slots(network, current, touched, learning_rate)
+    }
+    return RTFModel(
+        network,
+        [replacements.get(slot, current[slot]) for slot in model.slots],
+    )

@@ -1,17 +1,21 @@
 """The CrowdRTSE facade — the hybrid offline/online workflow of Fig. 1.
 
 Offline, :meth:`CrowdRTSE.fit` trains the RTF model from history and
-precomputes the correlation table Γ_R.  Online, :meth:`answer_query`
-runs the three-step loop: OCS selects the crowdsourced roads, the crowd
-market probes them, and GSP propagates the probes into a full-network
-speed field from which the queried roads are answered.
+publishes it as version 1 of a :class:`~repro.core.store.ModelStore`.
+Online, :meth:`answer_query` runs the three-step loop — OCS selects the
+crowdsourced roads, the crowd market probes them, and GSP propagates the
+probes into a full-network speed field — against **one pinned
+snapshot**, so a concurrent :meth:`refresh` (which publishes a new
+model version copy-on-write) can never mix parameter generations inside
+a single answer.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -19,7 +23,7 @@ from repro.errors import ModelError, SelectionError
 from repro.obs import DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 from repro.core.correlation import CorrelationTable, PathWeightMode
 from repro.core.gsp import GSPConfig, GSPEngine, GSPResult
-from repro.core.inference import RTFInferenceConfig, fit_rtf
+from repro.core.inference import InferenceDiagnostics, RTFInferenceConfig, fit_rtf
 from repro.core.ocs import (
     OCSInstance,
     OCSResult,
@@ -30,6 +34,7 @@ from repro.core.ocs import (
     trivial_solution,
 )
 from repro.core.rtf import RTFModel
+from repro.core.store import ModelSnapshot, ModelStore
 from repro.crowd.market import BudgetLedger, CrowdMarket, ProbeReceipt, TruthOracle
 from repro.network.graph import TrafficNetwork
 from repro.traffic.history import SpeedHistory
@@ -79,27 +84,92 @@ class QueryResult:
 class CrowdRTSE:
     """End-to-end CrowdRTSE system (paper Fig. 1).
 
-    Build it offline with :meth:`fit` (or construct directly from a
-    fitted :class:`RTFModel` and :class:`CorrelationTable`), then answer
-    queries online with :meth:`answer_query`.
+    Build it offline with :meth:`fit` (or hand it an existing
+    :class:`~repro.core.store.ModelStore`), then answer queries online
+    with :meth:`answer_query` and absorb new days with :meth:`refresh`.
+    The engine itself is stateless between queries: all model state
+    lives in the store's immutable snapshots, and each query pins one
+    snapshot for its whole OCS → probe → GSP span.
+
+    The legacy ``CrowdRTSE(network, model, correlations)`` form is still
+    accepted: the model becomes version 1 of an internal store and the
+    eager table seeds the correlation cache.  When the table's recorded
+    parameter digests do not match the model (a stale Γ_R generation),
+    construction emits a :class:`DeprecationWarning` and
+    :meth:`answer_query` raises :class:`ModelError` for the mismatched
+    slots instead of silently serving stale correlations.
     """
 
     def __init__(
         self,
         network: TrafficNetwork,
-        model: RTFModel,
-        correlations: CorrelationTable,
+        model: Optional[RTFModel] = None,
+        correlations: Optional[CorrelationTable] = None,
+        *,
+        store: Optional[ModelStore] = None,
     ) -> None:
-        if model.network is not network and model.network != network:
-            raise ModelError("model was fitted on a different network")
+        if store is not None:
+            if model is not None or correlations is not None:
+                raise ModelError(
+                    "pass either a store or a model/correlations pair, not both"
+                )
+            if store.network is not network and store.network != network:
+                raise ModelError("store belongs to a different network")
+            self._store = store
+            self._stale_slots: Set[int] = set()
+        else:
+            if model is None:
+                raise ModelError("CrowdRTSE needs a model or a store")
+            if model.network is not network and model.network != network:
+                raise ModelError("model was fitted on a different network")
+            mode = (
+                correlations.mode if correlations is not None else PathWeightMode.LOG
+            )
+            self._store = ModelStore(model, path_mode=mode)
+            self._stale_slots = self._adopt_table(network, correlations)
+        self._network = network
+        self._fit_diagnostics: Optional[Dict[int, InferenceDiagnostics]] = None
+        # One engine per system: repeated queries share the cached CSR
+        # structures and BFS/colouring compilations across slots.  The
+        # structure cache is keyed by parameter digest, so a refresh
+        # invalidates exactly the touched slots' compilations.
+        self._gsp_engine = GSPEngine(network)
+
+    def _adopt_table(
+        self,
+        network: TrafficNetwork,
+        correlations: Optional[CorrelationTable],
+    ) -> Set[int]:
+        """Seed the store's Γ_R cache from an eager table; flag stale slots."""
+        if correlations is None:
+            return set()
         if correlations.network is not network and correlations.network != network:
             raise ModelError("correlation table belongs to a different network")
-        self._network = network
-        self._model = model
-        self._correlations = correlations
-        # One engine per system: repeated queries share the cached CSR
-        # structures and BFS/colouring compilations across slots.
-        self._gsp_engine = GSPEngine(network)
+        snapshot = self._store.current()
+        stale: Set[int] = set()
+        for slot in correlations.slots:
+            if slot not in snapshot:
+                continue
+            table_digest = correlations.digest(slot)
+            model_digest = snapshot.digest(slot)
+            if table_digest is not None and table_digest != model_digest:
+                stale.add(slot)
+                continue
+            # Digest matches (or the table predates digests and is
+            # trusted, as before): adopt the eager matrix so nothing is
+            # re-derived.
+            self._store.seed_correlation(model_digest, correlations.matrix(slot))
+        if stale:
+            warnings.warn(
+                f"correlation table is stale for slots {sorted(stale)} (derived "
+                f"from a different parameter generation); constructing CrowdRTSE "
+                f"from a mismatched model/table pair is deprecated — refresh the "
+                f"slots through the ModelStore instead.  answer_query will raise "
+                f"ModelError for these slots.",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return stale
 
     @classmethod
     def fit(
@@ -110,18 +180,24 @@ class CrowdRTSE:
         inference_config: Optional[RTFInferenceConfig] = None,
         path_mode: PathWeightMode = PathWeightMode.LOG,
     ) -> "CrowdRTSE":
-        """Offline stage: train RTF and precompute Γ_R.
+        """Offline stage: train RTF and publish it as store version 1.
+
+        Correlation matrices Γ_R are **not** materialized here any more;
+        they are derived lazily per slot on first use, keyed by the
+        slot's parameter digest (see
+        :meth:`~repro.core.store.ModelSnapshot.correlation_matrix`).
 
         Args:
             network: Road graph.
             history: Offline speed record.
             slots: Slots to fit (default: all covered by the history).
             inference_config: Alg. 1 knobs.
-            path_mode: Path-weight transform for the correlation table.
+            path_mode: Path-weight transform for correlation derivation.
         """
-        model, _ = fit_rtf(network, history, slots, inference_config)
-        table = CorrelationTable.precompute(model, mode=path_mode)
-        return cls(network, model, table)
+        model, diagnostics = fit_rtf(network, history, slots, inference_config)
+        system = cls(network, store=ModelStore(model, path_mode=path_mode))
+        system._fit_diagnostics = dict(diagnostics)
+        return system
 
     @property
     def network(self) -> TrafficNetwork:
@@ -129,14 +205,28 @@ class CrowdRTSE:
         return self._network
 
     @property
+    def store(self) -> ModelStore:
+        """The versioned model store serving this system."""
+        return self._store
+
+    @property
     def model(self) -> RTFModel:
-        """The fitted RTF model."""
-        return self._model
+        """The current snapshot's parameters as an :class:`RTFModel` view."""
+        return self._store.current().model
 
     @property
     def correlations(self) -> CorrelationTable:
-        """The precomputed correlation table Γ_R."""
-        return self._correlations
+        """Lazy Γ_R table view over the current snapshot."""
+        return self._store.current().correlations
+
+    @property
+    def fit_diagnostics(self) -> Optional[Dict[int, InferenceDiagnostics]]:
+        """Per-slot Alg. 1 convergence diagnostics from :meth:`fit`.
+
+        ``None`` when the system was constructed from an existing model
+        or store rather than fitted here.
+        """
+        return self._fit_diagnostics
 
     @property
     def gsp_engine(self) -> GSPEngine:
@@ -144,8 +234,49 @@ class CrowdRTSE:
         return self._gsp_engine
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def refresh(
+        self,
+        day_samples: Mapping[int, np.ndarray],
+        learning_rate: float = 0.05,
+    ) -> ModelSnapshot:
+        """Absorb one day of speeds and publish a new model version.
+
+        End-to-end wiring of
+        :class:`~repro.core.online_update.OnlineRTFUpdater`: moments of
+        the touched slots are advanced, correlations re-derive lazily
+        for exactly those slots (new digests), and GSP structure caches
+        stay warm for every untouched slot.  Queries running
+        concurrently keep their pinned snapshot; queries started after
+        this call see the new version.
+
+        Args:
+            day_samples: Today's per-road speed vector per global slot.
+            learning_rate: Forgetting factor η in (0, 1).
+
+        Returns:
+            The freshly published snapshot.
+        """
+        snapshot = self._store.refresh(day_samples, learning_rate)
+        # A refreshed slot's parameters now own their (lazily derived)
+        # correlations again, clearing any stale-table deprecation trap.
+        self._stale_slots -= set(day_samples)
+        return snapshot
+
+    # ------------------------------------------------------------------
     # Online stage
     # ------------------------------------------------------------------
+
+    def _check_not_stale(self, slot: int) -> None:
+        """Refuse to serve a slot whose adopted Γ_R generation is stale."""
+        if slot in self._stale_slots:
+            raise ModelError(
+                f"slot {slot}: correlation table was derived from a different "
+                f"parameter generation (digest mismatch); rebuild the table or "
+                f"refresh the slot instead of serving stale correlations"
+            )
 
     def build_ocs_instance(
         self,
@@ -154,23 +285,30 @@ class CrowdRTSE:
         budget: float,
         market: CrowdMarket,
         theta: float = 0.92,
+        snapshot: Optional[ModelSnapshot] = None,
     ) -> OCSInstance:
         """Assemble the OCS problem for one query.
 
         Candidates are the roads that currently have workers; costs come
         from the market's cost model; σ weights from the RTF slot.
+
+        Args:
+            snapshot: Pinned model version to read from (defaults to the
+                store's current snapshot).
         """
+        self._check_not_stale(slot)
+        snap = snapshot if snapshot is not None else self._store.current()
         candidates = market.candidate_roads()
         if not candidates:
             raise SelectionError("no roads currently have workers (R^w is empty)")
-        params = self._model.slot(slot)
+        params = snap.slot(slot)
         return OCSInstance(
             queried=tuple(int(q) for q in queried),
             candidates=candidates,
             costs=market.cost_model.costs_of(candidates).astype(float),
             budget=float(budget),
             theta=theta,
-            corr=self._correlations.matrix(slot),
+            corr=snap.correlation_matrix(slot),
             sigma=params.sigma,
         )
 
@@ -209,14 +347,21 @@ class CrowdRTSE:
         """
         tracer = get_tracer()
         start = time.perf_counter()
+        # Pin ONE model version for the whole query: a refresh published
+        # while this query is in flight must not mix generations between
+        # the OCS correlations and the GSP parameters.
+        snapshot = self._store.current()
         with tracer.span(
             "pipeline.answer_query",
             slot=int(slot),
             budget=float(budget),
             queried=len(queried),
             selector=selector,
+            model_version=snapshot.version,
         ) as query_span:
-            instance = self.build_ocs_instance(queried, slot, budget, market, theta)
+            instance = self.build_ocs_instance(
+                queried, slot, budget, market, theta, snapshot=snapshot
+            )
             with tracer.span("ocs.select", selector=selector) as select_span:
                 selection: Optional[OCSResult] = None
                 if use_trivial_fast_path and selector != "random":
@@ -239,7 +384,7 @@ class CrowdRTSE:
             ledger = BudgetLedger(budget)
             probes, receipts = market.probe(selection.selected, truth, ledger)
 
-            params = self._model.slot(slot)
+            params = snapshot.slot(slot)
             gsp_result = self._gsp_engine.propagate(params, probes, gsp_config)
 
             queried_tuple = tuple(int(q) for q in queried)
@@ -297,8 +442,9 @@ class CrowdRTSE:
             The :class:`GSPResult` per slot, keyed like the input.
         """
         slots = list(observations)
+        snapshot = self._store.current()
         with get_tracer().span("pipeline.propagate_slots", slots=len(slots)):
             results = self._gsp_engine.propagate_batch(
-                [(self._model.slot(t), observations[t]) for t in slots], gsp_config
+                [(snapshot.slot(t), observations[t]) for t in slots], gsp_config
             )
         return dict(zip(slots, results))

@@ -31,6 +31,7 @@ normalized variant; see its module docstring.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Sequence, Tuple, Union
@@ -45,6 +46,41 @@ SIGMA_FLOOR = 1e-3
 
 #: Smallest admissible pairwise variance sigma_ij^2.
 PAIR_VARIANCE_FLOOR = 1e-6
+
+
+def params_signature(params: "RTFSlot") -> bytes:
+    """Content digest of one slot's parameters.
+
+    The digest keys every derived artifact (GSP propagation structures,
+    correlation matrices, :class:`repro.core.store.ModelSnapshot`
+    artifacts): any change to ``mu`` / ``sigma`` / ``rho`` changes the
+    digest, so stale derivations can never be served for fresh
+    parameters.
+    """
+    digest = hashlib.sha1()
+    digest.update(np.int64(params.slot).tobytes())
+    digest.update(np.ascontiguousarray(params.mu, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(params.sigma, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(params.rho, dtype=np.float64).tobytes())
+    return digest.digest()
+
+
+def network_fingerprint(network: TrafficNetwork) -> np.ndarray:
+    """Identity fingerprint of a network for persistence checks.
+
+    Returns a small ``uint8`` array holding ``n_roads``, ``n_edges``
+    and a SHA-1 over the edge list, so a model file can be validated
+    against the network it is loaded for (see :meth:`RTFModel.load`).
+    """
+    digest = hashlib.sha1()
+    digest.update(np.int64(network.n_roads).tobytes())
+    digest.update(np.int64(network.n_edges).tobytes())
+    if network.edges:
+        digest.update(np.ascontiguousarray(network.edges, dtype=np.int64).tobytes())
+    header = np.array([network.n_roads, network.n_edges], dtype=np.int64)
+    return np.concatenate(
+        [header.view(np.uint8), np.frombuffer(digest.digest(), dtype=np.uint8)]
+    )
 
 
 @dataclass(frozen=True)
@@ -281,9 +317,15 @@ class RTFModel:
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Save all slots to a compressed ``.npz`` file."""
+        """Save all slots to a compressed ``.npz`` file.
+
+        The file carries a network fingerprint (road/edge counts plus an
+        edge-list hash) so :meth:`load` can reject a model that belongs
+        to a different network up front.
+        """
         payload: Dict[str, np.ndarray] = {
-            "slots": np.array(sorted(self._slots), dtype=np.int64)
+            "slots": np.array(sorted(self._slots), dtype=np.int64),
+            "network_fingerprint": network_fingerprint(self._network),
         }
         for t, params in self._slots.items():
             payload[f"mu_{t}"] = params.mu
@@ -293,8 +335,25 @@ class RTFModel:
 
     @classmethod
     def load(cls, path: Union[str, Path], network: TrafficNetwork) -> "RTFModel":
-        """Load a model previously written by :meth:`save`."""
+        """Load a model previously written by :meth:`save`.
+
+        Raises:
+            ModelError: When the file's network fingerprint does not
+                match ``network`` (files written before fingerprints
+                existed are accepted and fall back to shape checks).
+        """
         with np.load(Path(path), allow_pickle=False) as payload:
+            if "network_fingerprint" in payload:
+                stored = np.asarray(payload["network_fingerprint"], dtype=np.uint8)
+                expected = network_fingerprint(network)
+                if stored.shape != expected.shape or not np.array_equal(
+                    stored, expected
+                ):
+                    raise ModelError(
+                        f"model file {path} was saved for a different network "
+                        f"(fingerprint mismatch: expected "
+                        f"{network.n_roads} roads / {network.n_edges} edges)"
+                    )
             slot_ids = [int(t) for t in payload["slots"]]
             slots = [
                 RTFSlot(

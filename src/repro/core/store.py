@@ -1,0 +1,520 @@
+"""Versioned model lifecycle: snapshots, copy-on-write publishes, refresh.
+
+The paper's offline/online split (Fig. 1) fits the RTF once and serves
+it forever.  A deployed estimator instead absorbs new days continuously
+while answering concurrent queries, which needs three properties the
+plain :class:`~repro.core.rtf.RTFModel` + eager
+:class:`~repro.core.correlation.CorrelationTable` pair cannot give:
+
+* **Snapshot isolation** — a query pins one :class:`ModelSnapshot` for
+  its whole OCS → probe → GSP span; a refresh published halfway through
+  never mixes parameter generations inside one answer.
+* **Copy-on-write publish** — refreshing ``k`` slots produces a new
+  version whose untouched slots share the *same* parameter objects and
+  derived artifacts as the previous version (``is``-shared, not copied),
+  so version churn costs O(k), not O(S).
+* **Lazy, digest-keyed derivation** — correlation matrices Γ_R and
+  propagation arrays are derived per slot on first use and cached by the
+  content digest of the slot parameters
+  (:func:`~repro.core.rtf.params_signature`).  A 288-slot model no
+  longer materializes 288 dense ``(n, n)`` matrices up front, and a
+  refreshed slot's new digest can never collide with its stale artifact.
+
+:class:`ModelStore` is the mutable coordinator: it holds the current
+snapshot behind a lock and publishes new versions atomically.
+Everything handed to readers is immutable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.core.correlation import (
+    CorrelationTable,
+    PathWeightMode,
+    road_road_correlation_matrix,
+)
+from repro.core.online_update import refresh_slots
+from repro.core.rtf import RTFModel, RTFSlot, params_signature
+from repro.network.graph import TrafficNetwork
+from repro.obs import get_metrics, get_tracer
+
+#: Artifact kinds the cache tracks (label values of ``store.artifacts.*``).
+_KIND_CORRELATION = "correlation"
+_KIND_PROPAGATION = "propagation"
+
+
+@dataclass
+class StoreStats:
+    """Derivation/publish counters of one :class:`ModelStore`.
+
+    Mirrors the ``store.*`` metric series so tests and drivers can
+    assert derivation economy without enabling the metrics registry.
+    """
+
+    publishes: int = 0
+    published_slots: int = 0
+    correlation_derivations: int = 0
+    correlation_hits: int = 0
+    propagation_derivations: int = 0
+    propagation_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for logs and tests)."""
+        return {
+            "publishes": self.publishes,
+            "published_slots": self.published_slots,
+            "correlation_derivations": self.correlation_derivations,
+            "correlation_hits": self.correlation_hits,
+            "propagation_derivations": self.propagation_derivations,
+            "propagation_hits": self.propagation_hits,
+        }
+
+
+class _ArtifactCache:
+    """Digest-keyed LRU of derived artifacts, shared across snapshots.
+
+    Keys are ``(kind, digest)``; values are whatever the deriving
+    callable produced (a dense Γ_R matrix, a propagation-array tuple).
+    Because snapshots share one cache and untouched slots keep their
+    digest across publishes, a refresh of ``k`` slots invalidates
+    exactly ``k`` correlation entries — the rest keep hitting.
+
+    Derivations are single-flight: concurrent readers asking for the
+    same missing key block on one in-flight computation instead of
+    deriving duplicates, which keeps the derivation counters exact even
+    under concurrency.
+    """
+
+    def __init__(self, stats: StoreStats, max_entries: int = 512) -> None:
+        if max_entries <= 0:
+            raise ModelError("artifact cache capacity must be positive")
+        self._entries: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
+        self._inflight: Dict[Tuple[str, bytes], threading.Event] = {}
+        self._lock = threading.Lock()
+        self._max_entries = max_entries
+        self._stats = stats
+
+    def get_or_derive(self, kind: str, digest: bytes, derive) -> object:
+        """Return the cached artifact, deriving it exactly once on miss."""
+        key = (kind, digest)
+        metrics = get_metrics()
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self._record_lookup(metrics, kind, hit=True)
+                    return cached
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            waiter.wait()
+        try:
+            artifact = derive()
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            self._entries[key] = artifact
+            if len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+            self._inflight.pop(key, None)
+            self._record_lookup(metrics, kind, hit=False)
+        event.set()
+        return artifact
+
+    def seed(self, kind: str, digest: bytes, artifact: object) -> None:
+        """Insert a precomputed artifact (no derivation counted)."""
+        with self._lock:
+            self._entries[(kind, digest)] = artifact
+            self._entries.move_to_end((kind, digest))
+            if len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _record_lookup(self, metrics, kind: str, hit: bool) -> None:
+        if kind == _KIND_CORRELATION:
+            if hit:
+                self._stats.correlation_hits += 1
+            else:
+                self._stats.correlation_derivations += 1
+        else:
+            if hit:
+                self._stats.propagation_hits += 1
+            else:
+                self._stats.propagation_derivations += 1
+        if metrics.enabled:
+            metrics.counter(
+                "store.artifacts.lookups",
+                {"kind": kind, "result": "hit" if hit else "miss"},
+            ).inc()
+            if not hit:
+                metrics.counter("store.artifacts.derivations", {"kind": kind}).inc()
+
+
+class SnapshotCorrelations(CorrelationTable):
+    """Lazy :class:`CorrelationTable` view over one snapshot.
+
+    Duck-compatible with the eager table (Eq. 7–13 lookups, ``matrix``,
+    ``slots``, ``mode``) but derives each slot's Γ_R on first use via
+    the snapshot's digest-keyed artifact cache.
+    """
+
+    def __init__(self, snapshot: "ModelSnapshot") -> None:
+        # Deliberately skip CorrelationTable.__init__: there is no eager
+        # matrix dict; `matrix`/`slots`/`digest` are overridden below.
+        self._network = snapshot.network
+        self._mode = snapshot.path_mode
+        self._snapshot = snapshot
+
+    @property
+    def slots(self) -> Tuple[int, ...]:
+        """Covered slots (every fitted slot of the snapshot), sorted."""
+        return self._snapshot.slots
+
+    def matrix(self, slot: int) -> np.ndarray:
+        """The ``(n, n)`` matrix of one slot, derived on first use."""
+        return self._snapshot.correlation_matrix(slot)
+
+    def digest(self, slot: int) -> Optional[bytes]:
+        """Digest of the parameters the slot's matrix derives from."""
+        return self._snapshot.digest(slot)
+
+
+class ModelSnapshot:
+    """One immutable published version of the RTF model.
+
+    Readers obtain a snapshot from :meth:`ModelStore.current` and use it
+    for a whole query; nothing reachable from it ever changes.  Derived
+    artifacts (Γ_R matrices, propagation arrays) are materialized lazily
+    through the store's shared digest-keyed cache, so structurally
+    shared slots reuse the previous version's work.
+    """
+
+    def __init__(
+        self,
+        version: int,
+        network: TrafficNetwork,
+        params: Mapping[int, RTFSlot],
+        digests: Mapping[int, bytes],
+        path_mode: PathWeightMode,
+        artifacts: _ArtifactCache,
+    ) -> None:
+        if not params:
+            raise ModelError("a snapshot needs at least one fitted slot")
+        self._version = version
+        self._network = network
+        self._params = dict(params)
+        self._digests = dict(digests)
+        self._path_mode = path_mode
+        self._artifacts = artifacts
+        self._lazy_lock = threading.Lock()
+        self._model: Optional[RTFModel] = None
+        self._correlations: Optional[SnapshotCorrelations] = None
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic version number (1 for the initial publish)."""
+        return self._version
+
+    @property
+    def network(self) -> TrafficNetwork:
+        """The road graph the snapshot is defined on."""
+        return self._network
+
+    @property
+    def path_mode(self) -> PathWeightMode:
+        """Path-weight transform used for correlation derivation."""
+        return self._path_mode
+
+    @property
+    def slots(self) -> Tuple[int, ...]:
+        """Fitted global slot indices, sorted."""
+        return tuple(sorted(self._params))
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._params
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelSnapshot(version={self._version}, "
+            f"n_roads={self._network.n_roads}, slots={list(self.slots)})"
+        )
+
+    # -- parameters -----------------------------------------------------
+
+    def slot(self, slot: int) -> RTFSlot:
+        """Parameters of one slot.
+
+        Raises:
+            NotFittedError: When the slot was never fitted.
+        """
+        try:
+            return self._params[slot]
+        except KeyError:
+            raise NotFittedError(
+                f"slot {slot} not fitted (available: {list(self.slots)})"
+            ) from None
+
+    def digest(self, slot: int) -> bytes:
+        """Content digest of one slot's parameters (artifact cache key)."""
+        try:
+            return self._digests[slot]
+        except KeyError:
+            raise NotFittedError(
+                f"slot {slot} not fitted (available: {list(self.slots)})"
+            ) from None
+
+    @property
+    def model(self) -> RTFModel:
+        """This version's parameters as a plain :class:`RTFModel` view."""
+        with self._lazy_lock:
+            if self._model is None:
+                self._model = RTFModel(self._network, self._params.values())
+            return self._model
+
+    # -- derived artifacts ----------------------------------------------
+
+    def correlation_matrix(self, slot: int) -> np.ndarray:
+        """Γ_R of one slot (Eq. 7–10), derived on first use.
+
+        The matrix is keyed by the slot's parameter digest, so an
+        untouched slot keeps hitting the artifact derived under an
+        earlier version, and a refreshed slot can never be served its
+        stale matrix.
+        """
+        params = self.slot(slot)
+        return self._artifacts.get_or_derive(
+            _KIND_CORRELATION,
+            self.digest(slot),
+            lambda: road_road_correlation_matrix(
+                self._network, params.rho, self._path_mode
+            ),
+        )
+
+    def propagation_arrays(
+        self, slot: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The slot's GSP precision arrays, derived on first use.
+
+        Same cache discipline as :meth:`correlation_matrix`; the GSP
+        engine keeps its own digest-keyed CSR compilation on top.
+        """
+        params = self.slot(slot)
+        return self._artifacts.get_or_derive(
+            _KIND_PROPAGATION,
+            self.digest(slot),
+            lambda: params.propagation_arrays(self._network),
+        )
+
+    @property
+    def correlations(self) -> SnapshotCorrelations:
+        """Lazy Γ_R table view bound to this snapshot (Eq. 7–13 API)."""
+        with self._lazy_lock:
+            if self._correlations is None:
+                self._correlations = SnapshotCorrelations(self)
+            return self._correlations
+
+
+class ModelStore:
+    """Versioned holder of RTF parameters with atomic publishes.
+
+    One store owns a sequence of immutable :class:`ModelSnapshot`
+    versions over a fixed network.  :meth:`current` is a lock-protected
+    pointer read; :meth:`publish` swaps in a new version built
+    copy-on-write from the previous one; :meth:`refresh` wires
+    :class:`~repro.core.online_update.OnlineRTFUpdater` end to end.
+
+    Args:
+        model: Initial parameters (version 1).
+        path_mode: Path-weight transform for Γ_R derivation.
+        max_artifacts: LRU capacity of the shared derived-artifact cache.
+    """
+
+    def __init__(
+        self,
+        model: RTFModel,
+        path_mode: PathWeightMode = PathWeightMode.LOG,
+        max_artifacts: int = 512,
+    ) -> None:
+        self.stats = StoreStats()
+        self._network = model.network
+        self._path_mode = path_mode
+        self._artifacts = _ArtifactCache(self.stats, max_artifacts)
+        self._lock = threading.RLock()
+        params = {t: model.slot(t) for t in model.slots}
+        digests = {t: params_signature(p) for t, p in params.items()}
+        self._current = ModelSnapshot(
+            1, self._network, params, digests, path_mode, self._artifacts
+        )
+        self._count_publish(len(params))
+
+    @classmethod
+    def from_slots(
+        cls,
+        network: TrafficNetwork,
+        slots: Iterable[RTFSlot],
+        path_mode: PathWeightMode = PathWeightMode.LOG,
+        max_artifacts: int = 512,
+    ) -> "ModelStore":
+        """Build a store directly from per-slot parameters."""
+        return cls(RTFModel(network, slots), path_mode, max_artifacts)
+
+    @property
+    def network(self) -> TrafficNetwork:
+        """The road graph every version is defined on."""
+        return self._network
+
+    @property
+    def path_mode(self) -> PathWeightMode:
+        """Path-weight transform used for correlation derivation."""
+        return self._path_mode
+
+    @property
+    def version(self) -> int:
+        """Version number of the current snapshot."""
+        return self.current().version
+
+    def current(self) -> ModelSnapshot:
+        """The current published snapshot (atomic pointer read).
+
+        Readers must call this **once** per query and use the returned
+        snapshot throughout — that is what makes a concurrent publish
+        invisible to an in-flight answer.
+        """
+        with self._lock:
+            return self._current
+
+    # -- publishing -----------------------------------------------------
+
+    def publish(self, new_slots: Iterable[RTFSlot]) -> ModelSnapshot:
+        """Atomically publish a new version with the given slots replaced.
+
+        Copy-on-write: only the passed slots get new parameter objects
+        and digests; every other slot of the new snapshot shares the
+        previous version's :class:`RTFSlot` instances (``is``-identity),
+        so their cached artifacts and GSP compilations stay warm.  Slots
+        not previously fitted are added.
+
+        Returns:
+            The freshly published :class:`ModelSnapshot`.
+        """
+        replacements = list(new_slots)
+        if not replacements:
+            raise ModelError("publish needs at least one slot")
+        seen = set()
+        for slot_params in replacements:
+            slot_params.check_against(self._network)
+            if slot_params.slot in seen:
+                raise ModelError(
+                    f"duplicate parameters for slot {slot_params.slot} in publish"
+                )
+            seen.add(slot_params.slot)
+        with get_tracer().span("store.publish", slots=len(replacements)) as span:
+            with self._lock:
+                previous = self._current
+                params = dict(previous._params)
+                digests = dict(previous._digests)
+                for slot_params in replacements:
+                    params[slot_params.slot] = slot_params
+                    digests[slot_params.slot] = params_signature(slot_params)
+                snapshot = ModelSnapshot(
+                    previous.version + 1,
+                    self._network,
+                    params,
+                    digests,
+                    self._path_mode,
+                    self._artifacts,
+                )
+                self._current = snapshot
+            span.set_attr("version", snapshot.version)
+        self._count_publish(len(replacements))
+        return snapshot
+
+    def refresh(
+        self,
+        day_samples: Mapping[int, np.ndarray],
+        learning_rate: float = 0.05,
+    ) -> ModelSnapshot:
+        """Absorb one day of speeds into the touched slots and publish.
+
+        For each ``slot → sample`` pair the slot's moments are advanced
+        with :class:`~repro.core.online_update.OnlineRTFUpdater`
+        (exponential forgetting) and the result published as one new
+        version.  Exactly ``len(day_samples)`` slots change digest;
+        everything else is structurally shared with the previous
+        version.
+
+        Args:
+            day_samples: Today's per-road speed vector per global slot;
+                every key must already be fitted.
+            learning_rate: Forgetting factor η in (0, 1).
+
+        Returns:
+            The freshly published :class:`ModelSnapshot`.
+
+        Raises:
+            NotFittedError: When a key was never fitted.
+            ModelError: On an empty mapping or malformed samples.
+        """
+        if not day_samples:
+            raise ModelError("refresh needs at least one slot sample")
+        with get_tracer().span("store.refresh", slots=len(day_samples)):
+            # Hold the lock across read-modify-write so two concurrent
+            # refreshes cannot base themselves on the same version and
+            # silently drop each other's updates.
+            with self._lock:
+                snapshot = self.current()
+                for slot in day_samples:
+                    snapshot.slot(slot)  # NotFittedError on unknown slots
+                refreshed = refresh_slots(
+                    self._network, snapshot._params, day_samples, learning_rate
+                )
+                published = self.publish(refreshed)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("store.refreshes").inc()
+            metrics.counter("store.refreshed_slots").inc(len(refreshed))
+        return published
+
+    # -- cache plumbing -------------------------------------------------
+
+    def seed_correlation(self, digest: bytes, matrix: np.ndarray) -> None:
+        """Warm the artifact cache with a precomputed Γ_R matrix.
+
+        Used when adopting an eagerly built
+        :class:`~repro.core.correlation.CorrelationTable` whose digests
+        match the current parameters, so legacy construction does not
+        re-derive work it already has in hand.
+        """
+        n = self._network.n_roads
+        if matrix.shape != (n, n):
+            raise ModelError(
+                f"correlation matrix shape {matrix.shape} != ({n}, {n})"
+            )
+        self._artifacts.seed(_KIND_CORRELATION, digest, matrix)
+
+    def _count_publish(self, n_slots: int) -> None:
+        self.stats.publishes += 1
+        self.stats.published_slots += n_slots
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("store.publishes").inc()
+            metrics.counter("store.published_slots").inc(n_slots)
+            metrics.gauge("store.version").set(self.current().version)

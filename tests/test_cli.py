@@ -28,8 +28,15 @@ class TestParser:
 
     def test_experiment_choices(self):
         assert "figure3" in EXPERIMENTS
+        assert "daily_refresh" in EXPERIMENTS
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "figure99"])
+
+    def test_refresh_defaults(self):
+        args = build_parser().parse_args(["refresh"])
+        assert args.learning_rate == pytest.approx(0.05)
+        assert args.days is None
+        assert args.roads == 60
 
 
 class TestDatasetCommand:
@@ -88,6 +95,17 @@ class TestQueryCommand:
     def test_query_selectors(self, capsys, selector):
         code = main(["query", *COMMON, "--budget", "10", "--selector", selector])
         assert code == 0
+
+
+class TestRefreshCommand:
+    def test_replays_days_and_reports_versions(self, capsys):
+        code = main(["refresh", *COMMON, "--days", "2", "--budget", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store version 1" in out
+        assert "refreshed -> version 2" in out
+        assert "refreshed -> version 3" in out
+        assert "Γ_R derivations" in out
 
 
 class TestExperimentCommand:

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 import repro
+from repro.core.correlation import CorrelationTable
+from repro.core.store import ModelStore
 from repro.errors import ModelError, SelectionError
 from repro.datasets import truth_oracle_for
 
@@ -31,6 +33,115 @@ class TestFit:
     def test_network_mismatch_rejected(self, tiny_system, grid_net):
         with pytest.raises(ModelError):
             repro.CrowdRTSE(grid_net, tiny_system.model, tiny_system.correlations)
+
+    def test_fit_publishes_store_version_1(self, tiny_system):
+        assert tiny_system.store.version == 1
+        assert tiny_system.store.current().slots == tiny_system.model.slots
+
+    def test_fit_exposes_diagnostics(self, tiny_dataset, tiny_system):
+        diags = tiny_system.fit_diagnostics
+        assert diags is not None and tiny_dataset.slot in diags
+        assert diags[tiny_dataset.slot].iterations >= 1
+
+    def test_correlations_is_lazy_table_view(self, tiny_dataset, tiny_system):
+        table = tiny_system.correlations
+        assert isinstance(table, CorrelationTable)
+        n = tiny_dataset.n_roads
+        assert table.matrix(tiny_dataset.slot).shape == (n, n)
+
+
+class TestLegacyConstruction:
+    def test_model_plus_matching_table_adopted(self, tiny_dataset, tiny_system):
+        """The eager table's matrices seed the store: nothing re-derives."""
+        model = tiny_system.model
+        table = CorrelationTable.precompute(model, slots=[tiny_dataset.slot])
+        system = repro.CrowdRTSE(tiny_dataset.network, model, table)
+        np.testing.assert_allclose(
+            system.correlations.matrix(tiny_dataset.slot),
+            table.matrix(tiny_dataset.slot),
+        )
+        assert system.store.stats.correlation_derivations == 0
+        assert system.fit_diagnostics is None
+
+    def test_stale_table_warns_and_refuses_to_serve(
+        self, tiny_dataset, tiny_system, market, truth
+    ):
+        """A Γ_R generation that mismatches the model is a trap, not a bug."""
+        model = tiny_system.model
+        table = CorrelationTable.precompute(model, slots=[tiny_dataset.slot])
+        stale_model = repro.refresh_model(
+            tiny_dataset.network,
+            model,
+            {tiny_dataset.slot: tiny_dataset.test_history.day(0)[
+                tiny_dataset.test_history.local_slot(tiny_dataset.slot)
+            ]},
+            learning_rate=0.5,
+        )
+        with pytest.warns(DeprecationWarning, match="stale"):
+            system = repro.CrowdRTSE(tiny_dataset.network, stale_model, table)
+        with pytest.raises(ModelError, match="digest mismatch"):
+            system.answer_query(
+                tiny_dataset.queried,
+                tiny_dataset.slot,
+                budget=15,
+                market=market,
+                truth=truth,
+            )
+
+    def test_refresh_clears_the_stale_trap(self, tiny_dataset, tiny_system,
+                                           market, truth):
+        model = tiny_system.model
+        table = CorrelationTable.precompute(model, slots=[tiny_dataset.slot])
+        sample = tiny_dataset.test_history.day(0)[
+            tiny_dataset.test_history.local_slot(tiny_dataset.slot)
+        ]
+        stale_model = repro.refresh_model(
+            tiny_dataset.network, model, {tiny_dataset.slot: sample},
+            learning_rate=0.5,
+        )
+        with pytest.warns(DeprecationWarning):
+            system = repro.CrowdRTSE(tiny_dataset.network, stale_model, table)
+        system.refresh({tiny_dataset.slot: sample})
+        result = system.answer_query(
+            tiny_dataset.queried, tiny_dataset.slot, budget=15,
+            market=market, truth=truth,
+        )
+        assert np.all(np.isfinite(result.estimates_kmh))
+
+
+class TestRefresh:
+    def test_refresh_publishes_new_version(
+        self, tiny_dataset, tiny_system, market, truth
+    ):
+        # A fresh store over the fitted parameters, so the shared
+        # session fixture's own store is left untouched.
+        system = repro.CrowdRTSE(
+            tiny_dataset.network, store=ModelStore(tiny_system.model)
+        )
+        local = tiny_dataset.test_history.local_slot(tiny_dataset.slot)
+        mu_before = system.model.slot(tiny_dataset.slot).mu.copy()
+        snapshot = system.refresh(
+            {tiny_dataset.slot: tiny_dataset.test_history.day(0)[local]},
+            learning_rate=0.3,
+        )
+        assert snapshot.version == 2
+        assert system.store.version == 2
+        assert not np.allclose(
+            system.model.slot(tiny_dataset.slot).mu, mu_before
+        )
+        result = system.answer_query(
+            tiny_dataset.queried, tiny_dataset.slot, budget=15,
+            market=market, truth=truth,
+        )
+        assert np.all(np.isfinite(result.estimates_kmh))
+
+    def test_store_and_model_pair_rejected(self, tiny_dataset, tiny_system):
+        with pytest.raises(ModelError, match="not both"):
+            repro.CrowdRTSE(
+                tiny_dataset.network,
+                tiny_system.model,
+                store=ModelStore(tiny_system.model),
+            )
 
 
 class TestBuildOCSInstance:

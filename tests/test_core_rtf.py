@@ -5,7 +5,13 @@ import pytest
 
 import repro
 from repro.errors import ModelError, NotFittedError
-from repro.core.rtf import PAIR_VARIANCE_FLOOR, RTFModel, RTFSlot
+from repro.core.rtf import (
+    PAIR_VARIANCE_FLOOR,
+    RTFModel,
+    RTFSlot,
+    network_fingerprint,
+    params_signature,
+)
 
 
 def make_slot(net, slot=0, seed=0):
@@ -164,3 +170,64 @@ class TestRTFModel:
             assert np.allclose(loaded.slot(t).mu, model.slot(t).mu)
             assert np.allclose(loaded.slot(t).sigma, model.slot(t).sigma)
             assert np.allclose(loaded.slot(t).rho, model.slot(t).rho)
+
+    def test_load_rejects_different_network(self, line_net, grid_net, tmp_path):
+        """A saved file carries the network fingerprint and refuses a swap."""
+        model = RTFModel(line_net, [make_slot(line_net, 1, seed=5)])
+        path = tmp_path / "model.npz"
+        model.save(path)
+        with pytest.raises(ModelError, match="fingerprint"):
+            RTFModel.load(path, grid_net)
+
+    def test_load_rejects_same_size_different_edges(self, tmp_path):
+        """Same road/edge counts but different wiring is still rejected."""
+        ring = repro.ring_radial_network(12, n_rings=1, n_radials=4, seed=1)
+        other = repro.ring_radial_network(12, n_rings=1, n_radials=4, seed=9)
+        if other.edges == ring.edges:  # pragma: no cover - seed guard
+            pytest.skip("seeds produced identical wiring")
+        model = RTFModel(ring, [make_slot(ring, 1, seed=5)])
+        path = tmp_path / "model.npz"
+        model.save(path)
+        with pytest.raises(ModelError, match="fingerprint"):
+            RTFModel.load(path, other)
+
+    def test_legacy_file_without_fingerprint_loads(self, line_net, tmp_path):
+        """Files from before the fingerprint field keep loading."""
+        model = RTFModel(line_net, [make_slot(line_net, 1, seed=5)])
+        path = tmp_path / "model.npz"
+        model.save(path)
+        with np.load(path) as payload:
+            stripped = {
+                k: payload[k] for k in payload.files if k != "network_fingerprint"
+            }
+        np.savez_compressed(path, **stripped)
+        loaded = RTFModel.load(path, line_net)
+        assert loaded.slots == model.slots
+
+
+class TestSignatures:
+    def test_params_signature_deterministic(self, line_net):
+        slot = make_slot(line_net, 3, seed=2)
+        clone = RTFSlot(
+            slot=3, mu=slot.mu.copy(), sigma=slot.sigma.copy(), rho=slot.rho.copy()
+        )
+        assert params_signature(slot) == params_signature(clone)
+
+    def test_params_signature_changes_with_params(self, line_net):
+        slot = make_slot(line_net, 3, seed=2)
+        bumped = RTFSlot(
+            slot=3, mu=slot.mu + 0.001, sigma=slot.sigma, rho=slot.rho
+        )
+        other_slot = RTFSlot(slot=4, mu=slot.mu, sigma=slot.sigma, rho=slot.rho)
+        assert params_signature(bumped) != params_signature(slot)
+        assert params_signature(other_slot) != params_signature(slot)
+
+    def test_network_fingerprint_stable_and_discriminating(
+        self, line_net, grid_net
+    ):
+        assert np.array_equal(
+            network_fingerprint(line_net), network_fingerprint(line_net)
+        )
+        assert not np.array_equal(
+            network_fingerprint(line_net), network_fingerprint(grid_net)
+        )

@@ -242,3 +242,34 @@ class TestAblations:
         iters = {r.variant: r.value for r in rows if r.metric == "iterations"}
         # Random init needs (weakly) more iterations than empirical.
         assert iters["random"] >= iters["empirical"]
+
+
+class TestDailyRefresh:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments import daily_refresh
+
+        return daily_refresh.run(QUICK)
+
+    def test_one_row_per_test_day(self, rows):
+        data = default_semisyn(QUICK)
+        assert [r.day for r in rows] == list(range(data.test_history.n_days))
+
+    def test_versions_increment_per_refresh(self, rows):
+        assert [r.store_version for r in rows] == list(
+            range(2, len(rows) + 2)
+        )
+
+    def test_one_correlation_derivation_per_day(self, rows):
+        # Cumulative Γ_R derivations grow by exactly one per day: the
+        # single refreshed slot, never the whole table.
+        assert [r.corr_derivations for r in rows] == list(
+            range(1, len(rows) + 1)
+        )
+
+    def test_format_table(self, rows):
+        from repro.experiments import daily_refresh
+
+        text = daily_refresh.format_table(rows)
+        assert "refreshed MAPE" in text
+        assert str(rows[-1].store_version) in text
