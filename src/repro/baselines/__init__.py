@@ -12,7 +12,7 @@
 """
 
 from repro.baselines.base import BaseEstimator, EstimationContext
-from repro.baselines.periodic import PeriodicEstimator
+from repro.baselines.periodic import PeriodicEstimator, periodic_field
 from repro.baselines.lasso import (
     LassoEstimator,
     LassoModel,
@@ -30,6 +30,7 @@ __all__ = [
     "BaseEstimator",
     "EstimationContext",
     "PeriodicEstimator",
+    "periodic_field",
     "LassoEstimator",
     "LassoModel",
     "fit_lasso",

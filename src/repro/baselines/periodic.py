@@ -5,6 +5,11 @@ RTF mean when available), ignoring the crowdsourced probes entirely —
 exactly the paper's Per, which "purely relies on the periodicity"
 (§VII-C).  It is the strongest possible method when days repeat
 perfectly and the weakest when incidents strike.
+
+:func:`periodic_field` is the same computation as a standalone function
+over fitted slot parameters; the serving layer's graceful-degradation
+path calls it directly when a deadline or budget forces a query to fall
+back to Per (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -12,6 +17,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import BaseEstimator, EstimationContext
+from repro.core.rtf import RTFSlot
+
+
+def periodic_field(slot_params: RTFSlot) -> np.ndarray:
+    """The Per estimate from fitted slot parameters: a copy of μ.
+
+    One shared definition so the :class:`PeriodicEstimator` baseline and
+    the serving layer's degraded fallback provably return the same
+    numbers (tests assert the equivalence).
+    """
+    return slot_params.mu.astype(np.float64).copy()
 
 
 class PeriodicEstimator(BaseEstimator):
@@ -29,5 +45,5 @@ class PeriodicEstimator(BaseEstimator):
 
     def estimate(self, context: EstimationContext) -> np.ndarray:
         if self._use_model_mu and context.slot_params is not None:
-            return context.slot_params.mu.astype(np.float64).copy()
+            return periodic_field(context.slot_params)
         return np.asarray(context.history_samples, dtype=np.float64).mean(axis=0)

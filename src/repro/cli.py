@@ -12,6 +12,16 @@ Subcommands:
 * ``experiment`` — run one of the paper's tables/figures.
 * ``stats``   — run a small instrumented query and dump the telemetry
   (Prometheus text plus optional JSON / trace artifacts).
+* ``serve``   — replay a query workload through the concurrent
+  :class:`~repro.serve.QueryService` and report latency percentiles.
+
+Exit codes (uniform across subcommands):
+
+* ``0``  — success.
+* ``2``  — user error: bad arguments or any :class:`~repro.errors.ReproError`
+  (malformed trace, invalid config, ...).  Matches argparse's own code.
+* ``70`` — internal error (``EX_SOFTWARE``): an unexpected exception
+  escaped; this is a bug, please report the traceback.
 
 Examples::
 
@@ -20,6 +30,8 @@ Examples::
     python -m repro.cli query --trace trace.jsonl --metrics-out metrics.json
     python -m repro.cli stats --metrics-out metrics.json --trace trace.jsonl
     python -m repro.cli experiment figure2 --scale quick
+    python -m repro.cli serve --requests trace.jsonl --workers 4
+    python -m repro.cli serve --n-requests 64 --duplication 4 --deadline-ms 500
 """
 
 from __future__ import annotations
@@ -274,6 +286,94 @@ def cmd_refresh(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve`` subcommand: workload replay through the QueryService.
+
+    With ``--requests`` the JSON-lines trace is replayed verbatim;
+    without it a mixed-slot workload with request duplication is
+    synthesized (the shape coalescing is designed for).  Prints the
+    admission/degradation counts and latency percentiles.
+    """
+    from repro import serve as serving
+
+    if _obs_requested(args):
+        _enable_obs(args)
+    data = _build_dataset(args)
+
+    # Fit a window of slots starting at the dataset's query slot so the
+    # workload can mix slots; clamp to what the history actually covers.
+    available = data.train_history.global_slots
+    slots = [s for s in range(data.slot, data.slot + args.serve_slots) if s in available]
+    if not slots:
+        slots = [data.slot]
+    system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=slots)
+    market = repro.CrowdMarket(
+        data.network, data.pool, data.cost_model,
+        rng=np.random.default_rng(args.seed),
+    )
+
+    if args.requests:
+        items = serving.load_workload(args.requests)
+        trace_slots = {item.slot for item in items}
+        unknown = trace_slots - set(slots)
+        if unknown:
+            raise repro.DatasetError(
+                f"trace queries slots {sorted(unknown)} outside the fitted "
+                f"window {slots}; raise --serve-slots or fix the trace"
+            )
+    else:
+        items = serving.synthesize_workload(
+            slots,
+            list(data.queried),
+            n_requests=args.n_requests,
+            budget=args.budget,
+            queried_size=min(8, len(data.queried)),
+            duplication=args.duplication,
+            deadline_ms=args.deadline_ms,
+            seed=args.seed,
+        )
+
+    # Truth oracles are (day, slot)-specific; cache them so identical
+    # requests share one oracle object and stay coalescable.
+    oracles = {}
+
+    def bind(item: "serving.WorkloadItem") -> "serving.ServeRequest":
+        day = min(item.day, data.test_history.n_days - 1)
+        key = (day, item.slot)
+        if key not in oracles:
+            oracles[key] = repro.truth_oracle_for(data.test_history, day, item.slot)
+        return serving.ServeRequest(
+            queried=item.queried,
+            slot=item.slot,
+            budget=item.budget,
+            theta=item.theta,
+            selector=item.selector,
+            deadline_s=(
+                item.deadline_ms / 1e3 if item.deadline_ms is not None else None
+            ),
+            truth=oracles[key],
+        )
+
+    config = serving.ServeConfig(
+        num_workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        coalesce_window_s=args.coalesce_window_ms / 1e3,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    print(
+        f"serving {len(items)} requests over slots {slots} "
+        f"({args.workers} workers, queue depth {args.queue_depth})"
+    )
+    with serving.QueryService(system, market=market, config=config) as service:
+        report = serving.replay(service, items, bind=bind)
+    print(report.format())
+    if _obs_requested(args):
+        _export_obs(args)
+    return 0
+
+
 #: Experiment registry: name -> module path inside repro.experiments.
 EXPERIMENTS = (
     "table2",
@@ -385,14 +485,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p_stats)
     p_stats.set_defaults(func=cmd_stats)
 
+    p_serve = subparsers.add_parser(
+        "serve", help="replay a workload through the concurrent QueryService"
+    )
+    _add_dataset_args(p_serve)
+    p_serve.set_defaults(roads=80, queried=15, train_days=10, test_days=3, slots=6)
+    p_serve.add_argument(
+        "--requests", help="JSON-lines workload trace to replay (see docs/API.md)"
+    )
+    p_serve.add_argument(
+        "--n-requests", type=int, default=48,
+        help="synthesized workload size when --requests is not given",
+    )
+    p_serve.add_argument(
+        "--duplication", type=int, default=4,
+        help="requests per unique (slot, queried) pair in the synthesized workload",
+    )
+    p_serve.add_argument("--budget", type=int, default=15, help="crowdsourcing budget K")
+    p_serve.add_argument("--workers", type=int, default=2, help="worker threads")
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission queue bound (beyond it, requests are rejected)",
+    )
+    p_serve.add_argument(
+        "--coalesce-window-ms", type=float, default=0.0,
+        help="wait this long after picking up a request to batch same-slot arrivals",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline; near-deadline requests degrade to Per",
+    )
+    p_serve.add_argument(
+        "--serve-slots", type=int, default=3,
+        help="how many consecutive slots (from the dataset slot) to fit and serve",
+    )
+    _add_obs_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
     return parser
 
 
+#: Exit codes: success / user error (matches argparse) / internal bug.
+EXIT_OK = 0
+EXIT_USER_ERROR = 2
+EXIT_INTERNAL_ERROR = 70  # BSD sysexits EX_SOFTWARE
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Every subcommand reports failures through the same exit codes:
+    ``ReproError`` means the user asked for something the system cannot
+    do (bad trace, invalid config, stale model — exit 2, like argparse's
+    own usage errors); anything else escaping is a bug (exit 70).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except repro.ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        import traceback
+
+        traceback.print_exc()
+        print(
+            "internal error: this is a bug in the reproduction, not your input",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL_ERROR
 
 
 if __name__ == "__main__":

@@ -13,13 +13,18 @@ a single answer.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import ModelError, SelectionError
+from repro.errors import (
+    ModelError,
+    QueryTimeoutError,
+    SelectionError,
+    warn_deprecated_once,
+    wrap_internal,
+)
 from repro.obs import DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 from repro.core.correlation import CorrelationTable, PathWeightMode
 from repro.core.gsp import GSPConfig, GSPEngine, GSPResult
@@ -48,6 +53,43 @@ SELECTORS: Mapping[str, Callable[[OCSInstance], OCSResult]] = {
 
 
 @dataclass(frozen=True)
+class Deadline:
+    """A per-request wall-clock budget over the OCS → probe → GSP span.
+
+    Built from a relative budget with :meth:`after`; stages call
+    :meth:`check` at their boundary and get a typed
+    :class:`~repro.errors.QueryTimeoutError` once the budget is spent.
+    Times are ``time.monotonic`` based, so a system clock step cannot
+    expire (or resurrect) in-flight requests.
+    """
+
+    expires_at: float
+    budget_seconds: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """Deadline ``seconds`` from now."""
+        return cls(time.monotonic() + float(seconds), float(seconds))
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is already spent."""
+        return self.remaining() <= 0.0
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`QueryTimeoutError` when expired at ``stage``."""
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise QueryTimeoutError(
+                stage, self.budget_seconds - remaining, self.budget_seconds
+            )
+
+
+@dataclass(frozen=True)
 class QueryResult:
     """Answer to one realtime traffic-speed query.
 
@@ -61,6 +103,9 @@ class QueryResult:
         receipts: Detailed probe receipts (answers, payments).
         gsp: The propagation diagnostics.
         budget_spent: Units actually paid.
+        model_version: Version of the :class:`ModelSnapshot` the whole
+            answer was served from (0 for results assembled outside a
+            store, e.g. in unit tests building the dataclass directly).
     """
 
     queried: Tuple[int, ...]
@@ -71,6 +116,7 @@ class QueryResult:
     receipts: Tuple[ProbeReceipt, ...]
     gsp: GSPResult
     budget_spent: int
+    model_version: int = 0
 
     def estimate_of(self, road_index: int) -> float:
         """Estimated speed of one queried road."""
@@ -79,6 +125,25 @@ class QueryResult:
         except ValueError:
             raise ModelError(f"road {road_index} was not part of the query") from None
         return float(self.estimates_kmh[pos])
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query after OCS + probing, before GSP propagation.
+
+    Intermediate product of :meth:`CrowdRTSE._select_and_probe`; the
+    serving layer collects several of these off one pinned snapshot and
+    propagates them in a single :meth:`GSPEngine.propagate_batch` call.
+    """
+
+    queried: Tuple[int, ...]
+    slot: int
+    selector: str
+    selection: OCSResult
+    probes: Dict[int, float]
+    receipts: Tuple[ProbeReceipt, ...]
+    ledger: BudgetLedger
+    snapshot: ModelSnapshot
 
 
 class CrowdRTSE:
@@ -160,14 +225,17 @@ class CrowdRTSE:
             # re-derived.
             self._store.seed_correlation(model_digest, correlations.matrix(slot))
         if stale:
-            warnings.warn(
+            # Once per process, like every deprecated surface (policy in
+            # docs/API.md): a replay constructing hundreds of stale
+            # systems should complain once, not per construction.
+            warn_deprecated_once(
+                "pipeline.legacy_model_table",
                 f"correlation table is stale for slots {sorted(stale)} (derived "
                 f"from a different parameter generation); constructing CrowdRTSE "
-                f"from a mismatched model/table pair is deprecated — refresh the "
-                f"slots through the ModelStore instead.  answer_query will raise "
-                f"ModelError for these slots.",
-                DeprecationWarning,
-                stacklevel=3,
+                f"from a mismatched model/table pair is deprecated and will be "
+                f"rejected in v2.0 — refresh the slots through the ModelStore "
+                f"instead.  answer_query will raise ModelError for these slots.",
+                stacklevel=4,
             )
         return stale
 
@@ -312,53 +380,33 @@ class CrowdRTSE:
             sigma=params.sigma,
         )
 
-    def answer_query(
+    def _select_and_probe(
         self,
         queried: Sequence[int],
         slot: int,
         budget: float,
         market: CrowdMarket,
         truth: TruthOracle,
-        theta: float = 0.92,
-        selector: str = "hybrid",
-        gsp_config: Optional[GSPConfig] = None,
-        rng: Optional[np.random.Generator] = None,
-        use_trivial_fast_path: bool = True,
-    ) -> QueryResult:
-        """Online stage: OCS → crowd probe → GSP → answer (Fig. 1).
+        theta: float,
+        selector: str,
+        rng: Optional[np.random.Generator],
+        use_trivial_fast_path: bool,
+        snapshot: ModelSnapshot,
+        deadline: Optional[Deadline] = None,
+    ) -> "PreparedQuery":
+        """OCS selection + crowd probing against one pinned snapshot.
 
-        Args:
-            queried: Queried road indices ``R^q``.
-            slot: Global time slot of the query.
-            budget: Crowdsourcing budget ``K``.
-            market: The crowd marketplace.
-            truth: Ground-truth oracle the (simulated) workers measure.
-            theta: Redundancy threshold θ.
-            selector: ``"hybrid"``, ``"ratio"``, ``"objective"`` or
-                ``"random"``.
-            gsp_config: Propagation knobs.
-            rng: RNG for the random selector.
-            use_trivial_fast_path: Apply Remark 2's closed-form optima
-                when they apply (θ = 1, unit costs, over-adequate budget
-                or few queried roads) instead of running the greedy.
-
-        Returns:
-            A :class:`QueryResult`.
+        The first two stages of the Fig. 1 online loop, shared by
+        :meth:`answer_query` and the serving layer's coalesced batch
+        path (which runs this per request and then batches the GSP
+        stage).  Deadlines are checked at each stage boundary; stray
+        internal exceptions are wrapped per the docs/API.md exception
+        contract.
         """
         tracer = get_tracer()
-        start = time.perf_counter()
-        # Pin ONE model version for the whole query: a refresh published
-        # while this query is in flight must not mix generations between
-        # the OCS correlations and the GSP parameters.
-        snapshot = self._store.current()
-        with tracer.span(
-            "pipeline.answer_query",
-            slot=int(slot),
-            budget=float(budget),
-            queried=len(queried),
-            selector=selector,
-            model_version=snapshot.version,
-        ) as query_span:
+        if deadline is not None:
+            deadline.check("ocs")
+        with wrap_internal("ocs"):
             instance = self.build_ocs_instance(
                 queried, slot, budget, market, theta, snapshot=snapshot
             )
@@ -381,29 +429,120 @@ class CrowdRTSE:
                 select_span.set_attr("algorithm", selection.algorithm)
                 select_span.set_attr("selected", len(selection.selected))
 
-            ledger = BudgetLedger(budget)
+        if deadline is not None:
+            deadline.check("probe")
+        ledger = BudgetLedger(budget)
+        with wrap_internal("probe"):
             probes, receipts = market.probe(selection.selected, truth, ledger)
-
-            params = snapshot.slot(slot)
-            gsp_result = self._gsp_engine.propagate(params, probes, gsp_config)
-
-            queried_tuple = tuple(int(q) for q in queried)
-            estimates = gsp_result.speeds[np.asarray(queried_tuple, dtype=int)]
-            query_span.set_attr("budget_spent", ledger.spent)
-            query_span.set_attr("gsp_sweeps", gsp_result.sweeps)
-        self._record_query_metrics(
-            selector, ledger, time.perf_counter() - start
-        )
-        return QueryResult(
-            queried=queried_tuple,
-            estimates_kmh=estimates,
-            full_field_kmh=gsp_result.speeds,
+        return PreparedQuery(
+            queried=tuple(int(q) for q in queried),
+            slot=int(slot),
+            selector=selector,
             selection=selection,
             probes=probes,
             receipts=tuple(receipts),
-            gsp=gsp_result,
-            budget_spent=ledger.spent,
+            ledger=ledger,
+            snapshot=snapshot,
         )
+
+    @staticmethod
+    def _assemble_result(
+        prepared: "PreparedQuery", gsp_result: GSPResult
+    ) -> QueryResult:
+        """Slice the propagated field into the final :class:`QueryResult`."""
+        estimates = gsp_result.speeds[
+            np.asarray(prepared.queried, dtype=int)
+        ]
+        return QueryResult(
+            queried=prepared.queried,
+            estimates_kmh=estimates,
+            full_field_kmh=gsp_result.speeds,
+            selection=prepared.selection,
+            probes=prepared.probes,
+            receipts=prepared.receipts,
+            gsp=gsp_result,
+            budget_spent=prepared.ledger.spent,
+            model_version=prepared.snapshot.version,
+        )
+
+    def answer_query(
+        self,
+        queried: Sequence[int],
+        slot: int,
+        budget: float,
+        market: CrowdMarket,
+        truth: TruthOracle,
+        theta: float = 0.92,
+        selector: str = "hybrid",
+        gsp_config: Optional[GSPConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        use_trivial_fast_path: bool = True,
+        snapshot: Optional[ModelSnapshot] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryResult:
+        """Online stage: OCS → crowd probe → GSP → answer (Fig. 1).
+
+        Args:
+            queried: Queried road indices ``R^q``.
+            slot: Global time slot of the query.
+            budget: Crowdsourcing budget ``K``.
+            market: The crowd marketplace.
+            truth: Ground-truth oracle the (simulated) workers measure.
+            theta: Redundancy threshold θ.
+            selector: ``"hybrid"``, ``"ratio"``, ``"objective"`` or
+                ``"random"``.
+            gsp_config: Propagation knobs.
+            rng: RNG for the random selector.
+            use_trivial_fast_path: Apply Remark 2's closed-form optima
+                when they apply (θ = 1, unit costs, over-adequate budget
+                or few queried roads) instead of running the greedy.
+            snapshot: Pre-pinned model version to serve from.  The
+                serving layer pins one snapshot per worker batch and
+                passes it here; direct callers leave it ``None`` and the
+                query pins the store's current version itself.
+            deadline: Optional wall-clock budget, checked at the OCS,
+                probe, and GSP stage boundaries
+                (:class:`~repro.errors.QueryTimeoutError` on expiry).
+
+        Returns:
+            A :class:`QueryResult`.
+
+        Raises:
+            QueryTimeoutError: When ``deadline`` expires mid-pipeline.
+            ReproError: Every intentional failure; stray internal
+                ``ValueError``/``KeyError`` surface as
+                :class:`~repro.errors.InternalError`.
+        """
+        tracer = get_tracer()
+        start = time.perf_counter()
+        # Pin ONE model version for the whole query: a refresh published
+        # while this query is in flight must not mix generations between
+        # the OCS correlations and the GSP parameters.
+        snap = snapshot if snapshot is not None else self._store.current()
+        with tracer.span(
+            "pipeline.answer_query",
+            slot=int(slot),
+            budget=float(budget),
+            queried=len(queried),
+            selector=selector,
+            model_version=snap.version,
+        ) as query_span:
+            prepared = self._select_and_probe(
+                queried, slot, budget, market, truth, theta, selector,
+                rng, use_trivial_fast_path, snap, deadline,
+            )
+            if deadline is not None:
+                deadline.check("gsp")
+            with wrap_internal("gsp"):
+                gsp_result = self._gsp_engine.propagate(
+                    snap.slot(slot), prepared.probes, gsp_config
+                )
+            query_span.set_attr("budget_spent", prepared.ledger.spent)
+            query_span.set_attr("gsp_sweeps", gsp_result.sweeps)
+        self._record_query_metrics(
+            selector, prepared.ledger, time.perf_counter() - start
+        )
+        return self._assemble_result(prepared, gsp_result)
 
     @staticmethod
     def _record_query_metrics(

@@ -27,6 +27,7 @@ Everything handed to readers is immutable.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -400,6 +401,29 @@ class ModelStore:
         """
         with self._lock:
             return self._current
+
+    @contextlib.contextmanager
+    def pinned(self):
+        """Pin the current snapshot for a multi-request serving span.
+
+        The serving layer wraps each coalesced batch in this context so
+        every request of the batch — OCS, probing, and the shared GSP
+        propagation — reads one model version, and the
+        ``store.pinned_readers`` gauge shows how many such spans are
+        live while a hot :meth:`refresh` publishes underneath them.
+
+        Yields:
+            The pinned :class:`ModelSnapshot`.
+        """
+        snapshot = self.current()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge("store.pinned_readers").inc()
+        try:
+            yield snapshot
+        finally:
+            if metrics.enabled:
+                metrics.gauge("store.pinned_readers").dec()
 
     # -- publishing -----------------------------------------------------
 

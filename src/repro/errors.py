@@ -3,9 +3,26 @@
 Every error raised intentionally by this library derives from
 :class:`ReproError`, so callers can catch library failures without
 accidentally swallowing programming errors such as ``TypeError``.
+
+The module also hosts the two pieces of boundary plumbing the public
+surface relies on:
+
+* :func:`wrap_internal` — converts stray ``ValueError``/``KeyError``/
+  ``IndexError`` escaping an internal stage into :class:`InternalError`,
+  so :meth:`CrowdRTSE.answer_query` and :class:`QueryService` only ever
+  let :class:`ReproError` subclasses out;
+* :func:`warn_deprecated_once` — the once-per-process
+  ``DeprecationWarning`` used by every deprecated alias, keyed by a
+  stable string so a hot loop touching a legacy attribute does not spam
+  one warning per call.
 """
 
 from __future__ import annotations
+
+import contextlib
+import threading
+import warnings
+from typing import Iterator, Optional, Set
 
 
 class ReproError(Exception):
@@ -73,6 +90,62 @@ class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
 
 
+class ServeError(ReproError):
+    """Raised by the concurrent serving layer (:mod:`repro.serve`)."""
+
+
+class OverloadedError(ServeError):
+    """Raised when the admission queue is full (backpressure).
+
+    Carries the observed depth and the configured bound so callers can
+    implement retry/shedding policies without parsing the message.
+    """
+
+    def __init__(self, queue_depth: int, max_queue_depth: int) -> None:
+        super().__init__(
+            f"admission queue is full ({queue_depth}/{max_queue_depth} requests "
+            f"pending); retry later or raise ServeConfig.max_queue_depth"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+
+
+class QueryTimeoutError(ServeError):
+    """Raised when a per-request deadline expires mid-pipeline.
+
+    ``stage`` names where the deadline was detected (``"queue"``,
+    ``"ocs"``, ``"probe"``, ``"gsp"``); ``elapsed_seconds`` is how long
+    the request had been running at that point.
+    """
+
+    def __init__(self, stage: str, elapsed_seconds: float,
+                 deadline_seconds: float) -> None:
+        super().__init__(
+            f"deadline of {deadline_seconds:.3f}s expired at stage "
+            f"{stage!r} after {elapsed_seconds:.3f}s"
+        )
+        self.stage = stage
+        self.elapsed_seconds = elapsed_seconds
+        self.deadline_seconds = deadline_seconds
+
+
+class InternalError(ReproError):
+    """A non-:class:`ReproError` escaped an internal pipeline stage.
+
+    Raised by :func:`wrap_internal` at the public exception boundary;
+    the original exception is chained as ``__cause__`` and kept on
+    ``original`` for programmatic access.
+    """
+
+    def __init__(self, stage: str, original: BaseException) -> None:
+        super().__init__(
+            f"internal error in stage {stage!r}: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.stage = stage
+        self.original = original
+
+
 class ObservabilityError(ReproError):
     """Raised when the observability layer is misused.
 
@@ -91,3 +164,76 @@ class ConvergenceWarning(RuntimeWarning):
     without changing the return contract.  Not a :class:`ReproError`
     subclass — warnings must derive from :class:`Warning`.
     """
+
+
+# ----------------------------------------------------------------------
+# Exception boundary
+# ----------------------------------------------------------------------
+
+#: Exception types that indicate an internal bug when they escape a
+#: pipeline stage (as opposed to TypeError & friends, which usually mean
+#: the *caller* passed garbage and deserve the raw traceback).
+_INTERNAL_LEAKS = (ValueError, KeyError, IndexError, ZeroDivisionError)
+
+
+@contextlib.contextmanager
+def wrap_internal(stage: str) -> Iterator[None]:
+    """Convert stray internal exceptions into :class:`InternalError`.
+
+    :class:`ReproError` subclasses pass through untouched; the leak
+    classes in ``_INTERNAL_LEAKS`` are re-raised as
+    :class:`InternalError` with the original chained, so the public
+    contract "only :class:`ReproError` escapes" holds at the
+    ``answer_query`` / :class:`QueryService` boundary.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except _INTERNAL_LEAKS as exc:
+        raise InternalError(stage, exc) from exc
+
+
+# ----------------------------------------------------------------------
+# Deprecation plumbing
+# ----------------------------------------------------------------------
+
+_warned_once_lock = threading.Lock()
+_warned_once: Set[str] = set()
+
+
+def warn_deprecated_once(
+    key: str, message: str, stacklevel: int = 3
+) -> bool:
+    """Emit ``DeprecationWarning`` for ``key`` at most once per process.
+
+    Python's default warning filter already dedups by code location, but
+    test runners routinely install ``"always"`` filters, which would
+    turn a deprecated attribute read inside a serving loop into one
+    warning per request.  Deduping by an explicit key keeps the contract
+    documented in docs/API.md ("each deprecated surface warns exactly
+    once per process") independent of the active filters.
+
+    Returns:
+        True when the warning was emitted, False when ``key`` had
+        already warned.
+    """
+    with _warned_once_lock:
+        if key in _warned_once:
+            return False
+        _warned_once.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings(key: Optional[str] = None) -> None:
+    """Forget emitted deprecation keys (one, or all when ``key=None``).
+
+    Testing hook — lets a test assert the once-per-process behaviour
+    deterministically regardless of what ran before it.
+    """
+    with _warned_once_lock:
+        if key is None:
+            _warned_once.clear()
+        else:
+            _warned_once.discard(key)

@@ -78,6 +78,9 @@ class _NoopInstrument:
     def set(self, value: float) -> None:  # noqa: D102 - no-op
         pass
 
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
     def observe(self, value: float) -> None:  # noqa: D102 - no-op
         pass
 
@@ -139,6 +142,10 @@ class Gauge:
         """Adjust the gauge by ``amount`` (may be negative)."""
         with self._lock:
             self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the gauge down by ``amount`` (queue depths, live spans)."""
+        self.inc(-amount)
 
     @property
     def value(self) -> float:

@@ -1,0 +1,729 @@
+"""The concurrent serving layer: :class:`QueryService`.
+
+The paper treats each query as an isolated Fig. 1 loop; a deployed
+estimator instead faces a *stream* of queries that must be answered
+while the model is hot-refreshed underneath (cf. the metropolitan-scale
+serving framing of Li et al., arXiv:1810.12295).  :class:`QueryService`
+fronts a :class:`~repro.core.pipeline.CrowdRTSE` with the four
+properties a serving tier needs:
+
+* **Bounded admission with backpressure** — at most
+  ``ServeConfig.max_queue_depth`` requests wait; beyond that
+  :meth:`QueryService.submit` raises a typed
+  :class:`~repro.errors.OverloadedError` instead of letting latency
+  grow without bound.
+* **Per-request deadlines** — each request carries a wall-clock budget
+  enforced across the whole OCS → probe → GSP span (including queue
+  wait).  Expiry either degrades the answer (default) or raises a typed
+  :class:`~repro.errors.QueryTimeoutError`.
+* **Coalescing** — a worker drains every queued request for the same
+  slot into one batch served off **one pinned snapshot**: identical
+  requests share a single pipeline execution, and distinct same-slot
+  requests share one
+  :meth:`~repro.core.gsp.GSPEngine.propagate_batch` call, so the
+  engine's cached propagation structures are looked up once per batch
+  rather than once per request.
+* **Graceful degradation** — when the deadline is (nearly) spent or the
+  crowd cannot be probed (budget exhausted, no workers), the request
+  falls back to the Per baseline
+  (:func:`~repro.baselines.periodic.periodic_field` over the pinned
+  snapshot's μ) and the result is flagged ``degraded=True`` with the
+  reason, instead of failing the caller.
+
+Workers are plain threads; because every batch pins one
+:class:`~repro.core.store.ModelSnapshot` via
+:meth:`~repro.core.store.ModelStore.pinned`, a concurrent
+:meth:`~repro.core.pipeline.CrowdRTSE.refresh` can never tear a request
+across model versions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    BudgetError,
+    InternalError,
+    NoWorkersError,
+    OverloadedError,
+    QueryTimeoutError,
+    ReproError,
+    ServeError,
+)
+from repro.baselines.periodic import periodic_field
+from repro.core.gsp import GSPConfig
+from repro.core.pipeline import CrowdRTSE, Deadline, PreparedQuery, QueryResult
+from repro.crowd.market import CrowdMarket, TruthOracle
+from repro.obs import DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
+
+#: Degradation reasons recorded on :attr:`ServedResult.degraded_reason`
+#: and the ``serve.degraded`` counter's ``reason`` label.
+DEGRADED_DEADLINE = "deadline"
+DEGRADED_BUDGET = "budget"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one :class:`QueryService`.
+
+    Attributes:
+        num_workers: Serving threads.  Each worker serves one coalesced
+            batch at a time off its own pinned snapshot.
+        max_queue_depth: Admission bound; :meth:`QueryService.submit`
+            raises :class:`~repro.errors.OverloadedError` beyond it.
+        coalesce_window_s: After dequeuing a request, how long a worker
+            lingers for same-slot stragglers before serving the batch.
+            0 still coalesces whatever is *already* queued.
+        max_coalesce: Largest batch one worker serves at once.
+        default_deadline_s: Deadline applied to requests that do not
+            carry their own (``None`` → no deadline).
+        degrade_on_timeout: When True (default), a deadline expiry
+            returns a Per-baseline answer flagged ``degraded=True``;
+            when False the request fails with
+            :class:`~repro.errors.QueryTimeoutError`.
+        degrade_margin_s: Skip the full pipeline and degrade immediately
+            when less than this much budget remains at pickup — the
+            pipeline would not finish in time anyway.
+        serialize_probes: Hold a service-wide lock around OCS + probing
+            so a market shared between requests (one RNG, one worker
+            pool) is never driven from two threads at once.  GSP — the
+            heavy stage — always runs outside the lock.
+        gsp_config: Propagation knobs applied to every served query.
+    """
+
+    num_workers: int = 2
+    max_queue_depth: int = 64
+    coalesce_window_s: float = 0.0
+    max_coalesce: int = 16
+    default_deadline_s: Optional[float] = None
+    degrade_on_timeout: bool = True
+    degrade_margin_s: float = 0.0
+    serialize_probes: bool = True
+    gsp_config: Optional[GSPConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ServeError("ServeConfig.num_workers must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ServeError("ServeConfig.max_queue_depth must be >= 1")
+        if self.max_coalesce < 1:
+            raise ServeError("ServeConfig.max_coalesce must be >= 1")
+        if self.coalesce_window_s < 0 or self.degrade_margin_s < 0:
+            raise ServeError("serve windows/margins must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query as submitted to the service.
+
+    ``market``/``truth``/``rng`` default to the service-level ones; a
+    replay driver overrides them per request (e.g. per test day).
+    """
+
+    queried: Tuple[int, ...]
+    slot: int
+    budget: float
+    theta: float = 0.92
+    selector: str = "hybrid"
+    deadline_s: Optional[float] = None
+    market: Optional[CrowdMarket] = None
+    truth: Optional[TruthOracle] = None
+    rng: Optional[np.random.Generator] = None
+    coalescable: bool = True
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """What the service hands back for one request.
+
+    Attributes:
+        request: The request this answers.
+        estimates_kmh: Estimated speed per queried road.
+        full_field_kmh: Full per-road field the estimates were sliced
+            from (GSP posterior, or the Per field when degraded).
+        model_version: Snapshot version the answer was served from.
+        degraded: True when the Per fallback answered instead of the
+            full OCS → probe → GSP pipeline.
+        degraded_reason: Why (``"deadline"`` / ``"budget"``), or None.
+        coalesced: True when this request shared another request's
+            pipeline execution instead of running its own.
+        queue_seconds: Time spent waiting for a worker.
+        total_seconds: Admission-to-completion latency.
+        result: The underlying :class:`QueryResult` (None when
+            degraded — there was no propagation).
+    """
+
+    request: ServeRequest
+    estimates_kmh: np.ndarray
+    full_field_kmh: np.ndarray
+    model_version: int
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    coalesced: bool = False
+    queue_seconds: float = 0.0
+    total_seconds: float = 0.0
+    result: Optional[QueryResult] = None
+
+
+class ServeTicket:
+    """Handle for one submitted request (a minimal future).
+
+    Returned by :meth:`QueryService.submit`; :meth:`result` blocks until
+    a worker resolves it, re-raising the request's failure if it had
+    one.
+    """
+
+    __slots__ = (
+        "request", "deadline", "enqueued_at", "picked_up_at",
+        "_done", "_result", "_error",
+    )
+
+    def __init__(self, request: ServeRequest, deadline: Optional[Deadline]) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.enqueued_at = time.perf_counter()
+        self.picked_up_at: Optional[float] = None
+        self._done = threading.Event()
+        self._result: Optional[ServedResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time the request waited before a worker picked it up."""
+        if self.picked_up_at is None:
+            return 0.0
+        return self.picked_up_at - self.enqueued_at
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been resolved (either way)."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServedResult:
+        """Block for the outcome; raise the request's error if it failed."""
+        if not self._done.wait(timeout):
+            raise ServeError("timed out waiting for the serve ticket")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: ServedResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+class QueryService:
+    """Concurrent, deadline-aware, coalescing front of a :class:`CrowdRTSE`.
+
+    Args:
+        system: The (fitted) estimator to serve.
+        market: Default crowd marketplace for requests that do not carry
+            their own.
+        truth: Default ground-truth oracle (simulation plumbing).
+        config: Serving knobs.
+        autostart: Start the worker threads immediately.  Tests pass
+            False to fill the queue deterministically and then
+            :meth:`start`.
+
+    Use as a context manager (``with QueryService(...) as svc:``) so the
+    workers are always joined; :meth:`close` drains the queue first.
+    """
+
+    def __init__(
+        self,
+        system: CrowdRTSE,
+        market: Optional[CrowdMarket] = None,
+        truth: Optional[TruthOracle] = None,
+        config: Optional[ServeConfig] = None,
+        autostart: bool = True,
+    ) -> None:
+        self._system = system
+        self._market = market
+        self._truth = truth
+        self._config = config if config is not None else ServeConfig()
+        self._queue: Deque[ServeTicket] = deque()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._probe_lock = threading.Lock()
+        self._closing = False
+        self._started = False
+        self._workers: List[threading.Thread] = []
+        if autostart:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def config(self) -> ServeConfig:
+        """The serving knobs."""
+        return self._config
+
+    @property
+    def system(self) -> CrowdRTSE:
+        """The estimator being served."""
+        return self._system
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            if self._closing:
+                raise ServeError("cannot start a closed QueryService")
+            self._started = True
+            for k in range(self._config.num_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{k}",
+                    daemon=True,
+                )
+                self._workers.append(thread)
+                thread.start()
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting requests and join the workers.
+
+        Args:
+            drain: Serve what is already queued before exiting (pending
+                tickets fail with :class:`ServeError` when False).
+            timeout: Per-thread join bound.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            if not drain:
+                while self._queue:
+                    self._queue.popleft()._fail(
+                        ServeError("service closed before the request was served")
+                    )
+                self._set_depth_locked()
+            self._work_ready.notify_all()
+            started = self._started
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+        if not started:
+            # Never-started service: fail anything still queued so no
+            # caller blocks forever on a ticket nobody will serve.
+            with self._lock:
+                while self._queue:
+                    self._queue.popleft()._fail(
+                        ServeError("service closed before the request was served")
+                    )
+                self._set_depth_locked()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- admission ------------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> ServeTicket:
+        """Admit one request, or reject it with backpressure.
+
+        Raises:
+            OverloadedError: When the admission queue is at capacity.
+            ServeError: When the service is closed.
+        """
+        metrics = get_metrics()
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._config.default_deadline_s
+        )
+        deadline = Deadline.after(deadline_s) if deadline_s is not None else None
+        ticket = ServeTicket(request, deadline)
+        with self._lock:
+            if self._closing:
+                raise ServeError("QueryService is closed")
+            if len(self._queue) >= self._config.max_queue_depth:
+                if metrics.enabled:
+                    metrics.counter("serve.rejected").inc()
+                raise OverloadedError(
+                    len(self._queue), self._config.max_queue_depth
+                )
+            self._queue.append(ticket)
+            self._set_depth_locked()
+            if metrics.enabled:
+                metrics.counter("serve.admitted").inc()
+            self._work_ready.notify()
+        return ticket
+
+    def serve(self, request: ServeRequest, timeout: Optional[float] = None) -> ServedResult:
+        """Blocking convenience: :meth:`submit` + :meth:`ServeTicket.result`."""
+        return self.submit(request).result(timeout)
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a worker."""
+        with self._lock:
+            return len(self._queue)
+
+    def _set_depth_locked(self) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge("serve.queue.depth").set(len(self._queue))
+
+    # -- worker side ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            try:
+                self._serve_batch(batch)
+            except BaseException as exc:  # pragma: no cover - last resort
+                # A worker must never die with tickets unresolved.
+                for ticket in batch:
+                    if not ticket.done:
+                        ticket._fail(
+                            exc if isinstance(exc, ReproError)
+                            else InternalError("serve", exc)
+                        )
+
+    def _next_batch(self) -> Optional[List[ServeTicket]]:
+        """Pop a leader plus every coalescable same-slot follower."""
+        with self._work_ready:
+            while not self._queue:
+                if self._closing:
+                    return None
+                self._work_ready.wait(timeout=0.1)
+            leader = self._queue.popleft()
+            leader.picked_up_at = time.perf_counter()
+            self._set_depth_locked()
+        if self._config.coalesce_window_s > 0 and leader.request.coalescable:
+            # Linger briefly so near-simultaneous same-slot queries land
+            # in this batch instead of the next one.
+            time.sleep(self._config.coalesce_window_s)
+        batch = [leader]
+        if leader.request.coalescable:
+            with self._lock:
+                kept: Deque[ServeTicket] = deque()
+                while self._queue and len(batch) < self._config.max_coalesce:
+                    candidate = self._queue.popleft()
+                    if (
+                        candidate.request.coalescable
+                        and candidate.request.slot == leader.request.slot
+                    ):
+                        candidate.picked_up_at = time.perf_counter()
+                        batch.append(candidate)
+                    else:
+                        kept.append(candidate)
+                kept.extend(self._queue)
+                self._queue = kept
+                self._set_depth_locked()
+        return batch
+
+    def _serve_batch(self, batch: List[ServeTicket]) -> None:
+        """Serve one same-slot batch off one pinned snapshot."""
+        metrics = get_metrics()
+        tracer = get_tracer()
+        if metrics.enabled:
+            metrics.histogram(
+                "serve.batch.size", DEFAULT_SIZE_BUCKETS
+            ).observe(len(batch))
+        store = self._system.store
+        with store.pinned() as snapshot:
+            with tracer.span(
+                "serve.batch",
+                size=len(batch),
+                slot=int(batch[0].request.slot),
+                model_version=snapshot.version,
+            ):
+                # Identical requests share one pipeline execution.
+                buckets: Dict[tuple, List[ServeTicket]] = {}
+                for ticket in batch:
+                    buckets.setdefault(self._coalesce_key(ticket), []).append(ticket)
+                n_shared = len(batch) - len(buckets)
+                if n_shared and metrics.enabled:
+                    metrics.counter("serve.coalesced").inc(n_shared)
+                if len(buckets) == 1:
+                    # No cross-request batching needed: the leader runs
+                    # the plain pipeline (serve.request nested around
+                    # pipeline.answer_query) and every duplicate shares
+                    # its answer.
+                    for tickets in buckets.values():
+                        self._serve_bucket_single(tickets, snapshot)
+                else:
+                    self._serve_buckets_batched(list(buckets.values()), snapshot)
+
+    @staticmethod
+    def _coalesce_key(ticket: ServeTicket) -> tuple:
+        request = ticket.request
+        return (
+            request.slot,
+            tuple(int(q) for q in request.queried),
+            float(request.budget),
+            float(request.theta),
+            request.selector,
+            id(request.market),
+            id(request.truth),
+            id(request.rng),
+        )
+
+    # -- execution paths ------------------------------------------------
+
+    def _serve_bucket_single(
+        self, tickets: List[ServeTicket], snapshot
+    ) -> None:
+        """One unique request (possibly many duplicates): full pipeline."""
+        tracer = get_tracer()
+        leader = tickets[0]
+        request = leader.request
+        with tracer.span(
+            "serve.request",
+            slot=int(request.slot),
+            queried=len(request.queried),
+            shared_by=len(tickets),
+        ):
+            if self._should_degrade_now(leader):
+                self._finish_timeout(
+                    tickets, snapshot, self._queue_timeout(leader)
+                )
+                return
+            try:
+                with self._maybe_probe_lock():
+                    result = self._system.answer_query(
+                        request.queried,
+                        request.slot,
+                        budget=request.budget,
+                        market=self._market_of(request),
+                        truth=self._truth_of(request),
+                        theta=request.theta,
+                        selector=request.selector,
+                        gsp_config=self._config.gsp_config,
+                        rng=request.rng,
+                        snapshot=snapshot,
+                        deadline=leader.deadline,
+                    )
+            except QueryTimeoutError as exc:
+                self._finish_timeout(tickets, snapshot, exc)
+                return
+            except (BudgetError, NoWorkersError):
+                self._finish_degraded(tickets, snapshot, DEGRADED_BUDGET)
+                return
+            except ReproError as exc:
+                self._fail_all(tickets, exc)
+                return
+            except Exception as exc:
+                self._fail_all(tickets, InternalError("serve", exc))
+                return
+        self._finish_ok(tickets, result)
+
+    def _serve_buckets_batched(
+        self, buckets: List[List[ServeTicket]], snapshot
+    ) -> None:
+        """Several distinct same-slot requests: shared GSP batch.
+
+        OCS + probing run per unique request; the propagation stage is
+        one :meth:`GSPEngine.propagate_batch` call, so structure lookups
+        and schedule compilations are shared across the whole batch.
+        """
+        tracer = get_tracer()
+        ready: List[Tuple[List[ServeTicket], PreparedQuery]] = []
+        for tickets in buckets:
+            leader = tickets[0]
+            request = leader.request
+            with tracer.span(
+                "serve.request",
+                slot=int(request.slot),
+                queried=len(request.queried),
+                shared_by=len(tickets),
+                gsp_batched=True,
+            ):
+                if self._should_degrade_now(leader):
+                    self._finish_timeout(
+                        tickets, snapshot, self._queue_timeout(leader)
+                    )
+                    continue
+                try:
+                    with self._maybe_probe_lock():
+                        prepared = self._system._select_and_probe(
+                            request.queried,
+                            request.slot,
+                            request.budget,
+                            self._market_of(request),
+                            self._truth_of(request),
+                            request.theta,
+                            request.selector,
+                            request.rng,
+                            True,
+                            snapshot,
+                            leader.deadline,
+                        )
+                except QueryTimeoutError as exc:
+                    self._finish_timeout(tickets, snapshot, exc)
+                    continue
+                except (BudgetError, NoWorkersError):
+                    self._finish_degraded(tickets, snapshot, DEGRADED_BUDGET)
+                    continue
+                except ReproError as exc:
+                    self._fail_all(tickets, exc)
+                    continue
+                except Exception as exc:
+                    self._fail_all(tickets, InternalError("serve", exc))
+                    continue
+            if leader.deadline is not None and leader.deadline.expired:
+                # Probes landed too late to propagate within budget.
+                self._finish_timeout(
+                    tickets, snapshot,
+                    QueryTimeoutError(
+                        "gsp",
+                        leader.deadline.budget_seconds - leader.deadline.remaining(),
+                        leader.deadline.budget_seconds,
+                    ),
+                )
+                continue
+            ready.append((tickets, prepared))
+        if not ready:
+            return
+        items = [
+            (snapshot.slot(prepared.slot), prepared.probes)
+            for _, prepared in ready
+        ]
+        gsp_results = self._system.gsp_engine.propagate_batch(
+            items, self._config.gsp_config
+        )
+        for (tickets, prepared), gsp_result in zip(ready, gsp_results):
+            self._finish_ok(
+                tickets, self._system._assemble_result(prepared, gsp_result)
+            )
+
+    # -- helpers --------------------------------------------------------
+
+    def _maybe_probe_lock(self):
+        if self._config.serialize_probes:
+            return self._probe_lock
+        return _NULL_CONTEXT
+
+    def _market_of(self, request: ServeRequest) -> CrowdMarket:
+        market = request.market if request.market is not None else self._market
+        if market is None:
+            raise ServeError(
+                "request carries no market and the service has no default"
+            )
+        return market
+
+    def _truth_of(self, request: ServeRequest) -> TruthOracle:
+        truth = request.truth if request.truth is not None else self._truth
+        if truth is None:
+            raise ServeError(
+                "request carries no truth oracle and the service has no default"
+            )
+        return truth
+
+    def _should_degrade_now(self, ticket: ServeTicket) -> bool:
+        if ticket.deadline is None:
+            return False
+        return ticket.deadline.remaining() <= self._config.degrade_margin_s
+
+    @staticmethod
+    def _queue_timeout(ticket: ServeTicket) -> QueryTimeoutError:
+        """A timeout detected at pickup (spent waiting in the queue)."""
+        deadline = ticket.deadline
+        assert deadline is not None
+        return QueryTimeoutError(
+            "queue",
+            deadline.budget_seconds - deadline.remaining(),
+            deadline.budget_seconds,
+        )
+
+    def _finish_ok(self, tickets: List[ServeTicket], result: QueryResult) -> None:
+        metrics = get_metrics()
+        for k, ticket in enumerate(tickets):
+            latency = time.perf_counter() - ticket.enqueued_at
+            if metrics.enabled:
+                metrics.counter("serve.completed", {"outcome": "ok"}).inc()
+                metrics.histogram(
+                    "serve.latency_seconds", DEFAULT_TIME_BUCKETS
+                ).observe(latency)
+            ticket._resolve(
+                ServedResult(
+                    request=ticket.request,
+                    estimates_kmh=result.full_field_kmh[
+                        np.asarray(ticket.request.queried, dtype=int)
+                    ],
+                    full_field_kmh=result.full_field_kmh,
+                    model_version=result.model_version,
+                    coalesced=k > 0,
+                    queue_seconds=ticket.queue_seconds,
+                    total_seconds=latency,
+                    result=result,
+                )
+            )
+
+    def _finish_timeout(
+        self, tickets: List[ServeTicket], snapshot, exc: QueryTimeoutError
+    ) -> None:
+        if self._config.degrade_on_timeout:
+            self._finish_degraded(tickets, snapshot, DEGRADED_DEADLINE)
+        else:
+            self._fail_all(tickets, exc)
+
+    def _finish_degraded(
+        self, tickets: List[ServeTicket], snapshot, reason: str
+    ) -> None:
+        """Answer from the Per baseline instead of failing the caller."""
+        metrics = get_metrics()
+        request = tickets[0].request
+        try:
+            field = periodic_field(snapshot.slot(request.slot))
+        except ReproError as exc:
+            # Even Per cannot answer (slot never fitted): a real failure.
+            self._fail_all(tickets, exc)
+            return
+        for k, ticket in enumerate(tickets):
+            latency = time.perf_counter() - ticket.enqueued_at
+            if metrics.enabled:
+                metrics.counter("serve.completed", {"outcome": "degraded"}).inc()
+                metrics.counter("serve.degraded", {"reason": reason}).inc()
+                metrics.histogram(
+                    "serve.latency_seconds", DEFAULT_TIME_BUCKETS
+                ).observe(latency)
+            ticket._resolve(
+                ServedResult(
+                    request=ticket.request,
+                    estimates_kmh=field[
+                        np.asarray(ticket.request.queried, dtype=int)
+                    ],
+                    full_field_kmh=field,
+                    model_version=snapshot.version,
+                    degraded=True,
+                    degraded_reason=reason,
+                    coalesced=k > 0,
+                    queue_seconds=ticket.queue_seconds,
+                    total_seconds=latency,
+                )
+            )
+
+    def _fail_all(self, tickets: List[ServeTicket], exc: ReproError) -> None:
+        metrics = get_metrics()
+        for ticket in tickets:
+            if metrics.enabled:
+                metrics.counter("serve.completed", {"outcome": "error"}).inc()
+            ticket._fail(exc)
+
+
+class _NullContext:
+    """``with``-able stand-in when probe serialization is off."""
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()

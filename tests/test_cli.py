@@ -1,9 +1,18 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 import repro
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import (
+    EXIT_INTERNAL_ERROR,
+    EXIT_OK,
+    EXIT_USER_ERROR,
+    EXPERIMENTS,
+    build_parser,
+    main,
+)
 
 
 COMMON = [
@@ -37,6 +46,16 @@ class TestParser:
         assert args.learning_rate == pytest.approx(0.05)
         assert args.days is None
         assert args.roads == 60
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 2
+        assert args.queue_depth == 64
+        assert args.requests is None
+        assert args.deadline_ms is None
+        # serve reuses the shared dataset argument group
+        assert args.name == "semisyn"
+        assert args.seed == 2018
 
 
 class TestDatasetCommand:
@@ -129,3 +148,91 @@ class TestExperimentCommand:
     def test_query_patterns_quick(self, capsys):
         assert main(["experiment", "query_patterns", "--scale", "quick"]) == 0
         assert "hotspot" in capsys.readouterr().out
+
+
+SERVE_COMMON = [
+    "--roads", "60", "--queried", "12", "--train-days", "8",
+    "--test-days", "2", "--slots", "5", "--seed", "3",
+]
+
+
+class TestServeCommand:
+    def test_synthesized_workload_reports_percentiles(self, capsys):
+        code = main(["serve", *SERVE_COMMON, "--n-requests", "16",
+                     "--duplication", "4", "--workers", "2"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "requests: 16" in out
+        assert "p50" in out and "p99" in out
+        assert "coalesced" in out
+
+    def test_replays_jsonl_trace(self, tmp_path, capsys):
+        # Slots fitted by `serve` start at the dataset's query slot; for
+        # --slots 5 --train-days 8 the semisyn window starts at slot 86.
+        trace = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps({"slot": 86, "queried": [1, 2, 3], "budget": 8}),
+            json.dumps({"slot": 87, "queried": [4, 5], "budget": 8}),
+            json.dumps({"slot": 86, "queried": [1, 2, 3], "budget": 8}),
+        ]
+        trace.write_text("\n".join(lines) + "\n")
+        code = main(["serve", *SERVE_COMMON, "--requests", str(trace)])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "requests: 3" in out
+
+    def test_deadline_degrades_requests(self, capsys):
+        code = main(["serve", *SERVE_COMMON, "--n-requests", "8",
+                     "--deadline-ms", "0.0001"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "degraded 8" in out
+        assert "deadline=8" in out
+
+
+class TestExitCodes:
+    def test_user_error_trace_slot_out_of_window(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"slot": 999, "queried": [1], "budget": 5}\n')
+        code = main(["serve", *SERVE_COMMON, "--requests", str(trace)])
+        assert code == EXIT_USER_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_user_error_malformed_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text("not json\n")
+        code = main(["serve", *SERVE_COMMON, "--requests", str(trace)])
+        assert code == EXIT_USER_ERROR
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_internal_error_is_distinct(self, monkeypatch, capsys):
+        def explode(args):
+            raise RuntimeError("simulated bug")
+
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "cmd_dataset", explode)
+        # Rebind: set_defaults captured the old function, so go through
+        # a fresh parser with the patched module function.
+        monkeypatch.setattr(
+            cli_mod, "build_parser", _patched_parser_factory(explode)
+        )
+        code = main(["dataset"])
+        assert code == EXIT_INTERNAL_ERROR
+        assert "internal error" in capsys.readouterr().err
+
+    def test_codes_are_distinct(self):
+        assert len({EXIT_OK, EXIT_USER_ERROR, EXIT_INTERNAL_ERROR}) == 3
+
+
+def _patched_parser_factory(func):
+    import argparse
+
+    def factory():
+        parser = argparse.ArgumentParser(prog="repro")
+        sub = parser.add_subparsers(dest="command", required=True)
+        p = sub.add_parser("dataset")
+        p.set_defaults(func=func)
+        return parser
+
+    return factory

@@ -6,6 +6,7 @@ import pytest
 import repro
 from repro.core.correlation import CorrelationTable
 from repro.core.store import ModelStore
+from repro import errors
 from repro.errors import ModelError, SelectionError
 from repro.datasets import truth_oracle_for
 
@@ -77,6 +78,7 @@ class TestLegacyConstruction:
             ]},
             learning_rate=0.5,
         )
+        errors.reset_deprecation_warnings("pipeline.legacy_model_table")
         with pytest.warns(DeprecationWarning, match="stale"):
             system = repro.CrowdRTSE(tiny_dataset.network, stale_model, table)
         with pytest.raises(ModelError, match="digest mismatch"):
@@ -99,6 +101,7 @@ class TestLegacyConstruction:
             tiny_dataset.network, model, {tiny_dataset.slot: sample},
             learning_rate=0.5,
         )
+        errors.reset_deprecation_warnings("pipeline.legacy_model_table")
         with pytest.warns(DeprecationWarning):
             system = repro.CrowdRTSE(tiny_dataset.network, stale_model, table)
         system.refresh({tiny_dataset.slot: sample})

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro import obs
+from repro import errors, obs
 from repro.core.gsp import GSPConfig, GSPEngine, GSPKernel, GSPSchedule
 from repro.errors import ConvergenceWarning
 
@@ -147,6 +147,10 @@ class TestDeprecatedAliases:
         cfg = GSPConfig(schedule=GSPSchedule.BFS_COLORED, kernel=GSPKernel.VECTORIZED)
         first = engine.propagate(small_world["params"], {0: 30.0}, cfg)
         second = engine.propagate(small_world["params"], {0: 30.0}, cfg)
+        # The aliases warn once per process; clear the dedup registry so
+        # this test is order-independent.
+        errors.reset_deprecation_warnings("gsp.result.structure_cache_hit")
+        errors.reset_deprecation_warnings("gsp.result.schedule_cache_hit")
         with pytest.warns(DeprecationWarning, match="structure_cache_hit"):
             assert first.structure_cache_hit is False
         with pytest.warns(DeprecationWarning, match="schedule_cache_hit"):
