@@ -9,7 +9,6 @@ at ``--scale paper``.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 import repro
@@ -20,7 +19,6 @@ from repro.experiments.common import (
     default_semisyn,
     fit_system,
     market_for,
-    ocs_instance_for,
 )
 
 QUICK = ExperimentScale.QUICK

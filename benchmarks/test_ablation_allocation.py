@@ -5,7 +5,6 @@ of exact posterior variances (which power the confidence bands).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.uncertainty import conditional_variances
 from repro.datasets import truth_oracle_for

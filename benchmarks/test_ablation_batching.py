@@ -6,7 +6,6 @@ lose to splitting the budget per query.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.batch import answer_batch, sequential_baseline

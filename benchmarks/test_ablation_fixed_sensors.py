@@ -5,7 +5,6 @@ dominates any static deployment at equal observation counts and
 measurement noise, and benchmarks the study's runtime.
 """
 
-import pytest
 
 from repro.experiments import fixed_vs_crowd
 from repro.experiments.common import ExperimentScale

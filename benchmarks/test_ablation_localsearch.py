@@ -5,8 +5,6 @@ QUICK instance and reports the relative objective gap — an empirical
 tightness check on Theorem 2's (1 − 1/e)/2 bound at realistic sizes.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.local_search import greedy_plus_local_search, local_search
 from repro.core.ocs import hybrid_greedy

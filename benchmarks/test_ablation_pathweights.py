@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.correlation import PathWeightMode, road_road_correlation_matrix
 from repro.experiments import ablations
-from repro.experiments.common import ExperimentScale, default_semisyn, fit_system
+from repro.experiments.common import ExperimentScale
 
 QUICK = ExperimentScale.QUICK
 

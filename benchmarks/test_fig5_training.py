@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.core.inference import RTFInferenceConfig, infer_slot_parameters
 from repro.experiments import figure5
-from repro.experiments.common import ExperimentScale, default_semisyn
+from repro.experiments.common import ExperimentScale
 
 QUICK = ExperimentScale.QUICK
 

@@ -6,7 +6,6 @@ semi-synthesized patterns carry over: GSP stays competitive with the
 correlation-only baselines at every budget.
 """
 
-import numpy as np
 
 from repro.datasets import truth_oracle_for
 from repro.experiments import figure6

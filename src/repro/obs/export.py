@@ -26,7 +26,7 @@ import argparse
 import json
 import re
 import sys
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import bisect
 import re
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union, cast
 
 from repro.errors import ObservabilityError
 
@@ -119,7 +119,10 @@ class Counter:
         return self._value
 
     def _reset(self) -> None:
-        self._value = 0.0
+        # Under the shared registry lock (reentrant): a reset racing a
+        # concurrent inc() must not tear the read-modify-write.
+        with self._lock:
+            self._value = 0.0
 
 
 class Gauge:
@@ -153,7 +156,8 @@ class Gauge:
         return self._value
 
     def _reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
 
 class Histogram:
@@ -205,9 +209,12 @@ class Histogram:
         return tuple(self._bucket_counts)
 
     def _reset(self) -> None:
-        self._bucket_counts = [0] * (len(self.edges) + 1)
-        self._sum = 0.0
-        self._count = 0
+        # Locked so count == sum(bucket_counts) stays invariant under a
+        # reset racing concurrent observe() calls.
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.edges) + 1)
+            self._sum = 0.0
+            self._count = 0
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -260,7 +267,7 @@ class MetricsRegistry:
         kind: str,
         name: str,
         labels: Optional[Mapping[str, object]],
-        factory,
+        factory: Callable[[LabelItems], Instrument],
     ) -> Instrument:
         if not _NAME_RE.match(name):
             raise ObservabilityError(
@@ -294,16 +301,22 @@ class MetricsRegistry:
         """Get or create a counter series."""
         if not self._enabled:
             return _NOOP  # type: ignore[return-value]
-        return self._get_or_create(
-            "counter", name, labels, lambda key: Counter(name, key, self._lock)
+        return cast(
+            Counter,
+            self._get_or_create(
+                "counter", name, labels, lambda key: Counter(name, key, self._lock)
+            ),
         )
 
     def gauge(self, name: str, labels: Optional[Mapping[str, object]] = None) -> Gauge:
         """Get or create a gauge series."""
         if not self._enabled:
             return _NOOP  # type: ignore[return-value]
-        return self._get_or_create(
-            "gauge", name, labels, lambda key: Gauge(name, key, self._lock)
+        return cast(
+            Gauge,
+            self._get_or_create(
+                "gauge", name, labels, lambda key: Gauge(name, key, self._lock)
+            ),
         )
 
     def histogram(
@@ -334,11 +347,14 @@ class MetricsRegistry:
                     f"histogram {name!r} already registered with buckets "
                     f"{known}, got {edges}"
                 )
-        return self._get_or_create(
-            "histogram",
-            name,
-            labels,
-            lambda key: Histogram(name, key, edges, self._lock),
+        return cast(
+            Histogram,
+            self._get_or_create(
+                "histogram",
+                name,
+                labels,
+                lambda key: Histogram(name, key, edges, self._lock),
+            ),
         )
 
     # -- reading --------------------------------------------------------
@@ -362,18 +378,18 @@ class MetricsRegistry:
                         "name": name,
                         "labels": dict(key),
                     }
-                    if kind == "counter":
-                        entry["value"] = instrument.value
-                        counters.append(entry)
-                    elif kind == "gauge":
-                        entry["value"] = instrument.value
-                        gauges.append(entry)
-                    else:
+                    if isinstance(instrument, Histogram):
                         entry["buckets"] = list(instrument.edges)
                         entry["counts"] = list(instrument.bucket_counts())
                         entry["sum"] = instrument.sum
                         entry["count"] = instrument.count
                         histograms.append(entry)
+                    elif kind == "counter":
+                        entry["value"] = instrument.value
+                        counters.append(entry)
+                    else:
+                        entry["value"] = instrument.value
+                        gauges.append(entry)
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def reset(self) -> None:

@@ -26,7 +26,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 try:  # thread CPU clock: Linux/macOS; fall back to the process clock.
     time.thread_time()
@@ -215,7 +215,7 @@ class Tracer:
                 return
             self._records.append(record)
 
-    def span(self, name: str, **attrs: Any):
+    def span(self, name: str, **attrs: Any) -> Union[Span, _NullSpan]:
         """Open a span; use as ``with tracer.span("gsp.propagate", ...):``.
 
         Returns the shared null span while disabled.
@@ -250,7 +250,7 @@ class Tracer:
 
     def to_jsonl(self) -> str:
         """Serialize completed spans as JSON-lines (one span per line)."""
-        lines = []
+        lines: List[str] = []
         for record in self.records():
             lines.append(
                 json.dumps(

@@ -43,7 +43,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import ContextManager, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +59,7 @@ from repro.errors import (
 from repro.baselines.periodic import periodic_field
 from repro.core.gsp import GSPConfig
 from repro.core.pipeline import CrowdRTSE, Deadline, PreparedQuery, QueryResult
+from repro.core.store import ModelSnapshot
 from repro.crowd.market import CrowdMarket, TruthOracle
 from repro.obs import DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 
@@ -476,7 +477,7 @@ class QueryService:
     # -- execution paths ------------------------------------------------
 
     def _serve_bucket_single(
-        self, tickets: List[ServeTicket], snapshot
+        self, tickets: List[ServeTicket], snapshot: ModelSnapshot
     ) -> None:
         """One unique request (possibly many duplicates): full pipeline."""
         tracer = get_tracer()
@@ -523,7 +524,7 @@ class QueryService:
         self._finish_ok(tickets, result)
 
     def _serve_buckets_batched(
-        self, buckets: List[List[ServeTicket]], snapshot
+        self, buckets: List[List[ServeTicket]], snapshot: ModelSnapshot
     ) -> None:
         """Several distinct same-slot requests: shared GSP batch.
 
@@ -603,7 +604,7 @@ class QueryService:
 
     # -- helpers --------------------------------------------------------
 
-    def _maybe_probe_lock(self):
+    def _maybe_probe_lock(self) -> ContextManager[object]:
         if self._config.serialize_probes:
             return self._probe_lock
         return _NULL_CONTEXT
@@ -665,7 +666,7 @@ class QueryService:
             )
 
     def _finish_timeout(
-        self, tickets: List[ServeTicket], snapshot, exc: QueryTimeoutError
+        self, tickets: List[ServeTicket], snapshot: ModelSnapshot, exc: QueryTimeoutError
     ) -> None:
         if self._config.degrade_on_timeout:
             self._finish_degraded(tickets, snapshot, DEGRADED_DEADLINE)
@@ -673,7 +674,7 @@ class QueryService:
             self._fail_all(tickets, exc)
 
     def _finish_degraded(
-        self, tickets: List[ServeTicket], snapshot, reason: str
+        self, tickets: List[ServeTicket], snapshot: ModelSnapshot, reason: str
     ) -> None:
         """Answer from the Per baseline instead of failing the caller."""
         metrics = get_metrics()

@@ -94,7 +94,8 @@ class DetectorDeployment:
                 f"true_speeds_kmh must have shape ({self._network.n_roads},), "
                 f"got {speeds.shape}"
             )
-        rng = rng or np.random.default_rng()
+        # Deliberate: callers wanting reproducible noise pass `rng`.
+        rng = rng or np.random.default_rng()  # repro: noqa[RA006]
         readings: Dict[int, float] = {}
         for road in self._roads:
             value = float(speeds[road])

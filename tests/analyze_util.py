@@ -1,0 +1,50 @@
+"""Helpers for the static-analyzer tests: throwaway projects on disk."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from tools.analyze.core import Project, Rule, run_rules
+
+
+def write_files(root: Path, files: Dict[str, str]) -> None:
+    """Write dedented sources under ``root`` without parsing them."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def make_project(
+    root: Path,
+    files: Dict[str, str],
+    analyze: Sequence[str] = ("src",),
+) -> Project:
+    """Write dedented sources under ``root`` and parse the analyze paths.
+
+    ``files`` maps repo-relative paths to sources; docs land on disk too
+    (rules read them through ``project.doc_text``) but only the paths in
+    ``analyze`` are parsed as modules.
+    """
+    write_files(root, files)
+    return Project.load(root, [root / p for p in analyze])
+
+
+def check(
+    rule: Rule,
+    root: Path,
+    files: Dict[str, str],
+    analyze: Sequence[str] = ("src",),
+    with_engine: bool = False,
+) -> List:
+    """Run one rule over a throwaway project; returns findings.
+
+    ``with_engine=True`` routes through :func:`run_rules` so suppression
+    comments apply (rule.check alone is pre-suppression).
+    """
+    project = make_project(root, files, analyze)
+    if with_engine:
+        return run_rules(project, [rule]).findings
+    return sorted(rule.check(project), key=lambda f: f.sort_key())

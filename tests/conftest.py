@@ -7,8 +7,17 @@ slot.  Session scope keeps the suite fast.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# The repo root is not on sys.path under `PYTHONPATH=src` runs; the
+# analyzer tests import the repo-local `tools` package from it.
+_REPO_ROOT = str(Path(__file__).resolve().parents[1])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 import repro
 from repro.core.inference import empirical_slot_parameters

@@ -1,0 +1,326 @@
+"""RA003–RA006 rule tests: catalog drift, boundaries, deprecations, RNG."""
+
+from __future__ import annotations
+
+from tests.analyze_util import check
+from tools.analyze.rules.ra003_observability import RA003ObservabilityCatalog
+from tools.analyze.rules.ra004_exception_boundary import RA004ExceptionBoundary
+from tools.analyze.rules.ra005_deprecation import RA005DeprecationHorizon
+from tools.analyze.rules.ra006_determinism import RA006Determinism
+
+CATALOG = """
+    # Observability
+
+    ## Metric catalog
+
+    | Metric | Kind | Labels | Meaning |
+    |---|---|---|---|
+    | `app.requests` | counter | — | Requests served. |
+    | `app.depth` | gauge | — | Queue depth. |
+
+    ## Trace schema
+
+    `app.handle` spans wrap each request; `app.retry` events mark retries.
+"""
+
+SYNCED_SOURCE = """
+    def handle(metrics, tracer):
+        metrics.counter("app.requests").inc()
+        metrics.gauge("app.depth").set(0)
+        with tracer.span("app.handle"):
+            tracer.event("app.retry")
+"""
+
+
+class TestRA003:
+    def test_synced_catalog_is_clean(self, tmp_path):
+        findings = check(RA003ObservabilityCatalog(), tmp_path, {
+            "docs/OBSERVABILITY.md": CATALOG,
+            "src/app.py": SYNCED_SOURCE,
+        })
+        assert findings == []
+
+    def test_metric_without_doc_row_fires(self, tmp_path):
+        """Acceptance demo: adding a metric without a catalog row fails."""
+        findings = check(RA003ObservabilityCatalog(), tmp_path, {
+            "docs/OBSERVABILITY.md": CATALOG,
+            "src/app.py": SYNCED_SOURCE + """
+    def extra(metrics):
+        metrics.counter("app.surprise").inc()
+""",
+        })
+        assert len(findings) == 1
+        assert findings[0].rule == "RA003"
+        assert "app.surprise" in findings[0].message
+        assert findings[0].path == "src/app.py"
+
+    def test_stale_doc_row_fires_at_the_doc(self, tmp_path):
+        source = SYNCED_SOURCE.replace('metrics.gauge("app.depth").set(0)', "pass")
+        findings = check(RA003ObservabilityCatalog(), tmp_path, {
+            "docs/OBSERVABILITY.md": CATALOG,
+            "src/app.py": source,
+        })
+        assert len(findings) == 1
+        assert "app.depth" in findings[0].message
+        assert findings[0].path == "docs/OBSERVABILITY.md"
+
+    def test_kind_mismatch_fires(self, tmp_path):
+        source = SYNCED_SOURCE.replace(
+            'metrics.gauge("app.depth")', 'metrics.counter("app.depth")'
+        )
+        findings = check(RA003ObservabilityCatalog(), tmp_path, {
+            "docs/OBSERVABILITY.md": CATALOG,
+            "src/app.py": source,
+        })
+        assert len(findings) == 1
+        assert "counter" in findings[0].message and "gauge" in findings[0].message
+
+    def test_undocumented_span_fires(self, tmp_path):
+        findings = check(RA003ObservabilityCatalog(), tmp_path, {
+            "docs/OBSERVABILITY.md": CATALOG,
+            "src/app.py": SYNCED_SOURCE + """
+    def ghost(tracer):
+        with tracer.span("app.ghost"):
+            pass
+""",
+        })
+        assert len(findings) == 1
+        assert "app.ghost" in findings[0].message
+
+    def test_combined_row_names_all_count(self, tmp_path):
+        findings = check(RA003ObservabilityCatalog(), tmp_path, {
+            "docs/OBSERVABILITY.md": """
+                | Metric | Kind | Labels | Meaning |
+                |---|---|---|---|
+                | `app.a` / `app.b` | gauge | — | Combined ledger row. |
+            """,
+            "src/app.py": """
+                def f(metrics):
+                    metrics.gauge("app.a").set(1)
+                    metrics.gauge("app.b").set(2)
+            """,
+        })
+        assert findings == []
+
+
+ERRORS_MODULE = """
+    class ReproError(Exception):
+        pass
+
+    class DatasetError(ReproError):
+        pass
+
+    class ServeError(ReproError):
+        pass
+"""
+
+
+class TestRA004:
+    def test_builtin_raise_in_pipeline_fires(self, tmp_path):
+        findings = check(RA004ExceptionBoundary(), tmp_path, {
+            "src/errors.py": ERRORS_MODULE,
+            "src/pipeline.py": """
+                def answer(x):
+                    if x < 0:
+                        raise ValueError("negative")
+            """,
+        })
+        assert len(findings) == 1
+        assert findings[0].rule == "RA004"
+        assert "ValueError" in findings[0].message
+
+    def test_wrap_internal_region_is_shielded(self, tmp_path):
+        findings = check(RA004ExceptionBoundary(), tmp_path, {
+            "src/errors.py": ERRORS_MODULE,
+            "src/pipeline.py": """
+                from errors import wrap_internal
+
+                def answer(x):
+                    with wrap_internal("stage"):
+                        if x < 0:
+                            raise ValueError("negative")
+            """,
+        })
+        assert findings == []
+
+    def test_repro_error_subclasses_are_fine(self, tmp_path):
+        findings = check(RA004ExceptionBoundary(), tmp_path, {
+            "src/errors.py": ERRORS_MODULE,
+            "src/serve/service.py": """
+                from errors import ServeError
+
+                def submit(closing):
+                    if closing:
+                        raise ServeError("closed")
+                    raise errors.DatasetError("nope")
+            """,
+        })
+        assert findings == []
+
+    def test_bare_reraise_is_fine(self, tmp_path):
+        findings = check(RA004ExceptionBoundary(), tmp_path, {
+            "src/errors.py": ERRORS_MODULE,
+            "src/cli.py": """
+                def main():
+                    try:
+                        return 0
+                    except KeyboardInterrupt:
+                        raise
+            """,
+        })
+        assert findings == []
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        findings = check(RA004ExceptionBoundary(), tmp_path, {
+            "src/errors.py": ERRORS_MODULE,
+            "src/inference.py": """
+                def fit(x):
+                    raise ValueError("internal helpers may use builtins")
+            """,
+        })
+        assert findings == []
+
+
+API_DOC = """
+    # API
+
+    ### Deprecation policy
+
+    | Deprecated | Warn key | Replacement |
+    |---|---|---|
+    | `Old.thing` | `old.thing` | `New.thing` |
+"""
+
+
+class TestRA005:
+    def test_documented_call_site_is_clean(self, tmp_path):
+        findings = check(RA005DeprecationHorizon(), tmp_path, {
+            "docs/API.md": API_DOC,
+            "src/old.py": """
+                def thing():
+                    warn_deprecated_once(
+                        "old.thing",
+                        "Old.thing is deprecated; use New.thing. "
+                        "It will be removed in v2.0.",
+                    )
+            """,
+        })
+        assert findings == []
+
+    def test_message_without_version_fires(self, tmp_path):
+        findings = check(RA005DeprecationHorizon(), tmp_path, {
+            "docs/API.md": API_DOC,
+            "src/old.py": """
+                def thing():
+                    warn_deprecated_once("old.thing", "Old.thing is deprecated.")
+            """,
+        })
+        assert len(findings) == 1
+        assert "removal version" in findings[0].message
+
+    def test_undocumented_key_fires(self, tmp_path):
+        findings = check(RA005DeprecationHorizon(), tmp_path, {
+            "docs/API.md": API_DOC,
+            "src/old.py": """
+                def thing():
+                    warn_deprecated_once("old.thing", "removed in v2.0")
+
+                def other():
+                    warn_deprecated_once("old.other", "removed in v2.0")
+            """,
+        })
+        assert len(findings) == 1
+        assert "not listed" in findings[0].message
+        assert "old.other" in findings[0].message
+
+    def test_stale_doc_key_fires(self, tmp_path):
+        findings = check(RA005DeprecationHorizon(), tmp_path, {
+            "docs/API.md": API_DOC,
+            "src/old.py": "x = 1\n",
+        })
+        assert len(findings) == 1
+        assert "old.thing" in findings[0].message
+        assert findings[0].path == "docs/API.md"
+
+    def test_fstring_message_version_is_found(self, tmp_path):
+        findings = check(RA005DeprecationHorizon(), tmp_path, {
+            "docs/API.md": API_DOC,
+            "src/old.py": """
+                def thing(stale):
+                    warn_deprecated_once(
+                        "old.thing",
+                        f"table for slots {stale} is stale; rejected in v2.0",
+                    )
+            """,
+        })
+        assert findings == []
+
+
+class TestRA006:
+    def test_global_np_random_fires(self, tmp_path):
+        findings = check(RA006Determinism(), tmp_path, {
+            "src/m.py": """
+                import numpy as np
+
+                def draw():
+                    np.random.seed(0)
+                    return np.random.rand(3)
+            """,
+        })
+        assert len(findings) == 2
+        assert all("global RNG" in f.message for f in findings)
+
+    def test_unseeded_default_rng_fires_seeded_is_clean(self, tmp_path):
+        findings = check(RA006Determinism(), tmp_path, {
+            "src/m.py": """
+                import numpy as np
+
+                bad = np.random.default_rng()
+                good = np.random.default_rng(42)
+            """,
+        })
+        assert len(findings) == 1
+        assert "without a seed" in findings[0].message
+
+    def test_stdlib_random_import_fires(self, tmp_path):
+        findings = check(RA006Determinism(), tmp_path, {
+            "src/m.py": "import random\nfrom random import shuffle\n",
+        })
+        assert len(findings) == 2
+
+    def test_wall_clock_fires_monotonic_is_clean(self, tmp_path):
+        findings = check(RA006Determinism(), tmp_path, {
+            "src/m.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def duration(start):
+                    return time.monotonic() - start
+            """,
+        })
+        assert len(findings) == 1
+        assert "wall-clock" in findings[0].message
+
+    def test_whitelisted_module_is_exempt(self, tmp_path):
+        findings = check(RA006Determinism(), tmp_path, {
+            "src/repro/obs/tracing.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert findings == []
+
+    def test_noqa_suppresses_deliberate_fallback(self, tmp_path):
+        findings = check(RA006Determinism(), tmp_path, {
+            "src/m.py": """
+                import numpy as np
+
+                def make_rng(rng=None):
+                    return rng or np.random.default_rng()  # repro: noqa[RA006]
+            """,
+        }, with_engine=True)
+        assert findings == []

@@ -1,0 +1,189 @@
+"""Engine tests: suppression, baseline, reporters, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.analyze_util import make_project, write_files
+from tools.analyze import __main__ as analyze_main
+from tools.analyze.core import (
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    EXIT_OK,
+    Finding,
+    load_baseline,
+    run_rules,
+    select_rules,
+    write_baseline,
+)
+from tools.analyze.reporters import human_report, json_report
+from tools.analyze.rules import ALL_RULES
+from tools.analyze.rules.ra006_determinism import RA006Determinism
+
+FIRING = """
+    import numpy as np
+
+    def draw():
+        return np.random.rand(3)
+"""
+
+
+def test_registry_ships_six_rules_with_unique_ids():
+    ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids) == 6
+    assert ids[0] == "RA001" and ids[-1] == "RA006"
+
+
+def test_select_rules_filters_and_rejects_unknown():
+    assert [r.rule_id for r in select_rules("RA003, ra001")] == ["RA001", "RA003"]
+    with pytest.raises(ValueError, match="RA999"):
+        select_rules("RA999")
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_any_rule(self, tmp_path):
+        files = {"src/m.py": FIRING.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa"
+        )}
+        project = make_project(tmp_path, files)
+        result = run_rules(project, [RA006Determinism()])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_rule_scoped_noqa(self, tmp_path):
+        files = {"src/m.py": FIRING.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa[RA006]"
+        )}
+        project = make_project(tmp_path, files)
+        assert run_rules(project, [RA006Determinism()]).findings == []
+
+    def test_other_rule_noqa_does_not_suppress(self, tmp_path):
+        files = {"src/m.py": FIRING.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa[RA001]"
+        )}
+        project = make_project(tmp_path, files)
+        result = run_rules(project, [RA006Determinism()])
+        assert len(result.findings) == 1
+        assert result.suppressed == 0
+
+
+class TestBaseline:
+    def test_roundtrip_hides_grandfathered_findings(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        rule = RA006Determinism()
+        first = run_rules(project, [rule])
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings)
+        baseline = load_baseline(baseline_path)
+        second = run_rules(project, [rule], baseline)
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.stale_baseline == []
+
+    def test_fingerprint_survives_line_moves(self):
+        a = Finding("RA006", "src/m.py", 4, "message")
+        b = Finding("RA006", "src/m.py", 400, "message")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != Finding("RA001", "src/m.py", 4, "message").fingerprint
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": "x = 1\n"})
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path, [Finding("RA006", "src/gone.py", 0, "old finding")]
+        )
+        result = run_rules(project, [RA006Determinism()], load_baseline(baseline_path))
+        assert result.findings == []
+        assert len(result.stale_baseline) == 1
+        assert result.stale_baseline[0]["path"] == "src/gone.py"
+
+    def test_write_baseline_preserves_justifications(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = Finding("RA006", "src/m.py", 3, "msg")
+        write_baseline(path, [finding])
+        entries = json.loads(path.read_text())["findings"]
+        entries[0]["justification"] = "deliberate: documented fallback"
+        path.write_text(json.dumps({"version": 1, "findings": entries}))
+
+        write_baseline(path, [finding], previous=load_baseline(path))
+        kept = json.loads(path.read_text())["findings"][0]["justification"]
+        assert kept == "deliberate: documented fallback"
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"findings": [{"rule": "RA001"}]}')
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(path)
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        return run_rules(project, [RA006Determinism()])
+
+    def test_human_report_has_location_and_summary(self, tmp_path):
+        report = human_report(self._result(tmp_path), 1, 1)
+        assert "src/m.py:5: RA006" in report
+        assert "1 finding(s) from 1 rule(s) over 1 module(s)" in report
+
+    def test_json_report_is_valid_and_sorted(self, tmp_path):
+        payload = json.loads(json_report(self._result(tmp_path), 1, 1))
+        assert payload["summary"]["findings"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RA006"
+        assert finding["path"] == "src/m.py"
+        assert finding["fingerprint"]
+
+
+class TestMainExitCodes:
+    def _run(self, tmp_path, files, extra=()):
+        write_files(tmp_path, files)
+        argv = ["--root", str(tmp_path), "--baseline", str(tmp_path / "bl.json")]
+        return analyze_main.main(argv + list(extra) + ["src"])
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        assert self._run(tmp_path, {"src/m.py": "x = 1\n"}) == EXIT_OK
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_two(self, tmp_path, capsys):
+        assert self._run(tmp_path, {"src/m.py": FIRING}) == EXIT_FINDINGS
+        assert "RA006" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        code = self._run(tmp_path, {"src/m.py": "x = 1\n"}, ["--select", "RA042"])
+        assert code == EXIT_FINDINGS
+
+    def test_syntax_error_is_a_user_error(self, tmp_path, capsys):
+        code = self._run(tmp_path, {"src/m.py": "def broken(:\n"})
+        assert code == EXIT_FINDINGS
+        assert "error:" in capsys.readouterr().err
+
+    def test_internal_error_exits_seventy(self, tmp_path, monkeypatch, capsys):
+        def boom(*args, **kwargs):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setattr(analyze_main, "run_rules", boom)
+        assert self._run(tmp_path, {"src/m.py": "x = 1\n"}) == EXIT_INTERNAL_ERROR
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        make_project(tmp_path, {"src/m.py": FIRING})
+        argv = ["--root", str(tmp_path), "--baseline", str(tmp_path / "bl.json")]
+        assert analyze_main.main(argv + ["--write-baseline", "src"]) == EXIT_OK
+        assert analyze_main.main(argv + ["src"]) == EXIT_OK
+        assert analyze_main.main(argv + ["--no-baseline", "src"]) == EXIT_FINDINGS
+
+    def test_json_format_flag(self, tmp_path, capsys):
+        self._run(tmp_path, {"src/m.py": FIRING}, ["--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+
+    def test_list_rules(self, tmp_path, capsys):
+        assert analyze_main.main(["--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for rule_id in ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006"):
+            assert rule_id in out

@@ -1,0 +1,324 @@
+"""RA001 (lock discipline) and RA002 (lock-order cycles) rule tests."""
+
+from __future__ import annotations
+
+from tests.analyze_util import check
+from tools.analyze.rules.ra001_lock_discipline import RA001LockDiscipline
+from tools.analyze.rules.ra002_lock_order import RA002LockOrder
+
+
+class TestRA001:
+    def test_seeded_bug_unlocked_mutation_is_caught(self, tmp_path):
+        """The acceptance fixture: one attr written on both sides."""
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/worker.py": """
+                import threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def locked_inc(self):
+                        with self._lock:
+                            self.count += 1
+
+                    def unlocked_inc(self):
+                        self.count += 1
+            """,
+        })
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "RA001"
+        assert "self.count" in finding.message
+        assert "self._lock" in finding.message
+        assert finding.line == 14
+
+    def test_clean_class_passes(self, tmp_path):
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/worker.py": """
+                import threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+                        self.queue = []
+
+                    def inc(self):
+                        with self._lock:
+                            self.count += 1
+                            self.queue.append(self.count)
+
+                    def read(self):
+                        with self._lock:
+                            return self.count
+            """,
+        })
+        assert findings == []
+
+    def test_init_writes_are_exempt(self, tmp_path):
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/worker.py": """
+                import threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def inc(self):
+                        with self._lock:
+                            self.count += 1
+            """,
+        })
+        assert findings == []
+
+    def test_condition_counts_as_the_wrapped_lock(self, tmp_path):
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/queue.py": """
+                import threading
+
+                class Q:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._ready = threading.Condition(self._lock)
+                        self._items = []
+
+                    def put(self, item):
+                        with self._ready:
+                            self._items.append(item)
+
+                    def drop_all(self):
+                        self._items.clear()
+            """,
+        })
+        assert len(findings) == 1
+        assert "_items" in findings[0].message
+        assert findings[0].line == 15
+
+    def test_container_mutators_count_as_mutations(self, tmp_path):
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/cache.py": """
+                import threading
+                from collections import OrderedDict
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._entries = OrderedDict()
+
+                    def get(self, key):
+                        with self._lock:
+                            self._entries.move_to_end(key)
+                            return self._entries[key]
+
+                    def evict(self, key):
+                        self._entries.pop(key, None)
+            """,
+        })
+        assert len(findings) == 1
+        assert "_entries" in findings[0].message
+
+    def test_nested_functions_are_skipped(self, tmp_path):
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/worker.py": """
+                import threading
+
+                class Worker:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.count = 0
+
+                    def inc(self):
+                        with self._lock:
+                            self.count += 1
+
+                    def deferred(self):
+                        def later():
+                            self.count += 1
+                        return later
+            """,
+        })
+        assert findings == []
+
+    def test_class_without_lock_is_ignored(self, tmp_path):
+        findings = check(RA001LockDiscipline(), tmp_path, {
+            "src/plain.py": """
+                class Plain:
+                    def __init__(self):
+                        self.count = 0
+
+                    def inc(self):
+                        self.count += 1
+            """,
+        })
+        assert findings == []
+
+
+class TestRA002:
+    def test_seeded_bug_two_lock_cycle_is_caught(self, tmp_path):
+        """The acceptance fixture: opposite acquisition orders."""
+        findings = check(RA002LockOrder(), tmp_path, {
+            "src/orders.py": """
+                import threading
+
+                LOCK_A = threading.Lock()
+                LOCK_B = threading.Lock()
+
+                def a_then_b():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+
+                def b_then_a():
+                    with LOCK_B:
+                        with LOCK_A:
+                            pass
+            """,
+        })
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "RA002"
+        assert "cycle" in finding.message
+        assert "LOCK_A" in finding.message and "LOCK_B" in finding.message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = check(RA002LockOrder(), tmp_path, {
+            "src/orders.py": """
+                import threading
+
+                LOCK_A = threading.Lock()
+                LOCK_B = threading.Lock()
+
+                def first():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+
+                def second():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+            """,
+        })
+        assert findings == []
+
+    def test_interprocedural_cycle_across_classes(self, tmp_path):
+        findings = check(RA002LockOrder(), tmp_path, {
+            "src/pair.py": """
+                import threading
+
+                class Left:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def poke(self, right):
+                        with self._lock:
+                            right.work()
+
+                class Right:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def work(self):
+                        with self._lock:
+                            pass
+
+                    def poke_back(self, left):
+                        with self._lock:
+                            left.grind()
+
+                class LeftHelper:
+                    pass
+            """,
+            "src/more.py": """
+                class Unrelated:
+                    def grind(self):
+                        pass
+            """,
+        })
+        # Left holds its lock and calls Right.work (takes Right's lock);
+        # Right holds its lock and calls grind — resolved to Unrelated
+        # (no lock), so no cycle yet.
+        assert findings == []
+
+        findings = check(RA002LockOrder(), tmp_path / "cyc", {
+            "src/pair.py": """
+                import threading
+
+                class Left:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def solo(self):
+                        with self._lock:
+                            pass
+
+                    def poke(self, right):
+                        with self._lock:
+                            right.work()
+
+                class Right:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def work(self):
+                        with self._lock:
+                            pass
+
+                    def poke_back(self, left):
+                        with self._lock:
+                            left.solo()
+            """,
+        })
+        assert len(findings) == 1
+        assert "cycle" in findings[0].message
+
+    def test_rlock_reentry_is_fine_but_lock_reentry_fires(self, tmp_path):
+        source = """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.{factory}()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+        """
+        clean = check(RA002LockOrder(), tmp_path / "r", {
+            "src/c.py": source.format(factory="RLock"),
+        })
+        assert clean == []
+
+        firing = check(RA002LockOrder(), tmp_path / "l", {
+            "src/c.py": source.format(factory="Lock"),
+        })
+        assert len(firing) == 1
+        assert "re-acquired" in firing[0].message
+
+    def test_condition_aliases_do_not_self_deadlock_report(self, tmp_path):
+        findings = check(RA002LockOrder(), tmp_path, {
+            "src/q.py": """
+                import threading
+
+                class Q:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._ready = threading.Condition(self._lock)
+
+                    def submit(self):
+                        with self._ready:
+                            pass
+
+                    def drain(self):
+                        with self._lock:
+                            pass
+            """,
+        })
+        assert findings == []

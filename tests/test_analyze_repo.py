@@ -1,0 +1,40 @@
+"""The analyzer must hold on the repo's own sources.
+
+This is the acceptance gate CI runs (`python -m tools.analyze
+src/repro`): zero findings against the checked-in baseline and no stale
+baseline entries.  If a change trips a rule, either fix it or suppress
+/ baseline it with a justification — see docs/STATIC_ANALYSIS.md.
+"""
+
+from pathlib import Path
+
+from tools.analyze import __main__ as analyze_main
+from tools.analyze.core import EXIT_OK
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_analyzer_is_clean_on_src_repro(capsys):
+    code = analyze_main.main(["--root", str(REPO_ROOT), "src/repro"])
+    out = capsys.readouterr().out
+    assert code == EXIT_OK, out
+    assert "0 finding(s)" in out
+
+
+def test_lock_rules_hold_on_tools_and_benchmarks(capsys):
+    """The analyzer's own code and the harnesses obey the lock rules.
+
+    Only RA001/RA002 are meaningful standalone: the doc-sync rules
+    (RA003/RA005) cross-reference metric registrations and deprecation
+    call sites that live in ``src/repro``, and tests/benchmarks are
+    free to use local RNGs and wall clocks (RA006).
+    """
+    code = analyze_main.main(
+        [
+            "--root", str(REPO_ROOT), "--no-baseline",
+            "--select", "RA001,RA002",
+            "tools", "benchmarks",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == EXIT_OK, out

@@ -1,7 +1,6 @@
 """Unit tests for GSP's independent-group colouring (§VI parallelization)."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.gsp import (

@@ -1,6 +1,5 @@
 """Unit tests for repro.eval.calibration (θ tuning)."""
 
-import numpy as np
 import pytest
 
 import repro

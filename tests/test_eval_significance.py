@@ -5,7 +5,7 @@ import pytest
 
 import repro
 from repro.errors import ExperimentError
-from repro.eval.significance import BootstrapResult, paired_bootstrap
+from repro.eval.significance import paired_bootstrap
 
 
 class TestPairedBootstrap:

@@ -1,6 +1,5 @@
 """Tests for the consolidated experiment runner."""
 
-from pathlib import Path
 
 import pytest
 

@@ -11,7 +11,6 @@ import pytest
 
 import repro
 from repro.baselines import EstimationContext, GSPEstimator, PeriodicEstimator
-from repro.core.inference import RTFInferenceConfig
 from repro.datasets import truth_oracle_for
 
 

@@ -1,0 +1,125 @@
+"""Regression tests for the races the RA001 static audit uncovered.
+
+Two real defects were fixed in this PR:
+
+* instrument ``_reset`` methods mutated counter/histogram state without
+  the shared registry lock, so a reset racing concurrent ``observe``
+  calls could tear the (count, sum, buckets) triple;
+* ``ModelStore._count_publish`` bumped ``stats`` *after* ``publish``
+  released the store lock, so concurrent publishes lost updates.
+
+These tests hammer the fixed paths from multiple threads and assert the
+invariants that the races broke.  They are probabilistic by nature but
+fail with very high likelihood on the unfixed code.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.inference import empirical_slot_parameters
+from repro.core.rtf import RTFModel
+from repro.core.store import ModelStore
+from repro.obs.metrics import MetricsRegistry
+
+SLOTS = (91, 92, 93)
+
+
+class TestHistogramResetRace:
+    def test_reset_keeps_count_bucket_invariant(self):
+        registry = MetricsRegistry(enabled=True)
+        histogram = registry.histogram("test.latency", buckets=(0.1, 1.0, 10.0))
+        stop = threading.Event()
+        errors = []
+
+        def observer():
+            value = 0.0
+            while not stop.is_set():
+                histogram.observe(value % 20.0)
+                value += 0.37
+
+        threads = [threading.Thread(target=observer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                registry.reset()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise AssertionError(errors)
+
+        # After the dust settles the triple must be consistent: a torn
+        # reset leaves count != sum(bucket_counts).
+        assert histogram.count == sum(histogram.bucket_counts())
+        registry.reset()
+        assert histogram.count == 0
+        assert sum(histogram.bucket_counts()) == 0
+        assert histogram.sum == 0.0
+
+    def test_counter_reset_under_concurrent_incs_is_consistent(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("test.events")
+        done = threading.Barrier(3)
+
+        def incrementer():
+            done.wait()
+            for _ in range(20_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=incrementer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        done.wait()
+        for _ in range(50):
+            registry.reset()
+        for thread in threads:
+            thread.join()
+
+        # Whatever survived the resets, the final value is an exact
+        # integer count of post-reset incs (no torn read-modify-write).
+        assert counter.value == int(counter.value)
+        assert 0 <= counter.value <= 40_000
+
+
+class TestPublishStatsRace:
+    @pytest.fixture()
+    def store(self, small_world):
+        network = small_world["network"]
+        history = small_world["history"]
+        model = RTFModel(
+            network,
+            [
+                empirical_slot_parameters(network, history.slot_samples(t), t)
+                for t in SLOTS
+            ],
+        )
+        return ModelStore(model)
+
+    def test_concurrent_publishes_do_not_lose_stats_updates(self, store):
+        """stats.publishes must equal the exact number of publishes."""
+        n_threads, per_thread = 8, 25
+        snapshot = store.current()
+        slot_params = [snapshot.slot(t) for t in SLOTS]
+        start = threading.Barrier(n_threads)
+
+        def publisher(k):
+            start.wait()
+            for _ in range(per_thread):
+                store.publish([slot_params[k % len(slot_params)]])
+
+        before = store.stats.publishes
+        threads = [
+            threading.Thread(target=publisher, args=(k,)) for k in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert store.stats.publishes == before + n_threads * per_thread
+        assert store.version == store.current().version

@@ -1,6 +1,5 @@
 """Unit tests for repro.network.generators."""
 
-import numpy as np
 import pytest
 
 import repro

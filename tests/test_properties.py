@@ -18,7 +18,6 @@ from repro.core.ocs import (
 from repro.core.rtf import RTFSlot
 from repro.crowd.aggregation import Aggregator, aggregate_answers
 from repro.eval.metrics import (
-    absolute_percentage_errors,
     dape_histogram,
     false_estimation_rate,
     mean_absolute_percentage_error,

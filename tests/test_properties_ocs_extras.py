@@ -1,7 +1,6 @@
 """Property-based tests for local search and the CSV loader round-trip."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro

@@ -1,0 +1,45 @@
+"""repro-analyze: project-specific static analysis for the CrowdRTSE repo.
+
+A small pluggable AST-based rule engine (stdlib only) that machine-checks
+the invariants the concurrent serving stack depends on:
+
+* RA001 — lock discipline (no shared attribute mutated both inside and
+  outside ``with self._lock`` in a lock-declaring class);
+* RA002 — lock acquisition-order graph must be acyclic (deadlock check);
+* RA003 — metric/span names in ``src/repro`` and the catalog tables in
+  ``docs/OBSERVABILITY.md`` must match in both directions;
+* RA004 — public entry points raise only ``ReproError`` subclasses
+  outside ``wrap_internal`` regions;
+* RA005 — every ``warn_deprecated_once`` call names a removal version
+  documented in ``docs/API.md`` (and vice versa);
+* RA006 — no global RNG or wall-clock calls outside whitelisted modules.
+
+Run ``python -m tools.analyze`` from the repo root; the rule catalog and
+suppression/baseline workflow are documented in docs/STATIC_ANALYSIS.md.
+"""
+
+from tools.analyze.core import (
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    EXIT_OK,
+    Finding,
+    Module,
+    Project,
+    Rule,
+    load_baseline,
+    run_rules,
+    write_baseline,
+)
+
+__all__ = [
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL_ERROR",
+    "EXIT_OK",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "load_baseline",
+    "run_rules",
+    "write_baseline",
+]

@@ -1,0 +1,134 @@
+"""``python -m tools.analyze`` — run the repro-analyze rule suite.
+
+Exit codes follow the repo convention: 0 clean, 2 findings or usage
+error, 70 internal analyzer failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from pathlib import Path
+from typing import Optional, Sequence
+
+from tools.analyze.core import (
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    EXIT_OK,
+    Project,
+    load_baseline,
+    run_rules,
+    select_rules,
+    write_baseline,
+)
+from tools.analyze.reporters import human_report, json_report
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="Project-specific static analysis for the CrowdRTSE repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files/directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(_REPO_ROOT),
+        help="repo root for relative paths and docs/ lookups",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(_DEFAULT_BASELINE),
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage error, 0 on --help: keep both.
+        return int(exc.code or 0)
+
+    try:
+        rules = select_rules(args.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FINDINGS
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name}: {rule.rationale}")
+        return EXIT_OK
+
+    try:
+        project = Project.load(Path(args.root), [Path(p) for p in args.paths])
+        old_baseline = load_baseline(Path(args.baseline))
+
+        if args.write_baseline:
+            # Regenerate from an unfiltered run, keeping any justification
+            # already written for a finding that is still present.
+            result = run_rules(project, rules, baseline=None)
+            write_baseline(
+                Path(args.baseline), result.findings, previous=old_baseline
+            )
+            print(
+                f"wrote {len(result.findings)} finding(s) to {args.baseline}",
+                file=sys.stderr,
+            )
+            return EXIT_OK
+
+        baseline = {} if args.no_baseline else old_baseline
+        result = run_rules(project, rules, baseline)
+        report = (
+            json_report(result, len(rules), len(project.modules))
+            if args.format == "json"
+            else human_report(result, len(rules), len(project.modules))
+        )
+        print(report)
+        failed = bool(result.findings) or bool(result.stale_baseline)
+        return EXIT_FINDINGS if failed else EXIT_OK
+    except (OSError, SyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FINDINGS
+    except Exception:  # pragma: no cover - analyzer bug
+        traceback.print_exc()
+        return EXIT_INTERNAL_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

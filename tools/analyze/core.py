@@ -1,0 +1,332 @@
+"""Rule engine: findings, suppressions, baseline, and the runner.
+
+Design notes
+------------
+
+* A :class:`Project` is a parsed view of a set of ``.py`` files plus the
+  repo root (so doc-aware rules can find ``docs/OBSERVABILITY.md`` and
+  ``docs/API.md`` relative to it).  Rules never touch the filesystem
+  directly; tests build throwaway projects under ``tmp_path``.
+* Suppression is per-line: ``# repro: noqa[RA001]`` (comma-separable) or
+  a bare ``# repro: noqa`` on the flagged line silences the finding.
+* The baseline is a JSON list of grandfathered findings keyed by a
+  line-number-free fingerprint (rule + path + message), so unrelated
+  edits do not invalidate it.  Every entry must carry a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+EXIT_OK = 0
+EXIT_FINDINGS = 2
+EXIT_INTERNAL_ERROR = 70
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a location.
+
+    ``path`` is repo-root-relative (posix separators) so fingerprints are
+    machine-independent; ``line`` is 1-based (0 for whole-file findings).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id used by the baseline (deliberately line-free)."""
+        digest = hashlib.sha256(
+            f"{self.rule}::{self.path}::{self.message}".encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule + self.message)
+
+
+class Module:
+    """One parsed source file."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.lines = source.splitlines()
+        self._suppressions = self._parse_suppressions()
+
+    @property
+    def name(self) -> str:
+        """Dotted-ish short name: final path component without ``.py``."""
+        return Path(self.relpath).stem
+
+    def _parse_suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        """Map line number -> suppressed rule ids (None = all rules)."""
+        out: Dict[int, Optional[Set[str]]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(text)
+            if not match:
+                continue
+            raw = match.group("rules")
+            if raw is None:
+                out[lineno] = None
+            else:
+                out[lineno] = {part.strip().upper() for part in raw.split(",") if part.strip()}
+        return out
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if line not in self._suppressions:
+            return False
+        rules = self._suppressions[line]
+        return rules is None or rule.upper() in rules
+
+
+class Project:
+    """A set of parsed modules under one repo root."""
+
+    def __init__(self, root: Path, modules: Sequence[Module]) -> None:
+        self.root = Path(root)
+        self.modules = sorted(modules, key=lambda m: m.relpath)
+        self._by_relpath = {m.relpath: m for m in self.modules}
+
+    @classmethod
+    def load(cls, root: Path, paths: Sequence[Path]) -> "Project":
+        """Parse every ``.py`` file under the given files/directories."""
+        root = Path(root).resolve()
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            path = path.resolve()
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+            else:
+                raise FileNotFoundError(f"not a python file or directory: {raw}")
+        modules = []
+        seen: Set[Path] = set()
+        for path in files:
+            if path in seen:
+                continue
+            seen.add(path)
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            modules.append(Module(path, rel, path.read_text(encoding="utf-8")))
+        return cls(root, modules)
+
+    def module(self, relpath: str) -> Optional[Module]:
+        return self._by_relpath.get(relpath)
+
+    def find_module(self, suffix: str) -> Optional[Module]:
+        """First module whose relpath ends with ``suffix`` (posix)."""
+        for mod in self.modules:
+            if mod.relpath.endswith(suffix):
+                return mod
+        return None
+
+    def doc_path(self, name: str) -> Path:
+        return self.root / "docs" / name
+
+    def doc_text(self, name: str) -> Optional[str]:
+        path = self.doc_path(name)
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``rule_id``/``name``/``rationale`` and implement
+    :meth:`check`.  Findings should be emitted in deterministic order;
+    the runner sorts globally anyway.
+    """
+
+    rule_id: str = "RA000"
+    name: str = "abstract rule"
+    rationale: str = ""
+
+    def check(self, project: Project) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module_or_path, line: int, message: str) -> Finding:
+        path = (
+            module_or_path.relpath
+            if isinstance(module_or_path, Module)
+            else str(module_or_path)
+        )
+        return Finding(rule=self.rule_id, path=path, line=line, message=message)
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Load baseline entries keyed by fingerprint.
+
+    Missing file -> empty baseline.  Malformed content raises
+    ``ValueError`` (the runner maps that to the internal-error exit).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", []) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} must hold a list of findings")
+    out: Dict[str, dict] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+            raise ValueError(f"malformed baseline entry in {path}: {entry!r}")
+        finding = Finding(
+            rule=entry["rule"], path=entry["path"], line=0, message=entry["message"]
+        )
+        out[finding.fingerprint] = entry
+    return out
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    previous: Optional[Dict[str, dict]] = None,
+) -> None:
+    """Write the findings as a fresh baseline.
+
+    Justifications default to a TODO marker; entries whose fingerprint
+    already existed in ``previous`` keep their written justification.
+    """
+    previous = previous or {}
+    entries = []
+    for f in sorted(findings, key=Finding.sort_key):
+        kept = previous.get(f.fingerprint, {})
+        entries.append(
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "justification": kept.get("justification", "TODO: justify or fix"),
+            }
+        )
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclasses.dataclass
+class RunResult:
+    findings: List[Finding]
+    suppressed: int
+    baselined: int
+    stale_baseline: List[dict]
+
+
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    baseline: Optional[Dict[str, dict]] = None,
+) -> RunResult:
+    """Run every rule, then drop suppressed and baselined findings."""
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(project))
+    raw.sort(key=Finding.sort_key)
+
+    suppressed = 0
+    unsuppressed: List[Finding] = []
+    for finding in raw:
+        module = project.module(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            suppressed += 1
+        else:
+            unsuppressed.append(finding)
+
+    baseline = baseline or {}
+    seen_fingerprints: Set[str] = set()
+    kept: List[Finding] = []
+    baselined = 0
+    for finding in unsuppressed:
+        seen_fingerprints.add(finding.fingerprint)
+        if finding.fingerprint in baseline:
+            baselined += 1
+        else:
+            kept.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(baseline.items())
+        if fingerprint not in seen_fingerprints
+    ]
+    return RunResult(
+        findings=kept,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+    )
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    from tools.analyze.rules import ALL_RULES
+
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+def select_rules(spec: Optional[str]) -> List[Rule]:
+    """Instantiate the rules named in a comma-separated ``--select`` spec."""
+    rules = default_rules()
+    if not spec:
+        return rules
+    wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attr_path(node: ast.AST) -> Optional[str]:
+    """``a.b`` for ``self.a.b``; None when not rooted at ``self``."""
+    dotted = dotted_name(node)
+    if dotted is None or not dotted.startswith("self."):
+        return None
+    return dotted[len("self.") :]
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

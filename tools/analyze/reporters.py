@@ -1,0 +1,62 @@
+"""Human-readable and JSON reporters for analysis runs."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from tools.analyze.core import RunResult
+
+
+def human_report(result: RunResult, rule_count: int, module_count: int) -> str:
+    """One ``path:line: RULE message`` line per finding plus a summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        location = f"{finding.path}:{finding.line}" if finding.line else finding.path
+        lines.append(f"{location}: {finding.rule} {finding.message}")
+    for entry in result.stale_baseline:
+        lines.append(
+            "baseline: stale entry "
+            f"{entry['rule']} {entry['path']}: {entry['message']} "
+            "(no longer found; remove it)"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s) from {rule_count} rule(s) "
+        f"over {module_count} module(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if result.stale_baseline:
+        extras.append(f"{len(result.stale_baseline)} stale baseline entr(y/ies)")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def json_report(result: RunResult, rule_count: int, module_count: int) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in result.findings
+        ],
+        "stale_baseline": result.stale_baseline,
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "rules": rule_count,
+            "modules": module_count,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,27 @@
+"""Rule registry: every shipped rule, ordered by id."""
+
+from tools.analyze.rules.ra001_lock_discipline import RA001LockDiscipline
+from tools.analyze.rules.ra002_lock_order import RA002LockOrder
+from tools.analyze.rules.ra003_observability import RA003ObservabilityCatalog
+from tools.analyze.rules.ra004_exception_boundary import RA004ExceptionBoundary
+from tools.analyze.rules.ra005_deprecation import RA005DeprecationHorizon
+from tools.analyze.rules.ra006_determinism import RA006Determinism
+
+ALL_RULES = [
+    RA001LockDiscipline,
+    RA002LockOrder,
+    RA003ObservabilityCatalog,
+    RA004ExceptionBoundary,
+    RA005DeprecationHorizon,
+    RA006Determinism,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "RA001LockDiscipline",
+    "RA002LockOrder",
+    "RA003ObservabilityCatalog",
+    "RA004ExceptionBoundary",
+    "RA005DeprecationHorizon",
+    "RA006Determinism",
+]

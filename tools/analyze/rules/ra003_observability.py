@@ -1,0 +1,136 @@
+"""RA003: metric/span literals and docs/OBSERVABILITY.md must not drift.
+
+Extracts every ``.counter("...")``/``.gauge("...")``/``.histogram("...")``
+registration, ``.span("...")`` and ``.event("...")`` name literal from
+the analyzed tree and diffs against the catalog:
+
+* a metric emitted in code but absent from the catalog tables fails at
+  the call site;
+* a catalog row whose metric is never emitted fails at the doc line;
+* a kind mismatch (counter registered, gauge documented) fails both ways;
+* span/event names must at least appear in the doc's trace schema.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Tuple
+
+from tools.analyze.core import Finding, Project, Rule, const_str
+
+_METRIC_KINDS = {"counter", "gauge", "histogram"}
+_NAME_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_.]+)+)`")
+_DOC_NAME = "OBSERVABILITY.md"
+
+
+class RA003ObservabilityCatalog(Rule):
+    rule_id = "RA003"
+    name = "observability-catalog"
+    rationale = (
+        "dashboards and alerts are built from the catalog; an undocumented "
+        "metric is invisible and a documented-but-dead one lies"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        doc_text = project.doc_text(_DOC_NAME)
+        doc_relpath = f"docs/{_DOC_NAME}"
+        code_metrics, code_spans = _extract_from_code(project)
+        if doc_text is None:
+            # Only demand a catalog from trees that emit telemetry.
+            if not code_metrics and not code_spans:
+                return []
+            return [
+                self.finding(
+                    doc_relpath, 0, "missing catalog file docs/" + _DOC_NAME
+                )
+            ]
+        doc_metrics = _parse_catalog_tables(doc_text)
+
+        findings: List[Finding] = []
+        for name, (kind, relpath, lineno) in sorted(code_metrics.items()):
+            if name not in doc_metrics:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        lineno,
+                        f"metric '{name}' ({kind}) is emitted here but has no "
+                        f"row in docs/{_DOC_NAME}",
+                    )
+                )
+            elif doc_metrics[name][0] != kind:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        lineno,
+                        f"metric '{name}' is registered as a {kind} but "
+                        f"documented as a {doc_metrics[name][0]} "
+                        f"(docs/{_DOC_NAME}:{doc_metrics[name][1]})",
+                    )
+                )
+        for name, (kind, doc_line) in sorted(doc_metrics.items()):
+            if name not in code_metrics:
+                findings.append(
+                    self.finding(
+                        doc_relpath,
+                        doc_line,
+                        f"catalog row '{name}' ({kind}) matches no metric "
+                        "registration in the analyzed sources",
+                    )
+                )
+        for name, (relpath, lineno, what) in sorted(code_spans.items()):
+            if name not in doc_text:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        lineno,
+                        f"{what} name '{name}' does not appear in the trace "
+                        f"schema of docs/{_DOC_NAME}",
+                    )
+                )
+        return findings
+
+
+def _extract_from_code(
+    project: Project,
+) -> Tuple[Dict[str, Tuple[str, str, int]], Dict[str, Tuple[str, int, str]]]:
+    """Metric name -> (kind, path, line); span/event name -> (path, line, what)."""
+    metrics: Dict[str, Tuple[str, str, int]] = {}
+    spans: Dict[str, Tuple[str, int, str]] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            name = const_str(node.args[0]) if node.args else None
+            if name is None:
+                continue
+            if attr in _METRIC_KINDS:
+                metrics.setdefault(name, (attr, module.relpath, node.lineno))
+            elif attr == "span":
+                spans.setdefault(name, (module.relpath, node.lineno, "span"))
+            elif attr == "event":
+                spans.setdefault(name, (module.relpath, node.lineno, "event"))
+    return metrics, spans
+
+
+def _parse_catalog_tables(doc_text: str) -> Dict[str, Tuple[str, int]]:
+    """Backticked dotted names from table rows whose kind cell is a metric kind.
+
+    Handles combined rows (```a` / `b` / `c` | gauge | ...``): every
+    backticked dotted name in the first cell shares the row's kind.
+    """
+    out: Dict[str, Tuple[str, int]] = {}
+    for lineno, line in enumerate(doc_text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if len(cells) < 2:
+            continue
+        kind = cells[1].lower()
+        if kind not in _METRIC_KINDS:
+            continue
+        for name in _NAME_RE.findall(cells[0]):
+            out.setdefault(name, (kind, lineno))
+    return out

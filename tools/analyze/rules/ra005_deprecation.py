@@ -1,0 +1,137 @@
+"""RA005: every deprecation names a removal version documented in API.md.
+
+``warn_deprecated_once(key, message)`` call sites must
+
+* carry an explicit removal version (``v2.0`` style) in the warning
+  message, and
+* use a key listed in the *Warn key* column of the deprecation table in
+  ``docs/API.md``.
+
+The reverse direction holds too: a documented warn key with no call
+site means the deprecation was removed without updating the policy
+table.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from tools.analyze.core import Finding, Project, Rule, const_str
+
+_VERSION_RE = re.compile(r"\bv\d+(\.\d+)?\b")
+_KEY_RE = re.compile(r"`([A-Za-z_][\w.]*)`")
+_DOC_NAME = "API.md"
+
+
+class RA005DeprecationHorizon(Rule):
+    rule_id = "RA005"
+    name = "deprecation-horizon"
+    rationale = (
+        "a deprecation without a documented removal version can never be "
+        "acted on; one without a call site is already stale"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        doc_text = project.doc_text(_DOC_NAME)
+        doc_relpath = f"docs/{_DOC_NAME}"
+        doc_keys = _documented_keys(doc_text or "")
+
+        findings: List[Finding] = []
+        seen_keys: Dict[str, Tuple[str, int]] = {}
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                call = _deprecation_call(node)
+                if call is None:
+                    continue
+                key, message = call
+                seen_keys.setdefault(key, (module.relpath, node.lineno))
+                if not _VERSION_RE.search(message):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"warn_deprecated_once('{key}') message names no "
+                            "removal version (expected e.g. 'v2.0')",
+                        )
+                    )
+                if doc_text is not None and key not in doc_keys:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"deprecation key '{key}' is not listed in the "
+                            f"docs/{_DOC_NAME} deprecation table",
+                        )
+                    )
+        if doc_text is not None:
+            for key, doc_line in sorted(doc_keys.items()):
+                if key not in seen_keys:
+                    findings.append(
+                        self.finding(
+                            doc_relpath,
+                            doc_line,
+                            f"documented warn key '{key}' has no "
+                            "warn_deprecated_once call site",
+                        )
+                    )
+        return findings
+
+
+def _deprecation_call(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """(key, message-text) when node is a warn_deprecated_once call."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+    if name != "warn_deprecated_once" or not node.args:
+        return None
+    key = const_str(node.args[0])
+    if key is None:
+        return None
+    message_node = node.args[1] if len(node.args) > 1 else None
+    for keyword in node.keywords:
+        if keyword.arg == "message":
+            message_node = keyword.value
+    return key, _literal_text(message_node)
+
+
+def _literal_text(node: Optional[ast.AST]) -> str:
+    """Concatenated constant fragments of a str/f-string expression."""
+    if node is None:
+        return ""
+    parts: List[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            parts.append(sub.value)
+    return " ".join(parts)
+
+
+def _documented_keys(doc_text: str) -> Dict[str, int]:
+    """Warn keys from the API.md deprecation table (key -> doc line).
+
+    Finds the markdown table whose header row has a "Warn key" column
+    and reads backticked keys from that column.
+    """
+    out: Dict[str, int] = {}
+    lines = doc_text.splitlines()
+    column: Optional[int] = None
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            column = None
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if column is None:
+            for index, cell in enumerate(cells):
+                if "warn key" in cell.lower():
+                    column = index
+                    break
+            continue
+        if all(set(cell) <= {"-", ":", " "} for cell in cells):
+            continue  # separator row
+        if column < len(cells):
+            for key in _KEY_RE.findall(cells[column]):
+                out.setdefault(key, lineno)
+    return out

@@ -1,0 +1,116 @@
+"""RA006: no global RNG or wall-clock reads outside whitelisted modules.
+
+Reproducibility discipline: every random draw flows through an
+explicitly seeded ``np.random.Generator`` and every duration through the
+monotonic clock.  Flags, inside the analyzed tree:
+
+* ``import random`` / ``from random import ...`` (the stdlib global RNG);
+* any ``np.random.<fn>(...)`` except ``default_rng`` (module-level
+  global state: ``seed``, ``rand``, ``shuffle``, ...);
+* ``np.random.default_rng()`` with no arguments (unseeded);
+* wall-clock reads: ``time.time``/``time.time_ns``,
+  ``datetime.now``/``utcnow``/``today``, ``date.today``
+  (``time.monotonic``/``perf_counter`` stay legal — durations are fine).
+
+``repro/obs/tracing.py`` is whitelisted: span records deliberately carry
+a wall-clock epoch for cross-process alignment.  Deliberate unseeded
+fallbacks carry a ``# repro: noqa[RA006]`` at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from tools.analyze.core import Finding, Module, Project, Rule, dotted_name
+
+#: relpath suffixes exempt from the rule (documented in STATIC_ANALYSIS.md).
+WHITELIST = ("repro/obs/tracing.py",)
+
+_WALLCLOCK_RE = re.compile(
+    r"(^|\.)time\.(time|time_ns)$"
+    r"|(^|\.)datetime\.(now|utcnow|today)$"
+    r"|(^|\.)date\.today$"
+)
+
+
+class RA006Determinism(Rule):
+    rule_id = "RA006"
+    name = "rng-time-determinism"
+    rationale = (
+        "global RNG and wall-clock reads make runs unreproducible and "
+        "experiments unpublishable; seeded Generators and monotonic "
+        "clocks do not"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module.relpath.endswith(WHITELIST):
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                "imports the stdlib 'random' module (global "
+                                "RNG); use a seeded np.random.Generator",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "imports from the stdlib 'random' module (global "
+                            "RNG); use a seeded np.random.Generator",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                message = self._call_message(node)
+                if message is not None:
+                    findings.append(self.finding(module, node.lineno, message))
+        return findings
+
+    def _call_message(self, node: ast.Call) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        rng_fn = _np_random_function(dotted)
+        if rng_fn is not None:
+            if rng_fn == "default_rng":
+                if not node.args and not node.keywords:
+                    return (
+                        "np.random.default_rng() without a seed is "
+                        "nondeterministic; pass an explicit seed (or suppress "
+                        "deliberately)"
+                    )
+                return None
+            return (
+                f"np.random.{rng_fn}(...) uses numpy's global RNG state; "
+                "use a seeded np.random.Generator"
+            )
+        if _WALLCLOCK_RE.search(dotted):
+            return (
+                f"wall-clock call {dotted}(...); use time.monotonic()/"
+                "perf_counter() for durations or take timestamps as inputs"
+            )
+        return None
+
+
+def _np_random_function(dotted: str) -> Optional[str]:
+    """``shuffle`` for ``np.random.shuffle`` / ``numpy.random.shuffle``."""
+    parts = dotted.split(".")
+    if len(parts) == 3 and parts[0] in {"np", "numpy"} and parts[1] == "random":
+        return parts[2]
+    return None
