@@ -1,0 +1,86 @@
+"""Perf gate: streaming ingestion throughput with continuous refresh.
+
+Acceptance bar for the streaming layer (ISSUE 6): replaying a
+synthesized day through the full path — adapter-shaped messages into
+:class:`ObservationLog` merge/dedup, watermark closes, and bounded
+:class:`StreamRefresher` publishes through the versioned store — must
+sustain at least 2k events/sec end to end.  The replay experiment and
+the concurrency soak assert the same floor *while serving*; this gate
+isolates the ingestion path so a merge/dedup regression is attributed
+to the stream, not to serving.
+
+Runs in two modes:
+
+* full (default) — 120-road network, a full multi-slot day;
+* quick (``STREAM_PERF_QUICK=1``) — 60 roads, used by the CI smoke job
+  so the harness itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro.stream import StreamConfig, StreamRefresher, synthesize_day_feed
+
+QUICK = os.environ.get("STREAM_PERF_QUICK", "") == "1"
+N_ROADS = 60 if QUICK else 120
+N_SLOTS = 3 if QUICK else 6
+MIN_EVENTS_PER_S = 2000.0
+
+
+@pytest.fixture(scope="module")
+def stream_perf_world():
+    config = repro.SemiSynConfig(
+        n_roads=N_ROADS,
+        n_queried=16,
+        n_train_days=10,
+        n_test_days=2,
+        n_slots=6,
+        seed=99,
+    )
+    data = repro.build_semisyn(config)
+    slots = list(data.train_history.global_slots)[:N_SLOTS]
+    system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=slots)
+    feed = synthesize_day_feed(
+        data.test_history,
+        0,
+        slots=slots,
+        coverage=0.8,
+        max_readings_per_road=3,
+        overlap_fraction=0.25,
+        seed=7,
+    )
+    return {"system": system, "feed": feed, "slots": slots}
+
+
+def test_ingest_to_publish_sustains_throughput(stream_perf_world):
+    system = stream_perf_world["system"]
+    feed = stream_perf_world["feed"]
+    events = sum(len(snapshot) for snapshot in feed)
+
+    refresher = StreamRefresher(
+        system, StreamConfig(lateness_s=60.0, learning_rate=0.2)
+    )
+    start = time.perf_counter()
+    for snapshot in feed:
+        refresher.ingest(snapshot)
+    stats = refresher.close()
+    elapsed = time.perf_counter() - start
+
+    assert stats.published_slots == len(stream_perf_world["slots"])
+    assert refresher.log.accepted > 0
+
+    rate = events / elapsed
+    print(
+        f"\n[stream-perf] {events} events, {len(feed)} snapshots, "
+        f"{N_ROADS} roads, {N_SLOTS} slots: {elapsed:.3f}s ({rate:.0f} ev/s), "
+        f"{stats.publishes} publishes, dedup {refresher.log.duplicates}"
+    )
+    assert rate >= MIN_EVENTS_PER_S, (
+        f"streaming path sustained only {rate:.0f} events/s "
+        f"(need ≥{MIN_EVENTS_PER_S:.0f})"
+    )

@@ -14,6 +14,9 @@ Subcommands:
   (Prometheus text plus optional JSON / trace artifacts).
 * ``serve``   — replay a query workload through the concurrent
   :class:`~repro.serve.QueryService` and report latency percentiles.
+* ``stream``  — replay test days as a probe feed through the streaming
+  refresher (merge/dedup, watermark closes, bounded publishes) while
+  the QueryService keeps answering queries concurrently.
 
 Exit codes (uniform across subcommands):
 
@@ -32,12 +35,15 @@ Examples::
     python -m repro.cli experiment figure2 --scale quick
     python -m repro.cli serve --requests trace.jsonl --workers 4
     python -m repro.cli serve --n-requests 64 --duplication 4 --deadline-ms 500
+    python -m repro.cli stream --days 2 --lateness-s 30 --queries 4
+    python -m repro.cli stream --save-feed feed.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -374,6 +380,137 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """``stream`` subcommand: probe-feed replay with continuous refresh.
+
+    Replays the test days as overlapping probe-feed snapshots through
+    :class:`~repro.stream.StreamRefresher` (watermark-based slot closes,
+    bounded publish batching, backpressure) while a
+    :class:`~repro.serve.QueryService` answers queries concurrently from
+    pinned snapshots.  Prints per-day merge/publish telemetry and an
+    end-of-replay throughput/freshness summary.  ``--feed`` replays a
+    saved ``#``-delimited JSONL feed file through the
+    :class:`~repro.stream.FeedAdapter` instead of synthesizing one.
+    """
+    from repro import serve as serving
+    from repro import stream as streaming
+
+    if _obs_requested(args):
+        _enable_obs(args)
+    data = _build_dataset(args)
+    available = data.train_history.global_slots
+    slots = [
+        s for s in range(data.slot, data.slot + args.stream_slots) if s in available
+    ]
+    if not slots:
+        slots = [data.slot]
+    system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=slots)
+    market = repro.CrowdMarket(
+        data.network, data.pool, data.cost_model,
+        rng=np.random.default_rng(args.seed),
+    )
+
+    adapter = streaming.FeedAdapter(data.network)
+    if args.feed:
+        day_batches = [adapter.parse_feed_file(args.feed)]
+    else:
+        n_days = args.days if args.days is not None else data.test_history.n_days
+        n_days = max(1, min(n_days, data.test_history.n_days))
+        day_batches = [
+            streaming.synthesize_day_feed(
+                data.test_history,
+                day,
+                slots=slots,
+                coverage=args.coverage,
+                seed=args.seed + day,
+            )
+            for day in range(n_days)
+        ]
+        if args.save_feed:
+            flat = [batch for batches in day_batches for batch in batches]
+            streaming.save_feed(flat, args.save_feed)
+            print(f"feed ({sum(len(b) for b in flat)} messages) written to {args.save_feed}")
+
+    config = streaming.StreamConfig(
+        lateness_s=args.lateness_s, learning_rate=args.learning_rate
+    )
+    n_batches = sum(len(batches) for batches in day_batches)
+    query_step = max(1, n_batches // max(1, args.queries))
+    print(
+        f"streaming {len(day_batches)} day(s) over slots {slots} "
+        f"(lateness {args.lateness_s:.0f}s, eta {args.learning_rate})"
+    )
+
+    oracles = {}
+    tickets = []
+    total_events = 0
+    batch_index = 0
+    started = time.perf_counter()
+    with serving.QueryService(
+        system, market=market, config=serving.ServeConfig(num_workers=2)
+    ) as service:
+        with streaming.StreamRefresher(system, config) as refresher:
+            for day, batches in enumerate(day_batches):
+                seen = (
+                    refresher.log.accepted,
+                    refresher.log.duplicates,
+                    refresher.log.late,
+                )
+                for batch in batches:
+                    if batch_index % query_step == 0 and len(tickets) < args.queries:
+                        truth_day = min(day, data.test_history.n_days - 1)
+                        if truth_day not in oracles:
+                            oracles[truth_day] = repro.truth_oracle_for(
+                                data.test_history, truth_day, data.slot
+                            )
+                        tickets.append(
+                            service.submit(
+                                serving.ServeRequest(
+                                    queried=tuple(data.queried),
+                                    slot=data.slot,
+                                    budget=args.budget,
+                                    truth=oracles[truth_day],
+                                    rng=np.random.default_rng(args.seed + day),
+                                )
+                            )
+                        )
+                    refresher.ingest(batch)
+                    total_events += len(batch)
+                    batch_index += 1
+                # End-of-day flush: the feed goes quiet, so publish the
+                # trailing open slots instead of waiting for tomorrow's
+                # watermark.
+                refresher.drain()
+                print(
+                    f"day {day}: {refresher.log.accepted - seen[0]} accepted, "
+                    f"{refresher.log.duplicates - seen[1]} duplicate, "
+                    f"{refresher.log.late - seen[2]} late; "
+                    f"version {system.store.version}"
+                )
+            stats = refresher.close()
+        served = 0
+        for ticket in tickets:
+            result = ticket.result(timeout=60.0)
+            if np.all(np.isfinite(result.estimates_kmh)):
+                served += 1
+    elapsed = time.perf_counter() - started
+    print(
+        f"stream: {total_events} events in {elapsed:.2f}s "
+        f"({total_events / max(elapsed, 1e-9):.0f} events/s), "
+        f"{adapter.total_dropped} adapter drops"
+    )
+    print(
+        f"refresh: {stats.publishes} publishes ({stats.published_slots} slots), "
+        f"final version {system.store.version}, "
+        f"max publish lag {stats.max_publish_lag_s:.0f}s (event time), "
+        f"{stats.backpressure_waits} backpressure waits"
+    )
+    print(f"serve: {served}/{len(tickets)} concurrent queries answered")
+    if _obs_requested(args):
+        _export_obs(args)
+    return 0
+
+
 #: Experiment registry: name -> module path inside repro.experiments.
 EXPERIMENTS = (
     "table2",
@@ -391,6 +528,7 @@ EXPERIMENTS = (
     "fixed_vs_crowd",
     "noise_sensitivity",
     "daily_refresh",
+    "stream_replay",
 )
 
 
@@ -470,6 +608,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("which", choices=EXPERIMENTS)
     p_exp.add_argument("--scale", choices=("paper", "quick"), default="quick")
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_stream = subparsers.add_parser(
+        "stream", help="replay a probe feed through the streaming refresher"
+    )
+    _add_dataset_args(p_stream)
+    p_stream.set_defaults(roads=60, queried=10, train_days=8, test_days=3, slots=6)
+    p_stream.add_argument(
+        "--days", type=int, default=None,
+        help="number of test days to stream (default: all)",
+    )
+    p_stream.add_argument(
+        "--stream-slots", type=int, default=3,
+        help="how many consecutive slots (from the dataset slot) to fit and stream",
+    )
+    p_stream.add_argument(
+        "--lateness-s", type=float, default=60.0,
+        help="event-time grace period before a slot closes (late data beyond "
+        "it is counted and dropped)",
+    )
+    p_stream.add_argument(
+        "--learning-rate", type=float, default=0.1,
+        help="forgetting factor η of the online updater",
+    )
+    p_stream.add_argument(
+        "--coverage", type=float, default=0.5,
+        help="fraction of roads reporting per slot in the synthesized feed",
+    )
+    p_stream.add_argument(
+        "--queries", type=int, default=4,
+        help="concurrent QueryService requests submitted during the replay",
+    )
+    p_stream.add_argument("--budget", type=int, default=15, help="crowdsourcing budget K")
+    p_stream.add_argument(
+        "--feed", help="replay this #-delimited JSONL feed file instead of synthesizing"
+    )
+    p_stream.add_argument(
+        "--save-feed", help="write the synthesized feed as JSONL here"
+    )
+    _add_obs_args(p_stream)
+    p_stream.set_defaults(func=cmd_stream)
 
     p_stats = subparsers.add_parser(
         "stats", help="run an instrumented query and dump telemetry"

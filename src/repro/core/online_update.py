@@ -20,13 +20,40 @@ loop is needed per day.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import ModelError, warn_once
 from repro.core.rtf import RTFModel, RTFSlot, SIGMA_FLOOR
 from repro.network.graph import TrafficNetwork
+from repro.obs import get_metrics
+
+
+def note_unfitted_slots(dropped: Sequence[int], available: Sequence[int]) -> None:
+    """Account for observations targeting slots the model never fitted.
+
+    Historically :func:`refresh_model` filtered such slots silently — a
+    stream wired to the wrong slot window would feed a model that never
+    moved, with no trace.  Every dropped slot now lands in the
+    ``stream.dropped{reason="unfitted_slot"}`` counter, and the first
+    occurrence warns (once per process; the condition repeats every
+    batch, so more would be noise).
+    """
+    if not dropped:
+        return
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "stream.dropped", {"reason": "unfitted_slot"}
+        ).inc(len(dropped))
+    warn_once(
+        "online_update.unfitted_slots",
+        f"dropping observations for slot(s) {sorted(set(dropped))}: not in "
+        f"the model's fitted slot range {sorted(available)} (warned once "
+        "per process; see the stream.dropped{reason=\"unfitted_slot\"} "
+        "counter for the running total)",
+    )
 
 
 class OnlineRTFUpdater:
@@ -180,7 +207,9 @@ def refresh_model(
         network: Road graph.
         model: Current RTF model.
         day_samples: Mapping slot → today's speed vector for that slot.
-            Slots absent from the mapping keep their parameters.
+            Slots absent from the mapping keep their parameters; sampled
+            slots the model never fitted are dropped — counted under
+            ``stream.dropped{reason="unfitted_slot"}`` and warned once.
         learning_rate: Forgetting factor η.
 
     Returns:
@@ -190,6 +219,9 @@ def refresh_model(
     touched = {
         slot: sample for slot, sample in day_samples.items() if slot in current
     }
+    note_unfitted_slots(
+        [slot for slot in day_samples if slot not in current], sorted(current)
+    )
     replacements = {
         params.slot: params
         for params in refresh_slots(network, current, touched, learning_rate)

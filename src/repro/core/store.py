@@ -61,6 +61,8 @@ class StoreStats:
 
     publishes: int = 0
     published_slots: int = 0
+    refreshes: int = 0
+    refreshed_slots: int = 0
     correlation_derivations: int = 0
     correlation_hits: int = 0
     propagation_derivations: int = 0
@@ -71,6 +73,8 @@ class StoreStats:
         return {
             "publishes": self.publishes,
             "published_slots": self.published_slots,
+            "refreshes": self.refreshes,
+            "refreshed_slots": self.refreshed_slots,
             "correlation_derivations": self.correlation_derivations,
             "correlation_hits": self.correlation_hits,
             "propagation_derivations": self.propagation_derivations,
@@ -511,6 +515,8 @@ class ModelStore:
                     self._network, snapshot._params, day_samples, learning_rate
                 )
                 published = self.publish(refreshed)
+                self.stats.refreshes += 1
+                self.stats.refreshed_slots += len(refreshed)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("store.refreshes").inc()

@@ -22,7 +22,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import warnings
-from typing import Iterator, Optional, Set
+from typing import Iterator, Optional, Set, Type
 
 
 class ReproError(Exception):
@@ -146,6 +146,23 @@ class InternalError(ReproError):
         self.original = original
 
 
+class StreamError(ReproError):
+    """Raised by the streaming ingestion layer (:mod:`repro.stream`)."""
+
+
+class FeedError(StreamError):
+    """Raised when a feed snapshot is malformed beyond counted-drop repair.
+
+    Only raised in *strict* adapter mode; the default mode counts the
+    offending message under ``stream.dropped{reason}`` and moves on.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"bad feed message ({reason}): {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
 class ObservabilityError(ReproError):
     """Raised when the observability layer is misused.
 
@@ -226,9 +243,35 @@ def warn_deprecated_once(
     return True
 
 
-def reset_deprecation_warnings(key: Optional[str] = None) -> None:
-    """Forget emitted deprecation keys (one, or all when ``key=None``).
+def warn_once(
+    key: str,
+    message: str,
+    category: Type[Warning] = RuntimeWarning,
+    stacklevel: int = 3,
+) -> bool:
+    """Emit an arbitrary warning for ``key`` at most once per process.
 
+    Same dedup registry and rationale as :func:`warn_deprecated_once`,
+    but for operational warnings (e.g. a stream feeding observations for
+    slots the model never fitted): the condition usually repeats every
+    batch, and one warning is signal where thousands are noise.
+
+    Returns:
+        True when the warning was emitted, False when ``key`` had
+        already warned.
+    """
+    with _warned_once_lock:
+        if key in _warned_once:
+            return False
+        _warned_once.add(key)
+    warnings.warn(message, category, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings(key: Optional[str] = None) -> None:
+    """Forget emitted warn-once keys (one, or all when ``key=None``).
+
+    Covers both :func:`warn_deprecated_once` and :func:`warn_once` keys.
     Testing hook — lets a test assert the once-per-process behaviour
     deterministically regardless of what ran before it.
     """

@@ -1,0 +1,54 @@
+"""Streaming ingestion and continuous model refresh.
+
+The pipeline so far refreshes nightly (``repro refresh``); this package
+closes the gap to the paper's *realtime* framing by consuming a live
+probe feed and republishing the model continuously:
+
+* :mod:`repro.stream.messages` — :class:`ProbeMessage` and the
+  :class:`FeedAdapter` exception boundary over raw JSONL snapshots;
+* :mod:`repro.stream.log` — :class:`ObservationLog`, the
+  order-insensitive merge/dedup core with watermark-based late-data
+  handling;
+* :mod:`repro.stream.refresher` — :class:`StreamRefresher`, bounded
+  batching + backpressure between the feed and
+  :meth:`ModelStore.refresh <repro.core.store.ModelStore.refresh>`;
+* :mod:`repro.stream.synth` — deterministic feed synthesis from
+  simulated traffic for replays, tests, and benchmarks.
+
+Metrics live under ``stream.*`` (see docs/OBSERVABILITY.md); freshness
+is event-time publish lag against the watermark, never wall clock.
+"""
+
+from repro.stream.log import IngestResult, ObservationLog, SlotKey
+from repro.stream.messages import (
+    DROP_REASONS,
+    FeedAdapter,
+    ProbeMessage,
+    SLOT_SECONDS,
+    slot_end_ts,
+    slot_start_ts,
+)
+from repro.stream.refresher import StreamConfig, StreamRefresher, StreamStats
+from repro.stream.synth import (
+    messages_from_trajectories,
+    save_feed,
+    synthesize_day_feed,
+)
+
+__all__ = [
+    "DROP_REASONS",
+    "FeedAdapter",
+    "IngestResult",
+    "ObservationLog",
+    "ProbeMessage",
+    "SLOT_SECONDS",
+    "SlotKey",
+    "StreamConfig",
+    "StreamRefresher",
+    "StreamStats",
+    "messages_from_trajectories",
+    "save_feed",
+    "slot_end_ts",
+    "slot_start_ts",
+    "synthesize_day_feed",
+]

@@ -1,0 +1,229 @@
+"""Per-(day, slot, road) observation log with watermark semantics.
+
+Overlapping feed snapshots repeat messages, arrive out of order, and
+straggle past the slot they describe.  :class:`ObservationLog` is the
+merge/dedup core that turns that mess into deterministic per-slot
+observations:
+
+* **Dedup** — messages are keyed by ``msg_id`` within their
+  ``(day, slot, road)`` bucket, so re-ingesting an overlapping snapshot
+  is a no-op (idempotent merge).
+* **Order-insensitivity** — the aggregate of a bucket is the mean of
+  its readings *in sorted msg-id order*, so any permutation of the same
+  message set yields bit-identical observations (float summation order
+  is fixed at read time, not insertion time).
+* **Watermark** — the high-water mark of every event timestamp seen.
+  A slot *closes* once the watermark passes its end by the lateness
+  horizon; messages for closed slots are counted under
+  ``stream.dropped{reason="late"}`` and dropped.  Closing is a pure
+  function of the watermark, so which messages are late depends only on
+  event time, never on wall clock (RA006) or arrival order *within* the
+  horizon.
+
+The log is thread-safe: the feed thread ingests while the refresher's
+publisher thread reads the watermark for event-time lag accounting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import StreamError
+from repro.obs import DEFAULT_SIZE_BUCKETS, get_metrics
+from repro.stream.messages import ProbeMessage, slot_end_ts
+
+#: One slot of one replay day: ``(day, slot)``.
+SlotKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Per-batch accounting returned by :meth:`ObservationLog.ingest`."""
+
+    accepted: int
+    duplicates: int
+    late: int
+
+    @property
+    def total(self) -> int:
+        """Messages considered in the batch."""
+        return self.accepted + self.duplicates + self.late
+
+
+class ObservationLog:
+    """Merges probe messages into per-slot observation aggregates.
+
+    Args:
+        n_roads: Road count; messages with out-of-range roads raise
+            :class:`StreamError` (the adapter filters them, so one here
+            means a producer bypassed the boundary).
+        lateness_s: Event-time grace period after a slot's end during
+            which stragglers are still merged.  ``math.inf`` disables
+            late-dropping entirely (pure batch merge).
+    """
+
+    def __init__(self, n_roads: int, lateness_s: float = 60.0) -> None:
+        if n_roads <= 0:
+            raise StreamError(f"n_roads must be positive, got {n_roads}")
+        if math.isnan(lateness_s) or lateness_s < 0.0:
+            raise StreamError(
+                f"lateness horizon must be >= 0 seconds, got {lateness_s}"
+            )
+        self._n_roads = n_roads
+        self._lateness_s = lateness_s
+        self._lock = threading.Lock()
+        # (day, slot) -> road -> msg_id -> speed reading.
+        self._buckets: Dict[SlotKey, Dict[int, Dict[str, float]]] = {}
+        self._watermark = -math.inf
+        self._accepted = 0
+        self._duplicates = 0
+        self._late = 0
+
+    # -- properties ------------------------------------------------------
+
+    @property
+    def lateness_s(self) -> float:
+        """The configured lateness horizon in event-time seconds."""
+        return self._lateness_s
+
+    @property
+    def watermark(self) -> float:
+        """High-water mark of event time; ``-inf`` before any message."""
+        with self._lock:
+            return self._watermark
+
+    @property
+    def accepted(self) -> int:
+        """Messages merged so far (excluding duplicates and late drops)."""
+        with self._lock:
+            return self._accepted
+
+    @property
+    def duplicates(self) -> int:
+        """Messages ignored because their ``msg_id`` was already merged."""
+        with self._lock:
+            return self._duplicates
+
+    @property
+    def late(self) -> int:
+        """Messages dropped because their slot had already closed."""
+        with self._lock:
+            return self._late
+
+    def open_slots(self) -> List[SlotKey]:
+        """Keys of buckets not yet flushed, in (day, slot) order."""
+        with self._lock:
+            return sorted(self._buckets)
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, messages: Iterable[ProbeMessage]) -> IngestResult:
+        """Merge one batch of messages; returns the batch accounting.
+
+        The watermark advances over every message's timestamp *before*
+        its own lateness check, so a single batch is internally
+        order-insensitive: lateness is decided against the watermark as
+        of the previous batch, then raised once at the end.
+        """
+        batch = list(messages)
+        metrics = get_metrics()
+        accepted = duplicates = late = 0
+        with self._lock:
+            frontier = self._watermark
+            for message in batch:
+                if not 0 <= message.road < self._n_roads:
+                    raise StreamError(
+                        f"road index {message.road} out of range "
+                        f"[0, {self._n_roads}) reached the log; the feed "
+                        "adapter should have dropped it"
+                    )
+                if message.ts > frontier:
+                    frontier = message.ts
+                if self._closed_at(message.day, message.slot, self._watermark):
+                    late += 1
+                    continue
+                bucket = self._buckets.setdefault(
+                    (message.day, message.slot), {}
+                ).setdefault(message.road, {})
+                if message.msg_id in bucket:
+                    duplicates += 1
+                    continue
+                bucket[message.msg_id] = message.speed_kmh
+                accepted += 1
+            self._watermark = frontier
+            self._accepted += accepted
+            self._duplicates += duplicates
+            self._late += late
+        if metrics.enabled:
+            if accepted:
+                metrics.counter("stream.messages", {"outcome": "accepted"}).inc(accepted)
+            if duplicates:
+                metrics.counter(
+                    "stream.messages", {"outcome": "duplicate"}
+                ).inc(duplicates)
+            if late:
+                metrics.counter("stream.dropped", {"reason": "late"}).inc(late)
+            if batch:
+                metrics.histogram(
+                    "stream.ingest.messages", buckets=DEFAULT_SIZE_BUCKETS
+                ).observe(len(batch))
+            if frontier > -math.inf:
+                metrics.gauge("stream.watermark_seconds").set(frontier)
+        return IngestResult(accepted=accepted, duplicates=duplicates, late=late)
+
+    # -- reading / closing ----------------------------------------------
+
+    def observations(self, day: int, slot: int) -> Dict[int, float]:
+        """Aggregated road → speed for one open slot (mean of readings).
+
+        Readings are summed in sorted ``msg_id`` order, making the
+        result invariant under ingestion order.  An unknown key yields
+        an empty mapping.
+        """
+        with self._lock:
+            bucket = self._buckets.get((day, slot), {})
+            return {
+                road: math.fsum(readings[m] for m in sorted(readings)) / len(readings)
+                for road, readings in sorted(bucket.items())
+                if readings
+            }
+
+    def closable(self) -> List[SlotKey]:
+        """Open slot keys the watermark has already closed, oldest first."""
+        with self._lock:
+            return sorted(
+                key
+                for key in self._buckets
+                if self._closed_at(key[0], key[1], self._watermark)
+            )
+
+    def close_slot(self, key: SlotKey) -> Dict[int, float]:
+        """Pop one bucket and return its aggregated observations.
+
+        The caller (the refresher) decides *when*: normally once
+        :meth:`closable` lists the key, or unconditionally during
+        end-of-stream drain.  Messages for the key arriving after the
+        watermark passed it are late-dropped regardless of whether the
+        bucket was already popped.
+
+        Raises:
+            StreamError: When the key holds no observations.
+        """
+        with self._lock:
+            bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            raise StreamError(f"slot {key} has no open observations to close")
+        return {
+            road: math.fsum(readings[m] for m in sorted(readings)) / len(readings)
+            for road, readings in sorted(bucket.items())
+            if readings
+        }
+
+    def _closed_at(self, day: int, slot: int, watermark: float) -> bool:
+        # Caller holds the lock (or passes an already-read watermark).
+        if math.isinf(self._lateness_s):
+            return False
+        return slot_end_ts(day, slot) + self._lateness_s <= watermark

@@ -1,0 +1,275 @@
+"""Typed probe messages and the feed boundary adapter.
+
+A crowdsourced speed feed arrives as *snapshots*: JSONL batches of
+timestamped per-road speed readings, each batch overlapping the previous
+one (the transit-feed pattern gtfs-tripify untangles).  Everything past
+this module is typed and validated; the adapter is the only place raw
+feed bytes are touched, and it never lets a raw ``KeyError`` or
+``ValueError`` escape — malformed input is either *counted and dropped*
+(default) or surfaced as a typed :class:`~repro.errors.FeedError`
+(``strict=True``).
+
+Event time is seconds since the replay epoch; slot boundaries follow the
+paper's 5-minute grid (:data:`SLOT_SECONDS`), so global slot ``t`` of
+day ``d`` spans ``[slot_start_ts(d, t), slot_end_ts(d, t))``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import FeedError, RoadNotFoundError
+from repro.network.graph import TrafficNetwork
+from repro.obs import get_metrics
+from repro.traffic.profiles import N_SLOTS_PER_DAY
+
+#: Seconds per time-of-day slot (the paper's 5-minute grid).
+SLOT_SECONDS: float = 86400.0 / N_SLOTS_PER_DAY
+
+#: Drop reasons the adapter can count (label values of ``stream.dropped``).
+DROP_REASONS: Tuple[str, ...] = (
+    "corrupt",
+    "missing_field",
+    "unknown_road",
+    "invalid_speed",
+    "invalid_slot",
+    "empty_snapshot",
+)
+
+_REQUIRED_KEYS = ("road", "slot", "speed_kmh", "ts")
+
+
+def slot_start_ts(day: int, slot: int) -> float:
+    """Event-time start of global slot ``slot`` on replay day ``day``."""
+    return (day * N_SLOTS_PER_DAY + slot) * SLOT_SECONDS
+
+
+def slot_end_ts(day: int, slot: int) -> float:
+    """Event-time end (exclusive) of global slot ``slot`` on ``day``."""
+    return slot_start_ts(day, slot) + SLOT_SECONDS
+
+
+@dataclass(frozen=True)
+class ProbeMessage:
+    """One validated probe/speed reading from the feed.
+
+    Attributes:
+        road: Road index in the network (already resolved from the id).
+        day: Replay day the reading belongs to.
+        slot: Global time-of-day slot (0 … ``N_SLOTS_PER_DAY - 1``).
+        speed_kmh: Observed speed, finite and positive.
+        ts: Event-time of the reading in seconds since the replay epoch.
+        msg_id: Feed-unique id; the dedup key across overlapping
+            snapshots.
+    """
+
+    road: int
+    day: int
+    slot: int
+    speed_kmh: float
+    ts: float
+    msg_id: str
+
+    def to_json(self) -> str:
+        """The message as one JSONL feed line (round-trips the adapter)."""
+        return json.dumps(
+            {
+                "road": self.road,
+                "day": self.day,
+                "slot": self.slot,
+                "speed_kmh": self.speed_kmh,
+                "ts": self.ts,
+                "msg_id": self.msg_id,
+            },
+            sort_keys=True,
+        )
+
+
+class FeedAdapter:
+    """Parses raw JSONL feed snapshots into :class:`ProbeMessage` lists.
+
+    The adapter is the exception boundary of the stream: every malformed
+    line — truncated JSON, a non-object payload, missing fields, an
+    unknown road id, a non-positive or non-finite speed, a slot off the
+    grid — is counted under ``stream.dropped{reason}`` (and in
+    :attr:`dropped`) and skipped.  With ``strict=True`` the first bad
+    line raises :class:`~repro.errors.FeedError` instead, for feeds
+    where silence would hide a producer bug.
+
+    Args:
+        network: Road graph; string road ids are resolved to indices,
+            integer roads are bounds-checked.
+        strict: Raise :class:`FeedError` on the first malformed message
+            instead of counting a drop.
+    """
+
+    def __init__(self, network: TrafficNetwork, strict: bool = False) -> None:
+        self._network = network
+        self._strict = strict
+        self.dropped: Dict[str, int] = {reason: 0 for reason in DROP_REASONS}
+        self.parsed = 0
+        self.snapshots = 0
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages dropped so far, across all reasons."""
+        return sum(self.dropped.values())
+
+    def parse_snapshot(
+        self, lines: Iterable[str], origin: str = "<feed>"
+    ) -> List[ProbeMessage]:
+        """Parse one snapshot's JSONL lines into validated messages.
+
+        Blank lines and ``#`` comments are skipped (they are structure,
+        not messages).  An otherwise empty snapshot counts one
+        ``empty_snapshot`` drop — an upstream producer going quiet looks
+        exactly like this, and it should be visible on a dashboard.
+
+        Raises:
+            FeedError: In strict mode, for the first malformed message
+                or an empty snapshot.
+        """
+        messages: List[ProbeMessage] = []
+        metrics = get_metrics()
+        self.snapshots += 1
+        if metrics.enabled:
+            metrics.counter("stream.snapshots").inc()
+        saw_content = False
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            saw_content = True
+            where = f"{origin}:{lineno}"
+            message = self._parse_line(stripped, where)
+            if message is not None:
+                messages.append(message)
+                self.parsed += 1
+        if not saw_content:
+            self._drop("empty_snapshot", f"{origin}: snapshot has no messages")
+        return messages
+
+    def parse_feed_file(
+        self, path: Union[str, Path]
+    ) -> List[List[ProbeMessage]]:
+        """Parse a feed file into its snapshots.
+
+        The file is JSONL with ``# snapshot`` comment lines as snapshot
+        delimiters (the same comment convention as the workload traces
+        of :mod:`repro.serve.workload`); a file without delimiters is
+        one snapshot.
+        """
+        path = Path(path)
+        batches: List[List[str]] = [[]]
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if stripped.startswith("#"):
+                    if batches[-1]:
+                        batches.append([])
+                    continue
+                if stripped:
+                    batches[-1].append(stripped)
+        if not batches[-1]:
+            batches.pop()
+        if not batches:
+            batches = [[]]
+        return [
+            self.parse_snapshot(batch, origin=f"{path.name}[{k}]")
+            for k, batch in enumerate(batches)
+        ]
+
+    # -- internals -------------------------------------------------------
+
+    def _parse_line(self, line: str, where: str) -> Optional[ProbeMessage]:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return self._drop("corrupt", f"{where}: not valid JSON")
+        if not isinstance(payload, dict):
+            return self._drop("corrupt", f"{where}: payload is not an object")
+        missing = [key for key in _REQUIRED_KEYS if key not in payload]
+        if missing:
+            return self._drop("missing_field", f"{where}: missing {', '.join(missing)}")
+        road = self._resolve_road(payload["road"], where)
+        if road is None:
+            return None
+        speed = self._as_float(payload["speed_kmh"])
+        if speed is None or not math.isfinite(speed) or speed <= 0.0:
+            return self._drop(
+                "invalid_speed",
+                f"{where}: speed {payload['speed_kmh']!r} is not a finite "
+                "positive number",
+            )
+        ts = self._as_float(payload["ts"])
+        if ts is None or not math.isfinite(ts):
+            return self._drop("corrupt", f"{where}: ts {payload['ts']!r} is not a number")
+        slot = self._as_int(payload["slot"])
+        day = self._as_int(payload.get("day", 0))
+        if slot is None or day is None or day < 0 or not 0 <= slot < N_SLOTS_PER_DAY:
+            return self._drop(
+                "invalid_slot",
+                f"{where}: (day={payload.get('day', 0)!r}, "
+                f"slot={payload['slot']!r}) is off the slot grid",
+            )
+        msg_id = payload.get("msg_id")
+        if msg_id is None:
+            # Content-derived id: exact replays of a reading across
+            # overlapping snapshots dedup automatically.
+            msg_id = f"d{day}.t{slot}.r{road}@{ts:.3f}"
+        return ProbeMessage(
+            road=road,
+            day=day,
+            slot=slot,
+            speed_kmh=speed,
+            ts=ts,
+            msg_id=str(msg_id),
+        )
+
+    def _resolve_road(self, raw: object, where: str) -> Optional[int]:
+        if isinstance(raw, bool):
+            self._drop("unknown_road", f"{where}: road {raw!r} is not a road")
+            return None
+        if isinstance(raw, int):
+            if 0 <= raw < self._network.n_roads:
+                return raw
+            self._drop(
+                "unknown_road",
+                f"{where}: road index {raw} out of range "
+                f"[0, {self._network.n_roads})",
+            )
+            return None
+        if isinstance(raw, str):
+            try:
+                return self._network.index_of(raw)
+            except RoadNotFoundError:
+                self._drop("unknown_road", f"{where}: unknown road id {raw!r}")
+                return None
+        self._drop("unknown_road", f"{where}: road {raw!r} is not a road")
+        return None
+
+    def _drop(self, reason: str, detail: str) -> Optional[ProbeMessage]:
+        """Count (or raise, in strict mode) one drop; always returns None."""
+        if self._strict:
+            raise FeedError(reason, detail)
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("stream.dropped", {"reason": reason}).inc()
+        return None
+
+    @staticmethod
+    def _as_float(raw: object) -> Optional[float]:
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            return None
+        return float(raw)
+
+    @staticmethod
+    def _as_int(raw: object) -> Optional[int]:
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            return None
+        return raw

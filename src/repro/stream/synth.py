@@ -1,0 +1,195 @@
+"""Synthesizes probe feeds from simulated traffic.
+
+Two sources, both deterministic under a seed:
+
+* :func:`synthesize_day_feed` — samples a :class:`~repro.traffic.history.SpeedHistory`
+  day (i.e. :class:`~repro.traffic.simulator.TrafficSimulator` output)
+  into overlapping, out-of-order JSONL-shaped snapshots, the realistic
+  mess the :class:`~repro.stream.messages.FeedAdapter` and
+  :class:`~repro.stream.log.ObservationLog` exist to clean up;
+* :func:`messages_from_trajectories` — converts simulated vehicle
+  :class:`~repro.traffic.trajectories.Trajectory` runs into messages
+  via dwell-time speed extraction, tying the feed to the same probe
+  model the crowdsourcing market uses.
+
+:func:`save_feed` writes snapshots as one ``#``-delimited JSONL file,
+round-tripping through :meth:`FeedAdapter.parse_feed_file`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.network.graph import TrafficNetwork
+from repro.stream.messages import ProbeMessage, SLOT_SECONDS, slot_start_ts
+from repro.traffic.history import SpeedHistory
+from repro.traffic.trajectories import Trajectory, extract_road_speeds
+
+#: Floor applied to synthesized speeds so noise cannot produce an
+#: invalid (non-positive) reading.
+_MIN_SPEED_KMH = 0.5
+
+
+def synthesize_day_feed(
+    history: SpeedHistory,
+    day: int,
+    slots: Optional[Sequence[int]] = None,
+    coverage: float = 0.5,
+    max_readings_per_road: int = 3,
+    noise_fraction: float = 0.05,
+    snapshot_every_s: float = 60.0,
+    overlap_fraction: float = 0.25,
+    disorder_s: float = 20.0,
+    seed: int = 0,
+) -> List[List[ProbeMessage]]:
+    """One replay day of a speed history as overlapping feed snapshots.
+
+    Per covered slot, a random ``coverage`` fraction of roads reports
+    1–``max_readings_per_road`` noisy readings with event times inside
+    the slot.  The stream is then cut into snapshots of
+    ``snapshot_every_s`` event-time seconds where
+
+    * each snapshot *re-sends* the last ``overlap_fraction`` of its
+      predecessor (the overlap/duplication the dedup core merges), and
+    * messages are shuffled within a ``disorder_s`` jitter window, so
+      batches arrive out of order but never beyond that horizon.
+
+    Args:
+        history: Simulated ground truth (e.g. ``TrafficSimulator`` output).
+        day: Which history day to replay.
+        slots: Global slots to cover; defaults to the history's window.
+        coverage: Fraction of roads reporting per slot, in (0, 1].
+        max_readings_per_road: Upper bound on readings per road per slot.
+        noise_fraction: Multiplicative Gaussian reading noise.
+        snapshot_every_s: Event-time span of one snapshot.
+        overlap_fraction: Tail fraction of each snapshot repeated in the
+            next one.
+        disorder_s: Out-of-order jitter horizon in event-time seconds.
+        seed: RNG seed; same inputs → bit-identical feed.
+
+    Returns:
+        The snapshots, in arrival order.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise StreamError(f"coverage must be in (0, 1], got {coverage}")
+    if not 0 <= day < history.n_days:
+        raise StreamError(
+            f"day {day} outside the history's 0..{history.n_days - 1}"
+        )
+    if max_readings_per_road < 1:
+        raise StreamError(
+            f"max_readings_per_road must be >= 1, got {max_readings_per_road}"
+        )
+    if snapshot_every_s <= 0.0:
+        raise StreamError(
+            f"snapshot_every_s must be positive, got {snapshot_every_s}"
+        )
+    slot_list = list(history.global_slots) if slots is None else list(slots)
+    truth = history.day(day)
+    rng = np.random.default_rng(seed)
+    n_report = max(1, int(round(coverage * history.n_roads)))
+    messages: List[ProbeMessage] = []
+    for global_slot in slot_list:
+        local = history.local_slot(global_slot)
+        start = slot_start_ts(day, global_slot)
+        roads = rng.choice(history.n_roads, size=n_report, replace=False)
+        for road in roads:
+            n_readings = int(rng.integers(1, max_readings_per_road + 1))
+            for reading in range(n_readings):
+                noisy = float(truth[local, road]) * (
+                    1.0 + noise_fraction * float(rng.standard_normal())
+                )
+                messages.append(
+                    ProbeMessage(
+                        road=int(road),
+                        day=day,
+                        slot=global_slot,
+                        speed_kmh=max(_MIN_SPEED_KMH, noisy),
+                        ts=start + float(rng.uniform(0.0, SLOT_SECONDS)),
+                        msg_id=f"d{day}.t{global_slot}.r{int(road)}.{reading}",
+                    )
+                )
+    # Arrival order: event time plus bounded jitter (out-of-order, but
+    # never beyond disorder_s).
+    jitter = rng.uniform(-disorder_s, disorder_s, size=len(messages))
+    order = np.argsort(
+        np.array([m.ts for m in messages]) + jitter, kind="stable"
+    )
+    arrival = [messages[int(i)] for i in order]
+    return _cut_snapshots(arrival, snapshot_every_s, overlap_fraction)
+
+
+def _cut_snapshots(
+    arrival: Sequence[ProbeMessage],
+    snapshot_every_s: float,
+    overlap_fraction: float,
+) -> List[List[ProbeMessage]]:
+    """Cut an arrival stream into event-time windows with overlap."""
+    if not arrival:
+        return []
+    snapshots: List[List[ProbeMessage]] = []
+    window_end = arrival[0].ts + snapshot_every_s
+    current: List[ProbeMessage] = []
+    for message in arrival:
+        if message.ts >= window_end and current:
+            snapshots.append(current)
+            tail = max(0, int(round(overlap_fraction * len(current))))
+            current = current[len(current) - tail:] if tail else []
+            while message.ts >= window_end:
+                window_end += snapshot_every_s
+        current.append(message)
+    if current:
+        snapshots.append(current)
+    return snapshots
+
+
+def messages_from_trajectories(
+    network: TrafficNetwork,
+    trajectories: Sequence[Trajectory],
+    day: int,
+    slot: int,
+    min_dwell_s: float = 1.0,
+) -> List[ProbeMessage]:
+    """Probe messages from simulated vehicle runs within one slot.
+
+    Each trajectory contributes its dwell-weighted per-road speeds
+    (:func:`~repro.traffic.trajectories.extract_road_speeds`), stamped
+    at the slot's start plus the trajectory's own clock — the same
+    reduction a fleet of GPS probes performs on device.
+    """
+    start = slot_start_ts(day, slot)
+    messages: List[ProbeMessage] = []
+    for vehicle, trajectory in enumerate(trajectories):
+        speeds = extract_road_speeds(network, trajectory, min_dwell_s)
+        offset = trajectory.points[0].timestamp_s if trajectory.points else 0.0
+        for road, speed_kmh in sorted(speeds.items()):
+            if speed_kmh <= 0.0:
+                continue
+            messages.append(
+                ProbeMessage(
+                    road=road,
+                    day=day,
+                    slot=slot,
+                    speed_kmh=speed_kmh,
+                    ts=start + offset,
+                    msg_id=f"d{day}.t{slot}.v{vehicle}.r{road}",
+                )
+            )
+    return messages
+
+
+def save_feed(
+    snapshots: Sequence[Sequence[ProbeMessage]], path: Union[str, Path]
+) -> Path:
+    """Write snapshots as one ``#``-delimited JSONL feed file."""
+    path = Path(path)
+    lines: List[str] = []
+    for index, snapshot in enumerate(snapshots):
+        lines.append(f"# snapshot {index}")
+        lines.extend(message.to_json() for message in snapshot)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

@@ -123,3 +123,50 @@ class TestRefreshModel:
         batch = empirical_slot_parameters(net, samples, slot)
         rel = np.abs(online.mu - batch.mu) / batch.mu
         assert np.median(rel) < 0.1
+
+
+class TestUnfittedSlotAccounting:
+    """Regression: observations for slots the model never fitted used to
+    vanish silently; they must now be counted and warned about once."""
+
+    def test_unfitted_slot_warns_once_and_counts(self, line_net):
+        from repro import errors, obs
+
+        errors.reset_deprecation_warnings()
+        obs.configure(metrics=True)
+        try:
+            obs.get_metrics().clear()
+            model = RTFModel(line_net, [flat_slot(line_net, slot=1)])
+            with pytest.warns(RuntimeWarning, match="fitted slot range"):
+                refreshed = refresh_model(
+                    line_net,
+                    model,
+                    {1: np.full(6, 70.0), 9: np.full(6, 70.0)},
+                    learning_rate=0.5,
+                )
+            # The fitted slot still refreshed normally.
+            assert refreshed.slot(1).mu[0] == pytest.approx(60.0)
+            assert (
+                obs.get_metrics()
+                .counter("stream.dropped", {"reason": "unfitted_slot"})
+                .value
+                == 1
+            )
+            # Once per process: a second occurrence stays silent.
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                refresh_model(
+                    line_net, model, {9: np.full(6, 70.0)}, learning_rate=0.5
+                )
+            assert (
+                obs.get_metrics()
+                .counter("stream.dropped", {"reason": "unfitted_slot"})
+                .value
+                == 2
+            )
+        finally:
+            obs.disable_all()
+            obs.get_metrics().clear()
+            errors.reset_deprecation_warnings()
