@@ -44,13 +44,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
 import repro
 from repro import obs
 from repro.experiments.common import ExperimentScale
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.health import AdminServer, HealthMonitor
 
 
 def _build_dataset(args: argparse.Namespace) -> "repro.Dataset":
@@ -126,6 +129,75 @@ def _export_obs(args: argparse.Namespace) -> None:
     if args.chrome_trace:
         tracer.export_chrome_trace(args.chrome_trace)
         print(f"chrome trace written to {args.chrome_trace}")
+
+
+def _add_admin_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("admin endpoint")
+    group.add_argument(
+        "--admin-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /flightrecorder on this port "
+             "(0 picks a free one); off by default",
+    )
+    group.add_argument(
+        "--admin-host", default="127.0.0.1",
+        help="admin endpoint bind address (default: loopback only)",
+    )
+    group.add_argument(
+        "--hold-s", type=float, default=0.0, metavar="SECONDS",
+        help="keep the process (and admin endpoint) alive this long "
+             "after the replay finishes — for probing /healthz",
+    )
+
+
+def _admin_requested(args: argparse.Namespace) -> bool:
+    return getattr(args, "admin_port", None) is not None
+
+
+def _start_admin(
+    args: argparse.Namespace, store: "repro.ModelStore"
+) -> Optional[Tuple["HealthMonitor", "AdminServer"]]:
+    """Launch the health sampler + admin endpoint when requested."""
+    if not _admin_requested(args):
+        return None
+    from repro.obs import health as obs_health
+
+    if not obs.get_metrics().enabled:
+        # The endpoint serves the live registry; the dashboard is empty
+        # without it, so opting into --admin-port opts into telemetry.
+        obs.configure(metrics=True, tracing=True)
+    monitor = obs_health.HealthMonitor(interval_s=1.0)
+    monitor.set_info("store", store.health_info)
+    monitor.set_info("uptime_seconds", lambda: store.uptime_seconds)
+    monitor.set_info("store_version", lambda: store.version)
+    obs_health.install(monitor)
+    monitor.start()
+    server = obs_health.AdminServer(
+        monitor, host=args.admin_host, port=args.admin_port
+    )
+    server.start()
+    print(f"admin endpoint on {server.url} (/metrics /healthz /flightrecorder)")
+    return (monitor, server)
+
+
+def _hold_admin(args: argparse.Namespace) -> None:
+    """Keep the process alive for --hold-s after the work is done."""
+    hold = float(getattr(args, "hold_s", 0.0) or 0.0)
+    if hold > 0:
+        print(f"holding for {hold:.0f}s (Ctrl-C to exit early)")
+        time.sleep(hold)
+
+
+def _stop_admin(
+    admin: Optional[Tuple["HealthMonitor", "AdminServer"]],
+) -> None:
+    if admin is None:
+        return
+    from repro.obs import health as obs_health
+
+    monitor, server = admin
+    server.close()
+    monitor.close()
+    obs_health.uninstall()
 
 
 def cmd_dataset(args: argparse.Namespace) -> int:
@@ -372,9 +444,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"serving {len(items)} requests over slots {slots} "
         f"({args.workers} workers, queue depth {args.queue_depth})"
     )
-    with serving.QueryService(system, market=market, config=config) as service:
-        report = serving.replay(service, items, bind=bind)
-    print(report.format())
+    admin = _start_admin(args, system.store)
+    try:
+        with serving.QueryService(system, market=market, config=config) as service:
+            report = serving.replay(service, items, bind=bind)
+            print(report.format())
+            _hold_admin(args)
+    finally:
+        _stop_admin(admin)
     if _obs_requested(args):
         _export_obs(args)
     return 0
@@ -446,6 +523,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     total_events = 0
     batch_index = 0
     started = time.perf_counter()
+    admin = _start_admin(args, system.store)
     with serving.QueryService(
         system, market=market, config=serving.ServeConfig(num_workers=2)
     ) as service:
@@ -506,9 +584,31 @@ def cmd_stream(args: argparse.Namespace) -> int:
         f"{stats.backpressure_waits} backpressure waits"
     )
     print(f"serve: {served}/{len(tickets)} concurrent queries answered")
+    try:
+        _hold_admin(args)
+    finally:
+        _stop_admin(admin)
     if _obs_requested(args):
         _export_obs(args)
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``top`` subcommand: live dashboard over a running admin endpoint.
+
+    Point it at a ``repro serve --admin-port N`` / ``repro stream
+    --admin-port N`` process; it polls ``/healthz`` and redraws
+    throughput, latency percentiles, publish lag, store version and the
+    per-SLO burn table.  Ctrl-C exits cleanly.
+    """
+    from repro.obs.health.top import run_top
+
+    return run_top(
+        args.url,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 #: Experiment registry: name -> module path inside repro.experiments.
@@ -647,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-feed", help="write the synthesized feed as JSONL here"
     )
     _add_obs_args(p_stream)
+    _add_admin_args(p_stream)
     p_stream.set_defaults(func=cmd_stream)
 
     p_stats = subparsers.add_parser(
@@ -698,7 +799,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many consecutive slots (from the dataset slot) to fit and serve",
     )
     _add_obs_args(p_serve)
+    _add_admin_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_top = subparsers.add_parser(
+        "top", help="live health dashboard over a running admin endpoint"
+    )
+    p_top.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="base URL of the admin endpoint (repro serve --admin-port ...)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh interval in seconds"
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=None,
+        help="render this many frames and exit (default: run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs/CI)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     return parser
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
@@ -363,6 +364,7 @@ class ModelStore:
         self._path_mode = path_mode
         self._artifacts = _ArtifactCache(self.stats, max_artifacts)
         self._lock = threading.RLock()
+        self._created_monotonic = time.monotonic()
         params = {t: model.slot(t) for t in model.slots}
         digests = {t: params_signature(p) for t, p in params.items()}
         self._current = ModelSnapshot(
@@ -395,6 +397,28 @@ class ModelStore:
     def version(self) -> int:
         """Version number of the current snapshot."""
         return self.current().version
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this store was constructed (monotonic clock)."""
+        return time.monotonic() - self._created_monotonic
+
+    def health_info(self) -> Dict[str, object]:
+        """Static facts the health layer reports on ``/healthz``.
+
+        The dict is one consistent read: version and publish/refresh
+        counters come from the same lock hold, so a concurrent publish
+        cannot show a new version with the old counters.
+        """
+        with self._lock:
+            return {
+                "store_version": self._current.version,
+                "uptime_seconds": self.uptime_seconds,
+                "slots": len(self._current.slots),
+                "roads": self._network.n_roads,
+                "publishes": self.stats.publishes,
+                "refreshes": self.stats.refreshes,
+            }
 
     def current(self) -> ModelSnapshot:
         """The current published snapshot (atomic pointer read).

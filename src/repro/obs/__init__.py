@@ -11,6 +11,11 @@ Three pieces:
 * :mod:`repro.obs.export` — Prometheus-text / JSON exporters plus the
   schema validators behind ``python -m repro.obs.export``.
 
+:mod:`repro.obs.health` builds the *active* layer on top — sampler,
+SLO burn-rate engine, flight recorder, admin endpoint, ``repro top`` —
+and is imported explicitly (never from here, so this module stays
+import-cycle-free for the instrumented packages).
+
 Both the default registry and the default tracer are **disabled** at
 import: every instrumentation site in the hot paths degrades to a
 branch-and-return, enforced by ``benchmarks/test_perf_obs_overhead.py``.
@@ -40,16 +45,22 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
 )
 from repro.obs.tracing import Span, SpanRecord, Tracer
 from repro.obs.export import (
+    FLIGHT_RECORDER_SCHEMA,
     METRICS_SCHEMA,
+    escape_label_value,
     metrics_from_jsonl,
     metrics_to_jsonl,
+    parse_prometheus_series,
     parse_prometheus_text,
     read_metrics_json,
     to_prometheus_text,
+    unescape_label_value,
     validate_chrome_trace,
+    validate_flight_record,
     validate_metrics_snapshot,
     validate_trace_jsonl,
     write_metrics_json,
@@ -63,22 +74,28 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "FLIGHT_RECORDER_SCHEMA",
     "METRICS_SCHEMA",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_ITERATION_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "bucket_quantile",
     "configure",
     "disable_all",
+    "escape_label_value",
     "get_metrics",
     "get_tracer",
     "metrics_from_jsonl",
     "metrics_to_jsonl",
+    "parse_prometheus_series",
     "parse_prometheus_text",
     "prometheus_text",
     "read_metrics_json",
     "reset",
     "to_prometheus_text",
+    "unescape_label_value",
     "validate_chrome_trace",
+    "validate_flight_record",
     "validate_metrics_snapshot",
     "validate_trace_jsonl",
     "write_metrics_json",

@@ -33,13 +33,23 @@ from repro.errors import ObservabilityError
 #: Identifies the metrics snapshot artifact schema.
 METRICS_SCHEMA = "repro.metrics/v1"
 
+#: Identifies the flight-recorder black-box artifact schema.
+FLIGHT_RECORDER_SCHEMA = "repro.flightrecorder/v1"
+
 _PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+# The labels group is greedy (not ``[^}]*``): an *escaped* label value
+# may legally contain ``}``, so the group runs to the last ``}`` that
+# still leaves a trailing sample value.
 _PROM_LINE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[^ ]+)$"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
 )
-_PROM_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+# Label values match escaped sequences (``\\``, ``\"``, ``\n``) so a
+# quote inside a value does not terminate the match.
+_PROM_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
 
 
 def prometheus_name(name: str) -> str:
@@ -47,12 +57,69 @@ def prometheus_name(name: str) -> str:
     return _PROM_NAME_RE.sub("_", name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    format requires escaping (``\\\\``, ``\\"``, ``\\n``); everything
+    else passes through verbatim.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value`.
+
+    Unknown escape sequences are kept verbatim (the exposition format
+    leaves them undefined; dropping the backslash would lose data).
+    """
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        char = value[i]
+        if char == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(char)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
 def _format_labels(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
     items = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
     if not items:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in items)
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in items
+    )
     return "{" + body + "}"
+
+
+def parse_prometheus_series(series: str) -> Tuple[str, Dict[str, str]]:
+    """Split a rendered ``name{labels}`` series key into name + labels.
+
+    The inverse of the series keys produced by
+    :func:`parse_prometheus_text`: label values come back *unescaped*,
+    so values containing ``"``, ``\\`` or newlines round-trip through
+    the exposition format.
+    """
+    match = _PROM_LINE_RE.match(series + " 0")
+    if not match or match.group("name") != series.split("{", 1)[0]:
+        raise ObservabilityError(f"unparseable Prometheus series key: {series!r}")
+    labels: Dict[str, str] = {}
+    body = match.group("labels")
+    if body:
+        for label in _PROM_LABEL_RE.finditer(body):
+            labels[label.group("key")] = unescape_label_value(label.group("value"))
+    return match.group("name"), labels
 
 
 def _format_value(value: float) -> str:
@@ -328,6 +395,87 @@ def validate_chrome_trace(document: Any) -> List[Dict[str, Any]]:
     return events
 
 
+#: Process health states a flight record may report.
+_HEALTH_STATUSES = ("ok", "degraded", "failing")
+
+
+def validate_flight_record(document: Any) -> Dict[str, Any]:
+    """Validate a flight-recorder black-box dump; return it.
+
+    The artifact is produced by
+    :meth:`repro.obs.health.FlightRecorder.dump` — on demand, from the
+    admin endpoint's ``/flightrecorder`` path, and automatically on
+    ``InternalError``/``StreamError``.  Schema (all sections required):
+
+    * ``schema`` — :data:`FLIGHT_RECORDER_SCHEMA`;
+    * ``trigger`` — what caused the dump (``manual`` / ``endpoint`` /
+      ``auto:<stage>``);
+    * ``dumped_at_unix`` — wall-clock dump time;
+    * ``events`` — recent warn/error events
+      (``{level, message, t_monotonic, attrs}``);
+    * ``samples`` — recent registry snapshots
+      (``{index, t_monotonic, snapshot}``, each snapshot a valid
+      metrics snapshot);
+    * ``spans`` — tail of the tracer's completed spans;
+    * ``health`` — the last :class:`HealthReport` as a dict, or null.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict) or document.get("schema") != FLIGHT_RECORDER_SCHEMA:
+        raise ObservabilityError(f"not a {FLIGHT_RECORDER_SCHEMA} document")
+    if not isinstance(document.get("trigger"), str) or not document.get("trigger"):
+        problems.append("missing trigger string")
+    if not isinstance(document.get("dumped_at_unix"), (int, float)):
+        problems.append("missing numeric dumped_at_unix")
+    events = document.get("events")
+    if not isinstance(events, list):
+        problems.append("missing events list")
+    else:
+        for i, event in enumerate(events):
+            if not isinstance(event, dict):
+                problems.append(f"events[{i}]: not a dict")
+                continue
+            if not isinstance(event.get("level"), str):
+                problems.append(f"events[{i}]: missing level")
+            if not isinstance(event.get("message"), str):
+                problems.append(f"events[{i}]: missing message")
+            if not isinstance(event.get("t_monotonic"), (int, float)):
+                problems.append(f"events[{i}]: missing numeric t_monotonic")
+    samples = document.get("samples")
+    if not isinstance(samples, list):
+        problems.append("missing samples list")
+    else:
+        for i, sample in enumerate(samples):
+            if not isinstance(sample, dict):
+                problems.append(f"samples[{i}]: not a dict")
+                continue
+            if not isinstance(sample.get("index"), int):
+                problems.append(f"samples[{i}]: missing integer index")
+            if not isinstance(sample.get("t_monotonic"), (int, float)):
+                problems.append(f"samples[{i}]: missing numeric t_monotonic")
+            try:
+                validate_metrics_snapshot(sample.get("snapshot"))
+            except ObservabilityError as exc:
+                problems.append(f"samples[{i}]: {exc}")
+    spans = document.get("spans")
+    if not isinstance(spans, list):
+        problems.append("missing spans list")
+    else:
+        for i, span in enumerate(spans):
+            if not isinstance(span, dict) or not isinstance(span.get("name"), str):
+                problems.append(f"spans[{i}]: missing name")
+            elif not isinstance(span.get("span_id"), int):
+                problems.append(f"spans[{i}]: missing integer span_id")
+    health = document.get("health")
+    if health is not None:
+        if not isinstance(health, dict) or health.get("status") not in _HEALTH_STATUSES:
+            problems.append(
+                f"health.status must be one of {_HEALTH_STATUSES} (or health null)"
+            )
+    if problems:
+        raise ObservabilityError("invalid flight record: " + "; ".join(problems))
+    return document
+
+
 # ----------------------------------------------------------------------
 # CLI validation surface (used by the CI observability smoke job)
 # ----------------------------------------------------------------------
@@ -342,8 +490,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--validate-metrics", help="metrics JSON artifact path")
     parser.add_argument("--validate-trace", help="trace JSON-lines artifact path")
     parser.add_argument("--validate-chrome", help="chrome trace-event artifact path")
+    parser.add_argument(
+        "--validate-flightrecorder", help="flight-recorder black-box JSON artifact path"
+    )
     args = parser.parse_args(argv)
-    if not (args.validate_metrics or args.validate_trace or args.validate_chrome):
+    if not (
+        args.validate_metrics
+        or args.validate_trace
+        or args.validate_chrome
+        or args.validate_flightrecorder
+    ):
         parser.error("nothing to validate")
     try:
         if args.validate_metrics:
@@ -362,6 +518,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             with open(args.validate_chrome, "r", encoding="utf-8") as handle:
                 events = validate_chrome_trace(json.load(handle))
             print(f"{args.validate_chrome}: valid chrome trace ({len(events)} events)")
+        if args.validate_flightrecorder:
+            with open(args.validate_flightrecorder, "r", encoding="utf-8") as handle:
+                record = validate_flight_record(json.load(handle))
+            print(
+                f"{args.validate_flightrecorder}: valid flight record "
+                f"(trigger={record['trigger']}, {len(record['events'])} events, "
+                f"{len(record['samples'])} samples, {len(record['spans'])} spans)"
+            )
     except (OSError, json.JSONDecodeError, ObservabilityError) as exc:
         print(f"validation failed: {exc}", file=sys.stderr)
         return 1

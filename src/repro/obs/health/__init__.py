@@ -1,0 +1,312 @@
+"""Operational health layer: sampler, SLO engine, flight recorder, admin.
+
+``repro.obs`` (PR 2) gave the process raw counters and spans; this
+package turns them into an *active* control plane:
+
+* :class:`MetricsTimeSeries` — ring buffer of registry snapshots with
+  windowed deltas/rates/quantiles;
+* :class:`SLOEngine` / :class:`SLO` — declarative objectives evaluated
+  over fast + slow burn-rate windows into a typed
+  :class:`HealthReport`;
+* :class:`FlightRecorder` — a bounded black box dumped on demand and
+  automatically on ``InternalError``/``StreamError``;
+* :class:`AdminServer` — opt-in ``/metrics`` + ``/healthz`` +
+  ``/flightrecorder`` HTTP endpoint;
+* :func:`repro.obs.health.top.run_top` — the ``repro top`` dashboard.
+
+:class:`HealthMonitor` is the conductor: a 1 Hz sampler thread
+(``time.monotonic`` only — RA006) snapshots the registry, feeds the
+flight recorder, re-evaluates every SLO, and publishes the resulting
+:class:`HealthStatus` for :class:`repro.serve.QueryService` to consult
+when deciding to pre-emptively shed load.  A process-wide monitor can
+be :func:`install`-ed so error paths deep in serve/stream reach the
+recorder via :func:`record_failure` without threading a handle through
+every constructor.
+
+Metrics emitted by the monitor itself (catalog:
+``docs/OBSERVABILITY.md``): ``health.samples``,
+``health.sampler_errors``, ``health.status``, ``slo.evaluations``,
+``slo.violations{slo,window}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.obs import get_metrics, get_tracer
+from repro.obs.health.endpoint import AdminServer
+from repro.obs.health.recorder import FlightRecorder
+from repro.obs.health.slo import (
+    SLO,
+    Alert,
+    HealthReport,
+    HealthStatus,
+    SLOEngine,
+    SLOResult,
+    SLOWindow,
+    dashboard_stats,
+    default_slos,
+)
+from repro.obs.health.timeseries import HistogramWindow, MetricSample, MetricsTimeSeries
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "SLO",
+    "AdminServer",
+    "Alert",
+    "FlightRecorder",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthStatus",
+    "HistogramWindow",
+    "MetricSample",
+    "MetricsTimeSeries",
+    "SLOEngine",
+    "SLOResult",
+    "SLOWindow",
+    "dashboard_stats",
+    "default_slos",
+    "get_monitor",
+    "install",
+    "record_failure",
+    "uninstall",
+]
+
+
+class HealthMonitor:
+    """Sampler thread + SLO engine + flight recorder, in one handle.
+
+    ``start()`` (or entering the context manager) launches a daemon
+    thread that ticks every ``interval_s``: snapshot the registry into
+    the time-series, feed the flight recorder, evaluate every SLO, and
+    publish the new :class:`HealthReport`.  All interval arithmetic is
+    ``time.monotonic()``.  Without a running thread, :meth:`report`
+    performs a tick inline, so single-threaded tests and CLI paths work
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slos: Optional[Sequence[SLO]] = None,
+        interval_s: float = 1.0,
+        series_capacity: int = 512,
+        recorder: Optional[FlightRecorder] = None,
+        dump_dir: Optional[str] = None,
+        min_dump_interval_s: float = 5.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.registry = registry if registry is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.series = MetricsTimeSeries(self.registry, capacity=series_capacity)
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.engine = SLOEngine(
+            tuple(slos) if slos is not None else default_slos(), self.series
+        )
+        self.interval_s = interval_s
+        self.dump_dir = dump_dir
+        self.min_dump_interval_s = min_dump_interval_s
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._report: Optional[HealthReport] = None
+        self._status = HealthStatus.OK
+        self._last_auto_dump: Optional[float] = None
+        self._info_providers: Dict[str, Callable[[], object]] = {}
+
+    # -- info providers -------------------------------------------------
+
+    def set_info(self, key: str, provider: Callable[[], object]) -> None:
+        """Attach a static-info callable (e.g. the store's version)."""
+        with self._lock:
+            self._info_providers[key] = provider
+
+    def _collect_info(self) -> Dict[str, object]:
+        with self._lock:
+            providers = dict(self._info_providers)
+        info: Dict[str, object] = {}
+        for key, provider in providers.items():
+            try:
+                info[key] = provider()
+            except Exception as exc:  # info is best-effort, never fatal
+                info[key] = f"<error: {type(exc).__name__}>"
+        return info
+
+    # -- the tick -------------------------------------------------------
+
+    def tick(self) -> HealthReport:
+        """One sampler pass: sample → record → evaluate → publish."""
+        sample = self.series.sample_now()
+        self.recorder.record_sample(sample)
+        report = self.engine.evaluate(info=self._collect_info())
+        metrics = self.registry
+        metrics.counter("health.samples").inc()
+        metrics.counter("slo.evaluations").inc(len(report.results))
+        metrics.gauge("health.status").set(report.status.severity)
+        for result in report.results:
+            for window in (result.fast, result.slow):
+                if window.violated:
+                    metrics.counter(
+                        "slo.violations",
+                        {"slo": result.slo.name, "window": window.window},
+                    ).inc()
+        with self._lock:
+            self._report = report
+            self._status = report.status
+        return report
+
+    def _run(self) -> None:
+        while True:
+            if self._wake.wait(self.interval_s):
+                return
+            try:
+                self.tick()
+            except Exception as exc:  # keep sampling through bugs
+                self.registry.counter("health.sampler_errors").inc()
+                self.recorder.note(
+                    "error",
+                    f"sampler tick failed: {exc}",
+                    error=type(exc).__name__,
+                )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "HealthMonitor":
+        """Launch the sampler thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._wake.clear()
+            thread = threading.Thread(
+                target=self._run, name="repro-health-sampler", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the sampler thread (idempotent)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._wake.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HealthMonitor":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading --------------------------------------------------------
+
+    def report(self) -> HealthReport:
+        """The latest report; ticks inline before the first sample."""
+        with self._lock:
+            report = self._report
+        if report is None:
+            return self.tick()
+        return report
+
+    def status(self) -> HealthStatus:
+        """The latest overall status (lock-free read path)."""
+        return self._status
+
+    def should_shed(self) -> bool:
+        """True once burn-rate evaluation says the process is failing."""
+        return self._status is HealthStatus.FAILING
+
+    # -- failure hook ---------------------------------------------------
+
+    def record_failure(self, stage: str, error: BaseException) -> None:
+        """Note an ``InternalError``/``StreamError`` and auto-dump.
+
+        Dumps are rate-limited to one per ``min_dump_interval_s`` so an
+        error storm cannot turn the recorder into a hot loop; when
+        ``dump_dir`` is set each dump also lands on disk as
+        ``flightrecorder-<index>.json``.
+        """
+        self.recorder.note(
+            "error",
+            f"{stage}: {error}",
+            stage=stage,
+            error=type(error).__name__,
+        )
+        now = time.monotonic()
+        with self._lock:
+            last = self._last_auto_dump
+            if last is not None and now - last < self.min_dump_interval_s:
+                return
+            self._last_auto_dump = now
+        with self._lock:
+            report = self._report
+        document = self.recorder.dump(
+            trigger=f"auto:{stage}", tracer=self.tracer, report=report
+        )
+        if self.dump_dir:
+            index = document["dump_index"]
+            path = os.path.join(self.dump_dir, f"flightrecorder-{index}.json")
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            except OSError:
+                self.recorder.note("warn", f"flight-record write failed: {path}")
+
+    def dump_flight_record(self, trigger: str = "manual") -> Dict[str, object]:
+        """A fresh black-box dump with the latest report attached."""
+        with self._lock:
+            report = self._report
+        return self.recorder.dump(trigger=trigger, tracer=self.tracer, report=report)
+
+
+# ----------------------------------------------------------------------
+# Process-wide monitor (the serve/stream failure-hook registry)
+# ----------------------------------------------------------------------
+
+_install_lock = threading.Lock()
+_installed: Optional[HealthMonitor] = None
+
+
+def install(monitor: HealthMonitor) -> HealthMonitor:
+    """Make ``monitor`` the process-wide monitor; returns it."""
+    global _installed
+    with _install_lock:
+        _installed = monitor
+    return monitor
+
+
+def uninstall() -> None:
+    """Clear the process-wide monitor."""
+    global _installed
+    with _install_lock:
+        _installed = None
+
+
+def get_monitor() -> Optional[HealthMonitor]:
+    """The installed process-wide monitor, or ``None``."""
+    return _installed
+
+
+def record_failure(stage: str, error: BaseException) -> None:
+    """Route a failure to the installed monitor; no-op without one.
+
+    Called from serve/stream error paths — it must *never* raise (a
+    recorder bug must not mask the original :class:`ReproError`), and
+    never while the caller holds a component lock (RA002).
+    """
+    monitor = _installed
+    if monitor is None:
+        return
+    try:
+        monitor.record_failure(stage, error)
+    except Exception:  # never mask the original failure
+        pass

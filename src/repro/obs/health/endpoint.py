@@ -1,0 +1,165 @@
+"""Opt-in admin HTTP endpoint: ``/metrics``, ``/healthz``, ``/flightrecorder``.
+
+A tiny stdlib ``http.server`` surface for operators and the CI
+health-smoke job — *not* the query path (queries go through
+:class:`repro.serve.QueryService`).  Routes:
+
+* ``GET /metrics`` — Prometheus exposition text of the live registry;
+* ``GET /healthz`` — the latest :class:`~repro.obs.health.slo.HealthReport`
+  as JSON; HTTP 200 while ok/degraded, 503 once the SLO engine reports
+  ``failing`` (load balancers drain on the status code alone);
+* ``GET /flightrecorder`` — a fresh black-box dump
+  (:class:`~repro.obs.health.recorder.FlightRecorder`);
+* ``GET /`` — a small JSON index of the above.
+
+The server binds ``127.0.0.1`` by default and is entirely opt-in
+(``repro serve --admin-port ...``); it serves each request from a
+daemon thread and never holds any component lock across a response
+write.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs import get_metrics
+from repro.obs.export import to_prometheus_text
+from repro.obs.health.slo import HealthStatus
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.health import HealthMonitor
+
+__all__ = ["AdminServer"]
+
+_ROUTES = ("/", "/metrics", "/healthz", "/flightrecorder")
+
+
+class _AdminHandler(BaseHTTPRequestHandler):
+    """Routes one GET; any handler bug becomes a 500 JSON body."""
+
+    server: "_AdminHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            status, content_type, body = self._dispatch()
+        except Exception as exc:  # last resort: report, never crash the server
+            status = 500
+            content_type = "application/json"
+            body = json.dumps(
+                {"error": type(exc).__name__, "detail": str(exc)}
+            ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self) -> Tuple[int, str, bytes]:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        admin = self.server.admin
+        if path == "/metrics":
+            text = to_prometheus_text(admin.registry.snapshot())
+            return (200, "text/plain; version=0.0.4", text.encode("utf-8"))
+        if path == "/healthz":
+            report = admin.monitor.report()
+            status = 503 if report.status is HealthStatus.FAILING else 200
+            return (status, "application/json", _json(report.as_dict()))
+        if path == "/flightrecorder":
+            document = admin.monitor.dump_flight_record(trigger="endpoint")
+            return (200, "application/json", _json(document))
+        if path == "/":
+            index = {
+                "service": "repro-admin",
+                "routes": list(_ROUTES[1:]),
+                "status": admin.monitor.status().value,
+            }
+            return (200, "application/json", _json(index))
+        return (404, "application/json", _json({"error": "not found", "path": path}))
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence the default stderr access log."""
+
+
+def _json(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class _AdminHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the owning :class:`AdminServer`."""
+
+    daemon_threads = True
+    admin: "AdminServer"
+
+
+class AdminServer:
+    """Owns the listener socket + serve thread; context-manager friendly."""
+
+    def __init__(
+        self,
+        monitor: "HealthMonitor",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.monitor = monitor
+        self.registry = registry if registry is not None else get_metrics()
+        self._host = host
+        self._port = port
+        self._server: Optional[_AdminHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._server is not None:
+            raise ObservabilityError("admin server already started")
+        try:
+            server = _AdminHTTPServer((self._host, self._port), _AdminHandler)
+        except OSError as exc:
+            raise ObservabilityError(
+                f"admin endpoint cannot bind {self._host}:{self._port}: {exc}"
+            ) from exc
+        server.admin = self
+        self._server = server
+        self._port = server.server_address[1]
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-admin",
+            daemon=True,
+        )
+        self._thread = thread
+        thread.start()
+        return self._port
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start` with ``port=0``)."""
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint."""
+        return f"http://{self._host}:{self._port}"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server = self._server
+        thread = self._thread
+        self._server = None
+        self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "AdminServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,136 @@
+"""Flight recorder: a bounded black box of recent process activity.
+
+Three ring buffers — warn/error events, metric samples, and (via the
+tracer, at dump time) recent spans — capture "what was happening in the
+30 seconds before the failure".  :meth:`FlightRecorder.dump` freezes
+them into one JSON-able artifact, produced on demand (the admin
+endpoint's ``/flightrecorder`` path), and automatically when
+:meth:`repro.obs.health.HealthMonitor.record_failure` sees an
+``InternalError`` or ``StreamError``.  The artifact schema is validated
+by :func:`repro.obs.export.validate_flight_record` (and the
+``--validate-flightrecorder`` CLI flag CI uses).
+
+This module is on the RA006 wall-clock whitelist: ``dumped_at_unix``
+deliberately uses ``time.time()`` so operators can line the black box
+up against external logs.  Every *interval* in the buffers stays
+``time.monotonic()``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.export import FLIGHT_RECORDER_SCHEMA
+from repro.obs.health.slo import HealthReport
+from repro.obs.health.timeseries import MetricSample
+from repro.obs.tracing import Tracer
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffers of recent events/samples, dumped as JSON."""
+
+    def __init__(
+        self,
+        max_events: int = 256,
+        max_samples: int = 120,
+        max_spans: int = 128,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=max_events)
+        self._samples: Deque[MetricSample] = deque(maxlen=max_samples)
+        self._max_spans = max_spans
+        self._dump_index = 0
+        self._last_dump: Optional[Dict[str, Any]] = None
+
+    # -- recording ------------------------------------------------------
+
+    def note(self, level: str, message: str, **attrs: object) -> None:
+        """Append a warn/error event to the ring."""
+        event = {
+            "level": level,
+            "message": message,
+            "t_monotonic": time.monotonic(),
+            "attrs": dict(attrs),
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def record_sample(self, sample: MetricSample) -> None:
+        """Retain a metrics sample (the sampler tick feeds these in)."""
+        with self._lock:
+            self._samples.append(sample)
+
+    # -- reading --------------------------------------------------------
+
+    @property
+    def last_dump(self) -> Optional[Dict[str, Any]]:
+        """The most recent dump, or ``None`` before the first."""
+        with self._lock:
+            return self._last_dump
+
+    def event_count(self) -> int:
+        """Number of retained events."""
+        with self._lock:
+            return len(self._events)
+
+    def dump(
+        self,
+        trigger: str = "manual",
+        tracer: Optional[Tracer] = None,
+        report: Optional[HealthReport] = None,
+    ) -> Dict[str, Any]:
+        """Freeze the rings into one JSON-able black-box artifact."""
+        spans: List[Dict[str, Any]] = []
+        if tracer is not None:
+            # Tracer records are read before taking the recorder lock so
+            # the two locks are never nested (RA002).
+            for record in tracer.records()[-self._max_spans :]:
+                spans.append(
+                    {
+                        "type": "span",
+                        "span_id": record.span_id,
+                        "parent_id": record.parent_id,
+                        "name": record.name,
+                        "thread": record.thread,
+                        "thread_id": record.thread_id,
+                        "start_unix": record.start_unix,
+                        "wall_s": record.wall_s,
+                        "cpu_s": record.cpu_s,
+                        "attrs": dict(record.attrs),
+                        "events": [list(event) for event in record.events],
+                    }
+                )
+        with self._lock:
+            document: Dict[str, Any] = {
+                "schema": FLIGHT_RECORDER_SCHEMA,
+                "trigger": trigger,
+                "dumped_at_unix": time.time(),
+                "dump_index": self._dump_index,
+                "events": [dict(event) for event in self._events],
+                "samples": [sample.as_dict() for sample in self._samples],
+                "spans": spans,
+                "health": report.as_dict() if report is not None else None,
+            }
+            self._dump_index += 1
+            self._last_dump = document
+        return document
+
+    def dump_json(
+        self,
+        path: str,
+        trigger: str = "manual",
+        tracer: Optional[Tracer] = None,
+        report: Optional[HealthReport] = None,
+    ) -> Dict[str, Any]:
+        """:meth:`dump` and write the artifact to ``path``."""
+        document = self.dump(trigger=trigger, tracer=tracer, report=report)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return document

@@ -1,0 +1,410 @@
+"""Declarative SLOs evaluated over fast + slow burn-rate windows.
+
+The engine follows the SRE multi-window burn-rate pattern: each
+:class:`SLO` is checked over a *fast* window (is the budget burning
+right now?) and a *slow* window (has it been burning long enough to
+matter?).  A violation in the fast window alone yields
+``HealthStatus.DEGRADED`` — the process is under pressure but may
+recover; violation in *both* windows yields ``HealthStatus.FAILING``
+and is the signal :class:`repro.serve.QueryService` uses to
+pre-emptively shed load.
+
+Three SLO kinds cover the catalog in ``docs/OBSERVABILITY.md``:
+
+* ``quantile`` — a histogram quantile over the window (e.g.
+  ``serve.latency_seconds p99 < 0.25``);
+* ``ratio`` — windowed counter delta over a denominator delta (e.g.
+  error rate: ``serve.completed{outcome=error} / serve.completed``);
+* ``gauge`` — the latest gauge value (e.g.
+  ``stream.publish_lag_seconds < 2·slot``).
+
+Evaluation is pure: :class:`SLOEngine` reads a
+:class:`~repro.obs.health.timeseries.MetricsTimeSeries` and returns a
+frozen, JSON-able :class:`HealthReport`; driving it on a schedule is
+the :class:`repro.obs.health.HealthMonitor`'s job.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.health.timeseries import MetricsTimeSeries
+
+__all__ = [
+    "Alert",
+    "HealthReport",
+    "HealthStatus",
+    "SLO",
+    "SLOEngine",
+    "SLOResult",
+    "SLOWindow",
+    "dashboard_stats",
+    "default_slos",
+]
+
+_KINDS = ("quantile", "ratio", "gauge")
+_COMPARISONS = ("<", "<=", ">", ">=")
+
+
+class HealthStatus(enum.Enum):
+    """Process health, ordered by severity."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    FAILING = "failing"
+
+    @property
+    def severity(self) -> int:
+        """0 (ok) → 2 (failing); also the ``health.status`` gauge value."""
+        return ("ok", "degraded", "failing").index(self.value)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a catalog metric.
+
+    ``comparison`` is the *healthy* direction: ``serve.latency p99 <
+    0.25`` is met while the measured value compares true against
+    ``threshold``.  ``min_count`` suppresses evaluation until the
+    window has seen that many events, so an idle process reports OK
+    instead of flapping on single requests.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    quantile: float = 0.99
+    denominator: Optional[str] = None
+    labels: Optional[Mapping[str, str]] = None
+    denominator_labels: Optional[Mapping[str, str]] = None
+    comparison: str = "<"
+    fast_window_s: float = 30.0
+    slow_window_s: float = 300.0
+    min_count: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"SLO {self.name!r}: kind must be one of {_KINDS}")
+        if self.comparison not in _COMPARISONS:
+            raise ValueError(
+                f"SLO {self.name!r}: comparison must be one of {_COMPARISONS}"
+            )
+        if self.kind == "ratio" and not self.denominator:
+            raise ValueError(f"SLO {self.name!r}: ratio SLOs need a denominator")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError(f"SLO {self.name!r}: quantile must be in (0, 1]")
+        if self.fast_window_s <= 0 or self.slow_window_s < self.fast_window_s:
+            raise ValueError(
+                f"SLO {self.name!r}: need 0 < fast_window_s <= slow_window_s"
+            )
+
+    def is_met(self, value: float) -> bool:
+        """Does ``value`` satisfy the healthy comparison?"""
+        if math.isnan(value):
+            return True
+        if self.comparison == "<":
+            return value < self.threshold
+        if self.comparison == "<=":
+            return value <= self.threshold
+        if self.comparison == ">":
+            return value > self.threshold
+        return value >= self.threshold
+
+
+@dataclass(frozen=True)
+class SLOWindow:
+    """One window's measurement for one SLO."""
+
+    window: str
+    seconds: float
+    value: Optional[float]
+    count: float
+    violated: bool
+    burn_rate: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form."""
+        return {
+            "window": self.window,
+            "seconds": self.seconds,
+            "value": self.value,
+            "count": self.count,
+            "violated": self.violated,
+            "burn_rate": self.burn_rate,
+        }
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """Fast + slow evaluation of one SLO."""
+
+    slo: SLO
+    status: HealthStatus
+    fast: SLOWindow
+    slow: SLOWindow
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form."""
+        return {
+            "name": self.slo.name,
+            "metric": self.slo.metric,
+            "kind": self.slo.kind,
+            "comparison": self.slo.comparison,
+            "threshold": self.slo.threshold,
+            "status": self.status.value,
+            "fast": self.fast.as_dict(),
+            "slow": self.slow.as_dict(),
+            "description": self.slo.description,
+        }
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A currently-firing SLO violation."""
+
+    slo: str
+    severity: HealthStatus
+    message: str
+    value: Optional[float]
+    threshold: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form."""
+        return {
+            "slo": self.slo,
+            "severity": self.severity.value,
+            "message": self.message,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One evaluation pass over every SLO, plus dashboard stats."""
+
+    status: HealthStatus
+    results: Tuple[SLOResult, ...]
+    alerts: Tuple[Alert, ...]
+    sample_index: int
+    history_seconds: float
+    stats: Mapping[str, float] = field(default_factory=dict)
+    info: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form (the ``/healthz`` response body)."""
+        return {
+            "status": self.status.value,
+            "results": [result.as_dict() for result in self.results],
+            "alerts": [alert.as_dict() for alert in self.alerts],
+            "sample_index": self.sample_index,
+            "history_seconds": self.history_seconds,
+            "stats": dict(self.stats),
+            "info": dict(self.info),
+        }
+
+
+class SLOEngine:
+    """Evaluates a fixed set of SLOs against a metrics time-series."""
+
+    def __init__(self, slos: Sequence[SLO], series: MetricsTimeSeries) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        self._slos = tuple(slos)
+        self._series = series
+
+    @property
+    def slos(self) -> Tuple[SLO, ...]:
+        """The configured objectives."""
+        return self._slos
+
+    def evaluate(self, info: Optional[Mapping[str, object]] = None) -> HealthReport:
+        """One pass: measure every SLO over both windows."""
+        results: List[SLOResult] = []
+        alerts: List[Alert] = []
+        for slo in self._slos:
+            fast = self._measure(slo, "fast", slo.fast_window_s)
+            slow = self._measure(slo, "slow", slo.slow_window_s)
+            if fast.violated and slow.violated:
+                status = HealthStatus.FAILING
+            elif fast.violated or slow.violated:
+                status = HealthStatus.DEGRADED
+            else:
+                status = HealthStatus.OK
+            results.append(SLOResult(slo, status, fast, slow))
+            if status is not HealthStatus.OK:
+                shown = fast.value if fast.violated else slow.value
+                alerts.append(
+                    Alert(
+                        slo=slo.name,
+                        severity=status,
+                        message=(
+                            f"{slo.name}: {slo.metric} = {_fmt(shown)} "
+                            f"(objective {slo.comparison} {slo.threshold:g}, "
+                            f"fast={'violated' if fast.violated else 'ok'}, "
+                            f"slow={'violated' if slow.violated else 'ok'})"
+                        ),
+                        value=shown,
+                        threshold=slo.threshold,
+                    )
+                )
+        overall = HealthStatus.OK
+        for result in results:
+            if result.status.severity > overall.severity:
+                overall = result.status
+        latest = self._series.latest()
+        samples = self._series.samples()
+        history = (
+            samples[-1].t_monotonic - samples[0].t_monotonic if len(samples) > 1 else 0.0
+        )
+        return HealthReport(
+            status=overall,
+            results=tuple(results),
+            alerts=tuple(alerts),
+            sample_index=latest.index if latest is not None else -1,
+            history_seconds=history,
+            stats=dashboard_stats(self._series),
+            info=dict(info or {}),
+        )
+
+    def _measure(self, slo: SLO, window: str, seconds: float) -> SLOWindow:
+        value: Optional[float]
+        count: float
+        if slo.kind == "quantile":
+            hist = self._series.histogram_delta(slo.metric, seconds, slo.labels)
+            if hist is None or hist.count < slo.min_count:
+                return SLOWindow(window, seconds, None, 0.0, False, 0.0)
+            value = hist.quantile(slo.quantile)
+            count = hist.count
+        elif slo.kind == "ratio":
+            assert slo.denominator is not None
+            denom = self._series.counter_delta(
+                slo.denominator, seconds, slo.denominator_labels
+            )
+            if denom < slo.min_count:
+                return SLOWindow(window, seconds, None, denom, False, 0.0)
+            numer = self._series.counter_delta(slo.metric, seconds, slo.labels)
+            value = numer / denom
+            count = denom
+        else:  # gauge
+            gauge = self._series.gauge_value(slo.metric, slo.labels)
+            if gauge is None:
+                return SLOWindow(window, seconds, None, 0.0, False, 0.0)
+            value = gauge
+            count = 1.0
+        if value is None or math.isnan(value):
+            return SLOWindow(window, seconds, None, count, False, 0.0)
+        violated = not slo.is_met(value)
+        burn = abs(value / slo.threshold) if slo.threshold else float(violated)
+        return SLOWindow(window, seconds, value, count, violated, burn)
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:g}"
+
+
+def dashboard_stats(series: MetricsTimeSeries) -> Dict[str, float]:
+    """The headline numbers ``repro top`` and ``/healthz`` display.
+
+    Missing metrics come back as NaN gauges / zero rates so callers can
+    render "n/a" without special-casing which subsystems are running.
+    """
+    window_s = 30.0
+    stats: Dict[str, float] = {
+        "throughput_qps": series.rate("serve.completed", window_s),
+        "latency_p50_s": series.quantile("serve.latency_seconds", 0.50, window_s),
+        "latency_p90_s": series.quantile("serve.latency_seconds", 0.90, window_s),
+        "latency_p99_s": series.quantile("serve.latency_seconds", 0.99, window_s),
+    }
+    gauges: Dict[str, Callable[[], Optional[float]]] = {
+        "publish_lag_s": lambda: series.gauge_value("stream.publish_lag_seconds"),
+        "pending_refreshes": lambda: series.gauge_value("stream.pending_refreshes"),
+        "queue_depth": lambda: series.gauge_value("serve.queue.depth"),
+        "store_version": lambda: series.gauge_value("store.version"),
+    }
+    for key, read in gauges.items():
+        value = read()
+        stats[key] = float("nan") if value is None else value
+    return stats
+
+
+def default_slos(
+    latency_p99_s: float = 0.25,
+    error_ratio: float = 0.05,
+    degraded_ratio: float = 0.25,
+    publish_lag_factor: float = 2.0,
+    drop_ratio: float = 0.10,
+    slot_seconds: Optional[float] = None,
+    fast_window_s: float = 30.0,
+    slow_window_s: float = 300.0,
+) -> Tuple[SLO, ...]:
+    """The stock objectives for a serve/stream process.
+
+    ``slot_seconds`` defaults to the stream layer's
+    :data:`~repro.stream.messages.SLOT_SECONDS` so the freshness SLO
+    (`publish lag < publish_lag_factor · slot`) tracks the paper's slot
+    discretization.
+    """
+    if slot_seconds is None:
+        from repro.stream.messages import SLOT_SECONDS
+
+        slot_seconds = SLOT_SECONDS
+    windows = {"fast_window_s": fast_window_s, "slow_window_s": slow_window_s}
+    return (
+        SLO(
+            name="serve.latency.p99",
+            kind="quantile",
+            metric="serve.latency_seconds",
+            quantile=0.99,
+            threshold=latency_p99_s,
+            min_count=5.0,
+            description="end-to-end served query latency",
+            **windows,
+        ),
+        SLO(
+            name="serve.error.rate",
+            kind="ratio",
+            metric="serve.completed",
+            labels={"outcome": "error"},
+            denominator="serve.completed",
+            threshold=error_ratio,
+            min_count=5.0,
+            description="fraction of requests failing with InternalError",
+            **windows,
+        ),
+        SLO(
+            name="serve.degraded.rate",
+            kind="ratio",
+            metric="serve.completed",
+            labels={"outcome": "degraded"},
+            denominator="serve.completed",
+            threshold=degraded_ratio,
+            min_count=5.0,
+            description="fraction of requests served by the Per fallback",
+            **windows,
+        ),
+        SLO(
+            name="stream.publish.lag",
+            kind="gauge",
+            metric="stream.publish_lag_seconds",
+            threshold=publish_lag_factor * slot_seconds,
+            description="event-time lag between feed watermark and store",
+            **windows,
+        ),
+        SLO(
+            name="stream.drop.rate",
+            kind="ratio",
+            metric="stream.dropped",
+            denominator="stream.messages",
+            threshold=drop_ratio,
+            min_count=20.0,
+            description="fraction of feed messages dropped",
+            **windows,
+        ),
+    )

@@ -1,0 +1,323 @@
+"""Ring buffer of registry snapshots with windowed deltas and rates.
+
+The cumulative counters and histograms in
+:class:`repro.obs.metrics.MetricsRegistry` answer "how much since
+process start"; operators need "how much in the last 30 seconds".
+:class:`MetricsTimeSeries` bridges the two: a sampler (the
+:class:`repro.obs.health.HealthMonitor` thread, or a test calling
+:meth:`MetricsTimeSeries.sample_now` directly) appends periodic
+snapshots into a bounded deque, and the windowed accessors
+(:meth:`counter_delta`, :meth:`rate`, :meth:`histogram_delta`,
+:meth:`quantile`) subtract the oldest sample inside the window from the
+newest to recover per-window activity.
+
+Timestamps are ``time.monotonic()`` — the series is for interval
+arithmetic, never for wall-clock display (RA006).  Snapshotting the
+registry happens *outside* the series lock so the two locks are never
+held together (RA002).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, bucket_quantile
+
+__all__ = [
+    "HistogramWindow",
+    "MetricSample",
+    "MetricsTimeSeries",
+]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One registry snapshot: monotonically-indexed, monotonic-clocked."""
+
+    index: int
+    t_monotonic: float
+    snapshot: Dict[str, List[Dict[str, object]]]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form (the flight recorder embeds these)."""
+        return {
+            "index": self.index,
+            "t_monotonic": self.t_monotonic,
+            "snapshot": self.snapshot,
+        }
+
+
+@dataclass(frozen=True)
+class HistogramWindow:
+    """Non-cumulative histogram activity between two samples."""
+
+    edges: Tuple[float, ...]
+    counts: Tuple[float, ...]
+    count: float
+    sum: float
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the window (NaN when empty)."""
+        return bucket_quantile(self.edges, self.counts, q)
+
+
+def _labels_match(
+    entry_labels: Mapping[str, object], want: Optional[Mapping[str, str]]
+) -> bool:
+    """``want=None`` matches every series; else subset equality."""
+    if want is None:
+        return True
+    return all(str(entry_labels.get(key)) == value for key, value in want.items())
+
+
+class MetricsTimeSeries:
+    """Bounded ring of registry snapshots with windowed accessors.
+
+    ``capacity`` bounds memory: at the default 1 Hz sampler interval,
+    512 samples cover ~8.5 minutes — comfortably wider than the default
+    slow SLO window (300 s).
+    """
+
+    def __init__(self, registry: MetricsRegistry, capacity: int = 512) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self._registry = registry
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: List[MetricSample] = []
+        self._next_index = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained samples."""
+        return self._capacity
+
+    # -- writing --------------------------------------------------------
+
+    def sample_now(self) -> MetricSample:
+        """Snapshot the registry and append (the sampler tick)."""
+        # Registry snapshot happens before taking the series lock so the
+        # registry lock and series lock are never nested (RA002).
+        snapshot = self._registry.snapshot()
+        t = time.monotonic()
+        with self._lock:
+            sample = MetricSample(self._next_index, t, snapshot)
+            self._next_index += 1
+            self._samples.append(sample)
+            if len(self._samples) > self._capacity:
+                del self._samples[: len(self._samples) - self._capacity]
+        return sample
+
+    # -- reading --------------------------------------------------------
+
+    def samples(self) -> Tuple[MetricSample, ...]:
+        """All retained samples, oldest first."""
+        with self._lock:
+            return tuple(self._samples)
+
+    def latest(self) -> Optional[MetricSample]:
+        """The newest sample, or ``None`` before the first tick."""
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def window(self, seconds: float) -> Optional[Tuple[MetricSample, MetricSample]]:
+        """The ``(start, end)`` samples spanning the last ``seconds``.
+
+        ``end`` is the newest sample; ``start`` is the newest sample at
+        least ``seconds`` older than ``end``.  When history is shorter
+        than the requested window the oldest sample is used — callers
+        get a *shorter* window rather than ``None``, so SLOs start
+        evaluating as soon as two samples exist.  Returns ``None`` with
+        fewer than two samples.
+        """
+        with self._lock:
+            if len(self._samples) < 2:
+                return None
+            end = self._samples[-1]
+            start = self._samples[0]
+            cutoff = end.t_monotonic - float(seconds)
+            for sample in reversed(self._samples[:-1]):
+                if sample.t_monotonic <= cutoff:
+                    start = sample
+                    break
+            return (start, end)
+
+    # -- per-sample extraction (static: pure functions of a snapshot) ---
+
+    @staticmethod
+    def counter_total(
+        sample: MetricSample,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> float:
+        """Sum of all counter series matching ``name``/``labels``."""
+        total = 0.0
+        for entry in sample.snapshot.get("counters", []):
+            if entry.get("name") != name:
+                continue
+            entry_labels = entry.get("labels")
+            if not isinstance(entry_labels, dict):
+                continue
+            if not _labels_match(entry_labels, labels):
+                continue
+            value = entry.get("value")
+            if isinstance(value, (int, float)):
+                total += float(value)
+        return total
+
+    # -- windowed accessors ---------------------------------------------
+
+    def counter_delta(
+        self,
+        name: str,
+        window_s: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> float:
+        """Counter increase over the window (clamped at zero on reset)."""
+        pair = self.window(window_s)
+        if pair is None:
+            return 0.0
+        start, end = pair
+        delta = self.counter_total(end, name, labels) - self.counter_total(
+            start, name, labels
+        )
+        return max(0.0, delta)
+
+    def rate(
+        self,
+        name: str,
+        window_s: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> float:
+        """Counter increase per second over the window."""
+        pair = self.window(window_s)
+        if pair is None:
+            return 0.0
+        start, end = pair
+        dt = end.t_monotonic - start.t_monotonic
+        if dt <= 0:
+            return 0.0
+        return self.counter_delta(name, window_s, labels) / dt
+
+    def gauge_value(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Optional[float]:
+        """Latest value of a gauge (max across matching series)."""
+        sample = self.latest()
+        if sample is None:
+            return None
+        best: Optional[float] = None
+        for entry in sample.snapshot.get("gauges", []):
+            if entry.get("name") != name:
+                continue
+            entry_labels = entry.get("labels")
+            if not isinstance(entry_labels, dict):
+                continue
+            if not _labels_match(entry_labels, labels):
+                continue
+            value = entry.get("value")
+            if isinstance(value, (int, float)):
+                value_f = float(value)
+                best = value_f if best is None else max(best, value_f)
+        return best
+
+    def histogram_delta(
+        self,
+        name: str,
+        window_s: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Optional[HistogramWindow]:
+        """Histogram activity (bucket counts, count, sum) in the window.
+
+        Matching series are summed element-wise; the start sample's
+        cumulative counts are subtracted from the end sample's, clamped
+        at zero so a registry reset degrades to an empty window instead
+        of negative counts.  Returns ``None`` when the metric is absent
+        from the end sample or fewer than two samples exist.
+        """
+        pair = self.window(window_s)
+        if pair is None:
+            return None
+        start, end = pair
+        end_agg = _sum_histograms(end, name, labels)
+        if end_agg is None:
+            return None
+        start_agg = _sum_histograms(start, name, labels)
+        edges, end_counts, end_count, end_sum = end_agg
+        if start_agg is None or start_agg[0] != edges:
+            counts = tuple(end_counts)
+            return HistogramWindow(edges, counts, end_count, end_sum)
+        _, start_counts, start_count, start_sum = start_agg
+        counts = tuple(
+            max(0.0, e - s) for e, s in zip(end_counts, start_counts)
+        )
+        return HistogramWindow(
+            edges,
+            counts,
+            max(0.0, end_count - start_count),
+            max(0.0, end_sum - start_sum),
+        )
+
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        window_s: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> float:
+        """Estimated ``q``-quantile of a histogram over the window.
+
+        NaN when the metric is absent or the window saw no
+        observations (callers treat NaN as "no data", not a violation).
+        """
+        window = self.histogram_delta(name, window_s, labels)
+        if window is None:
+            return float("nan")
+        return window.quantile(q)
+
+
+def _sum_histograms(
+    sample: MetricSample,
+    name: str,
+    labels: Optional[Mapping[str, str]],
+) -> Optional[Tuple[Tuple[float, ...], List[float], float, float]]:
+    """Element-wise sum of matching histogram series in one sample."""
+    edges: Optional[Tuple[float, ...]] = None
+    counts: List[float] = []
+    count = 0.0
+    total = 0.0
+    for entry in sample.snapshot.get("histograms", []):
+        if entry.get("name") != name:
+            continue
+        entry_labels = entry.get("labels")
+        if not isinstance(entry_labels, dict):
+            continue
+        if not _labels_match(entry_labels, labels):
+            continue
+        buckets = entry.get("buckets")
+        entry_counts = entry.get("counts")
+        if not isinstance(buckets, list) or not isinstance(entry_counts, list):
+            continue
+        entry_edges = tuple(float(edge) for edge in buckets)
+        if edges is None:
+            edges = entry_edges
+            counts = [0.0] * len(entry_counts)
+        elif edges != entry_edges or len(entry_counts) != len(counts):
+            continue
+        for i, bucket_count in enumerate(entry_counts):
+            if isinstance(bucket_count, (int, float)):
+                counts[i] += float(bucket_count)
+        entry_count = entry.get("count")
+        entry_sum = entry.get("sum")
+        if isinstance(entry_count, (int, float)):
+            count += float(entry_count)
+        if isinstance(entry_sum, (int, float)):
+            total += float(entry_sum)
+    if edges is None:
+        return None
+    return (edges, counts, count, total)

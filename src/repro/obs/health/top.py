@@ -1,0 +1,151 @@
+"""``repro top`` — a live terminal dashboard over the admin endpoint.
+
+Polls ``/healthz`` on a running ``repro serve``/``repro stream``
+process and renders a plain-ANSI refresh (no curses dependency):
+status line, throughput and latency percentiles, stream freshness, and
+the per-SLO fast/slow burn table.  The renderer
+(:func:`render_top`) is a pure function of the report dict so tests
+exercise it without a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.errors import ObservabilityError
+
+__all__ = ["fetch_report", "render_top", "run_top"]
+
+#: ANSI: clear screen + home cursor (the whole "live" mechanism).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_report(base_url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET ``<base_url>/healthz`` and decode the report JSON.
+
+    A 503 (process failing) still carries a full report body and is
+    decoded normally — ``repro top`` must keep rendering *while* the
+    process is unhealthy; that is its whole purpose.
+    """
+    url = base_url.rstrip("/") + "/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        if exc.code != 503:
+            raise ObservabilityError(f"{url}: HTTP {exc.code}") from exc
+        body = exc.read()
+    except urllib.error.URLError as exc:
+        raise ObservabilityError(f"{url}: {exc.reason}") from exc
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"{url}: unparseable report: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ObservabilityError(f"{url}: report is not a JSON object")
+    return document
+
+
+def _num(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else float("nan")
+
+
+def _fmt(value: float, unit: str = "", precision: int = 1) -> str:
+    if math.isnan(value):
+        return "n/a"
+    return f"{value:.{precision}f}{unit}"
+
+
+def _fmt_ms(seconds: float) -> str:
+    return "n/a" if math.isnan(seconds) else f"{seconds * 1e3:.1f}ms"
+
+
+def render_top(report: Dict[str, Any]) -> str:
+    """Render one dashboard frame from a ``/healthz`` report dict."""
+    stats_raw = report.get("stats")
+    stats: Dict[str, Any] = stats_raw if isinstance(stats_raw, dict) else {}
+    info_raw = report.get("info")
+    info: Dict[str, Any] = info_raw if isinstance(info_raw, dict) else {}
+    status = str(report.get("status", "unknown")).upper()
+    lines: List[str] = []
+    uptime = _num(info.get("uptime_seconds"))
+    version = info.get("store_version", info.get("version"))
+    lines.append(
+        f"repro top — status {status}"
+        f" · store v{version if version is not None else '?'}"
+        f" · up {_fmt(uptime, 's', 0)}"
+        f" · history {_fmt(_num(report.get('history_seconds')), 's', 0)}"
+    )
+    lines.append(
+        f"  serve   {_fmt(_num(stats.get('throughput_qps')), ' q/s')}"
+        f" · p50 {_fmt_ms(_num(stats.get('latency_p50_s')))}"
+        f" · p90 {_fmt_ms(_num(stats.get('latency_p90_s')))}"
+        f" · p99 {_fmt_ms(_num(stats.get('latency_p99_s')))}"
+        f" · queue {_fmt(_num(stats.get('queue_depth')), '', 0)}"
+    )
+    lines.append(
+        f"  stream  lag {_fmt(_num(stats.get('publish_lag_s')), 's', 0)}"
+        f" · pending {_fmt(_num(stats.get('pending_refreshes')), '', 0)}"
+    )
+    results = report.get("results")
+    if isinstance(results, list) and results:
+        lines.append("  SLO                        value      objective      fast  slow")
+        for result in results:
+            if not isinstance(result, dict):
+                continue
+            fast = result.get("fast") if isinstance(result.get("fast"), dict) else {}
+            slow = result.get("slow") if isinstance(result.get("slow"), dict) else {}
+            value = fast.get("value") if fast.get("value") is not None else slow.get("value")
+            lines.append(
+                f"  {str(result.get('name', '?')):<25}"
+                f"{_fmt(_num(value), '', 4):>10} "
+                f"{str(result.get('comparison', '<')):>3}"
+                f"{_num(result.get('threshold')):>10.4g} "
+                f"{'BURN' if fast.get('violated') else 'ok':>6}"
+                f"{'BURN' if slow.get('violated') else 'ok':>6}"
+                f"  [{str(result.get('status', '?'))}]"
+            )
+    alerts = report.get("alerts")
+    if isinstance(alerts, list) and alerts:
+        lines.append("  alerts:")
+        for alert in alerts:
+            if isinstance(alert, dict):
+                lines.append(f"    ! {alert.get('message', alert)}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval_s: float = 1.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Poll-and-render loop; returns a CLI exit code.
+
+    ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly
+    with code 0); tests and the CI smoke job pass a small count.
+    """
+    stream = out if out is not None else sys.stdout
+    remaining = iterations
+    try:
+        while remaining is None or remaining > 0:
+            frame = render_top(fetch_report(url))
+            if clear:
+                stream.write(_CLEAR)
+            stream.write(frame)
+            stream.flush()
+            if remaining is not None:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+    return 0

@@ -53,6 +53,50 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def bucket_quantile(
+    edges: Sequence[float], counts: Sequence[float], q: float
+) -> float:
+    """Estimate the ``q``-quantile (``q`` in [0, 1]) of a fixed-bucket histogram.
+
+    The shared interpolation used by :meth:`Histogram.quantile`, the SLO
+    engine's windowed percentiles, and the serving layer's
+    ``ReplayReport``:
+
+    * the target rank ``q * total`` is located in the cumulative counts;
+    * within the containing finite bucket the value is linearly
+      interpolated between the bucket's lower and upper edge (the first
+      bucket's lower edge is 0 for non-negative histograms, Prometheus
+      ``histogram_quantile`` convention);
+    * observations in the implicit +Inf bucket collapse to the last
+      finite edge (the estimate cannot exceed what the buckets resolve);
+    * an empty histogram yields ``nan``.
+
+    ``counts`` are per-bucket (non-cumulative); a trailing +Inf entry
+    beyond ``len(edges)`` is accepted and optional.
+    """
+    total = float(sum(counts))
+    if total <= 0 or not edges:
+        return float("nan")
+    q = min(1.0, max(0.0, float(q)))
+    rank = q * total
+    cumulative = 0.0
+    last = len(counts) - 1
+    for index, count in enumerate(counts):
+        if count <= 0:
+            continue
+        next_cumulative = cumulative + float(count)
+        if rank <= next_cumulative or index == last:
+            if index >= len(edges):  # +Inf bucket
+                return float(edges[-1])
+            hi = float(edges[index])
+            lo = min(0.0, hi) if index == 0 else float(edges[index - 1])
+            fraction = (rank - cumulative) / float(count)
+            fraction = min(1.0, max(0.0, fraction))
+            return lo + fraction * (hi - lo)
+        cumulative = next_cumulative
+    return float(edges[-1])  # pragma: no cover - loop always returns
+
+
 def _canonical_labels(labels: Optional[Mapping[str, object]]) -> LabelItems:
     """Validate and canonicalize a label mapping into a sorted tuple."""
     if not labels:
@@ -83,6 +127,10 @@ class _NoopInstrument:
 
     def observe(self, value: float) -> None:  # noqa: D102 - no-op
         pass
+
+    def quantile(self, q: float) -> float:
+        """Disabled histograms estimate every quantile as zero."""
+        return 0.0
 
     @property
     def value(self) -> float:
@@ -207,6 +255,16 @@ class Histogram:
     def bucket_counts(self) -> Tuple[int, ...]:
         """Per-bucket (non-cumulative) counts; last entry is +Inf."""
         return tuple(self._bucket_counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) via bucket interpolation.
+
+        Delegates to :func:`bucket_quantile` over a consistent copy of
+        the bucket counts; ``nan`` while the histogram is empty.
+        """
+        with self._lock:
+            counts = tuple(self._bucket_counts)
+        return bucket_quantile(self.edges, counts, q)
 
     def _reset(self) -> None:
         # Locked so count == sum(bucket_counts) stays invariant under a

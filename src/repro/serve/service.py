@@ -62,6 +62,7 @@ from repro.core.pipeline import CrowdRTSE, Deadline, PreparedQuery, QueryResult
 from repro.core.store import ModelSnapshot
 from repro.crowd.market import CrowdMarket, TruthOracle
 from repro.obs import DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
+from repro.obs import health as obs_health
 
 #: Degradation reasons recorded on :attr:`ServedResult.degraded_reason`
 #: and the ``serve.degraded`` counter's ``reason`` label.
@@ -96,6 +97,12 @@ class ServeConfig:
             pool) is never driven from two threads at once.  GSP — the
             heavy stage — always runs outside the lock.
         gsp_config: Propagation knobs applied to every served query.
+        shed_on_failing: Pre-emptive load shedding: when an installed
+            :class:`repro.obs.health.HealthMonitor` reports the process
+            FAILING (both SLO burn windows violated) and the queue is
+            at least half full, :meth:`QueryService.submit` rejects
+            with :class:`~repro.errors.OverloadedError` *before* hard
+            overload — counted under ``serve.shed``.
     """
 
     num_workers: int = 2
@@ -107,6 +114,7 @@ class ServeConfig:
     degrade_margin_s: float = 0.0
     serialize_probes: bool = True
     gsp_config: Optional[GSPConfig] = None
+    shed_on_failing: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -335,7 +343,10 @@ class QueryService:
         """Admit one request, or reject it with backpressure.
 
         Raises:
-            OverloadedError: When the admission queue is at capacity.
+            OverloadedError: When the admission queue is at capacity,
+                or (with ``ServeConfig.shed_on_failing``) when the
+                health monitor reports FAILING and the queue is at
+                least half full.
             ServeError: When the service is closed.
         """
         metrics = get_metrics()
@@ -346,12 +357,24 @@ class QueryService:
         )
         deadline = Deadline.after(deadline_s) if deadline_s is not None else None
         ticket = ServeTicket(request, deadline)
+        # The monitor's status() is a lock-free read; consult it before
+        # taking the admission lock so shedding never nests locks.
+        shedding = self._config.shed_on_failing and self._should_shed()
         with self._lock:
             if self._closing:
                 raise ServeError("QueryService is closed")
             if len(self._queue) >= self._config.max_queue_depth:
                 if metrics.enabled:
                     metrics.counter("serve.rejected").inc()
+                raise OverloadedError(
+                    len(self._queue), self._config.max_queue_depth
+                )
+            if shedding and 2 * len(self._queue) >= self._config.max_queue_depth:
+                # Pre-emptive shed: the SLO engine says we are failing,
+                # so reject while there is still headroom instead of
+                # queueing work we will miss the deadline on anyway.
+                if metrics.enabled:
+                    metrics.counter("serve.shed").inc()
                 raise OverloadedError(
                     len(self._queue), self._config.max_queue_depth
                 )
@@ -365,6 +388,12 @@ class QueryService:
     def serve(self, request: ServeRequest, timeout: Optional[float] = None) -> ServedResult:
         """Blocking convenience: :meth:`submit` + :meth:`ServeTicket.result`."""
         return self.submit(request).result(timeout)
+
+    @staticmethod
+    def _should_shed() -> bool:
+        """Whether the installed health monitor reports FAILING."""
+        monitor = obs_health.get_monitor()
+        return monitor is not None and monitor.should_shed()
 
     def queue_depth(self) -> int:
         """Requests currently waiting for a worker."""
@@ -386,13 +415,16 @@ class QueryService:
             try:
                 self._serve_batch(batch)
             except BaseException as exc:  # pragma: no cover - last resort
-                # A worker must never die with tickets unresolved.
-                for ticket in batch:
-                    if not ticket.done:
-                        ticket._fail(
-                            exc if isinstance(exc, ReproError)
-                            else InternalError("serve", exc)
-                        )
+                # A worker must never die with tickets unresolved; route
+                # through _fail_all so the error is counted and the
+                # flight recorder captures the black box.
+                unresolved = [ticket for ticket in batch if not ticket.done]
+                if unresolved:
+                    self._fail_all(
+                        unresolved,
+                        exc if isinstance(exc, ReproError)
+                        else InternalError("serve", exc),
+                    )
 
     def _next_batch(self) -> Optional[List[ServeTicket]]:
         """Pop a leader plus every coalescable same-slot follower."""
@@ -715,6 +747,11 @@ class QueryService:
             if metrics.enabled:
                 metrics.counter("serve.completed", {"outcome": "error"}).inc()
             ticket._fail(exc)
+        if isinstance(exc, InternalError):
+            # Black-box the failure: the flight recorder keeps the last
+            # N samples/spans/events around this moment (no-op unless a
+            # HealthMonitor is installed; called outside any lock).
+            obs_health.record_failure("serve", exc)
 
 
 class _NullContext:

@@ -15,6 +15,7 @@ same roads in the same slot — exactly what coalescing exploits).
 
 from __future__ import annotations
 
+import bisect
 import json
 import time
 from dataclasses import dataclass, field
@@ -24,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import DatasetError, OverloadedError, ReproError
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, bucket_quantile
 from repro.serve.service import QueryService, ServeRequest
 
 #: Keys a trace line may carry (anything else is rejected loudly).
@@ -198,10 +200,20 @@ class ReplayReport:
         return self.n_served / self.wall_seconds
 
     def percentile(self, q: float) -> float:
-        """Latency percentile in seconds (0 when nothing was served)."""
+        """Latency percentile in seconds (0 when nothing was served).
+
+        Uses the same fixed-bucket interpolation
+        (:func:`repro.obs.metrics.bucket_quantile` over
+        ``DEFAULT_TIME_BUCKETS``) as the SLO engine and ``repro top``,
+        so offline replay numbers and live ``/healthz`` numbers are
+        directly comparable.
+        """
         if not self.latencies:
             return 0.0
-        return float(np.percentile(np.asarray(self.latencies), q))
+        counts = [0.0] * (len(DEFAULT_TIME_BUCKETS) + 1)
+        for latency in self.latencies:
+            counts[bisect.bisect_left(DEFAULT_TIME_BUCKETS, latency)] += 1.0
+        return bucket_quantile(DEFAULT_TIME_BUCKETS, counts, q / 100.0)
 
     def format(self) -> str:
         """Human-readable summary block (printed by ``repro serve``)."""

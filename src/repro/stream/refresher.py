@@ -42,6 +42,7 @@ from repro.core.online_update import note_unfitted_slots
 from repro.core.pipeline import CrowdRTSE
 from repro.errors import ReproError, StreamError
 from repro.obs import get_metrics, get_tracer
+from repro.obs import health as obs_health
 from repro.stream.log import IngestResult, ObservationLog, SlotKey
 from repro.stream.messages import ProbeMessage, slot_end_ts
 
@@ -380,12 +381,16 @@ class StreamRefresher:
                         day_samples, learning_rate=self._config.learning_rate
                     )
         except ReproError as exc:
+            error = StreamError(
+                f"publishing slots {sorted(day_samples)} failed: {exc}"
+            )
+            error.__cause__ = exc
             with self._lock:
-                self._error = StreamError(
-                    f"publishing slots {sorted(day_samples)} failed: {exc}"
-                )
-                self._error.__cause__ = exc
+                self._error = error
                 self._not_full.notify_all()
+            # Black-box the failure *after* releasing the refresher lock
+            # (the recorder has its own lock; never nest them — RA002).
+            obs_health.record_failure("stream", error)
             return
         watermark = self._log.watermark
         lag = 0.0

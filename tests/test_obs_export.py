@@ -189,3 +189,115 @@ class TestCli:
         bad.write_text("{}")
         assert export_main(["--validate-metrics", str(bad)]) == 1
         assert "validation failed" in capsys.readouterr().err
+
+
+class TestLabelEscaping:
+    """Exposition-format escaping of label values (`\\`, `"`, newline)."""
+
+    NASTY = 'he said "hi"\\to a road\nnamed {x="1"}'
+
+    def test_escape_unescape_round_trip(self):
+        from repro.obs import escape_label_value, unescape_label_value
+
+        escaped = escape_label_value(self.NASTY)
+        assert "\n" not in escaped
+        assert unescape_label_value(escaped) == self.NASTY
+
+    def test_escaped_text_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("stream.dropped", {"reason": self.NASTY}).inc(2)
+        registry.counter("stream.dropped", {"reason": "late"}).inc(5)
+        text = to_prometheus_text(registry.snapshot())
+        # One line per series: the newline inside the value is escaped.
+        assert text.count("stream_dropped_total{") == 2
+        families = parse_prometheus_text(text)
+        samples = families["stream_dropped_total"]["samples"]
+        assert sum(samples.values()) == 7
+
+    def test_parse_prometheus_series_decodes_values(self):
+        from repro.obs import escape_label_value, parse_prometheus_series
+
+        series = (
+            'stream_dropped_total{reason="'
+            + escape_label_value(self.NASTY)
+            + '",x="1"}'
+        )
+        name, labels = parse_prometheus_series(series)
+        assert name == "stream_dropped_total"
+        assert labels == {"reason": self.NASTY, "x": "1"}
+
+    def test_parse_prometheus_series_without_labels(self):
+        from repro.obs import parse_prometheus_series
+
+        assert parse_prometheus_series("serve_admitted_total") == (
+            "serve_admitted_total",
+            {},
+        )
+
+    def test_parse_prometheus_series_rejects_garbage(self):
+        from repro.obs import parse_prometheus_series
+
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_series("not a series at all {{{")
+
+    def test_unknown_escape_kept_verbatim(self):
+        from repro.obs import unescape_label_value
+
+        assert unescape_label_value(r"a\qb") == r"a\qb"
+
+
+class TestFlightRecordValidator:
+    def _valid_document(self):
+        from repro.obs import FLIGHT_RECORDER_SCHEMA
+
+        registry = MetricsRegistry()
+        registry.counter("serve.admitted").inc()
+        return {
+            "schema": FLIGHT_RECORDER_SCHEMA,
+            "trigger": "manual",
+            "dumped_at_unix": 1700000000.0,
+            "dump_index": 0,
+            "events": [
+                {"level": "error", "message": "boom", "t_monotonic": 1.5, "attrs": {}}
+            ],
+            "samples": [
+                {"index": 0, "t_monotonic": 1.0, "snapshot": registry.snapshot()}
+            ],
+            "spans": [],
+            "health": {"status": "ok"},
+        }
+
+    def test_accepts_valid_document(self):
+        from repro.obs import validate_flight_record
+
+        validate_flight_record(self._valid_document())
+
+    def test_rejects_wrong_schema(self):
+        from repro.obs import validate_flight_record
+
+        with pytest.raises(ObservabilityError, match="not a repro.flightrecorder"):
+            validate_flight_record({"schema": "nope"})
+
+    def test_rejects_bad_sample_snapshot(self):
+        from repro.obs import validate_flight_record
+
+        document = self._valid_document()
+        document["samples"][0]["snapshot"] = {"counters": "nope"}
+        with pytest.raises(ObservabilityError, match=r"samples\[0\]"):
+            validate_flight_record(document)
+
+    def test_rejects_bad_health_status(self):
+        from repro.obs import validate_flight_record
+
+        document = self._valid_document()
+        document["health"] = {"status": "on_fire"}
+        with pytest.raises(ObservabilityError, match="health.status"):
+            validate_flight_record(document)
+
+    def test_cli_flag_validates_dump(self, tmp_path, capsys):
+        flight_path = tmp_path / "flight.json"
+        flight_path.write_text(json.dumps(self._valid_document()))
+        assert export_main(["--validate-flightrecorder", str(flight_path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid flight record" in out
+        assert "trigger=manual" in out

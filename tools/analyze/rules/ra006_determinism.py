@@ -13,8 +13,12 @@ monotonic clock.  Flags, inside the analyzed tree:
   (``time.monotonic``/``perf_counter`` stay legal — durations are fine).
 
 ``repro/obs/tracing.py`` is whitelisted: span records deliberately carry
-a wall-clock epoch for cross-process alignment.  Deliberate unseeded
-fallbacks carry a ``# repro: noqa[RA006]`` at the call site.
+a wall-clock epoch for cross-process alignment.  So is
+``repro/obs/health/recorder.py``: the flight-recorder black box stamps
+``dumped_at_unix`` with wall-clock time so operators can line it up
+against external logs (the health *sampler* is not whitelisted — its
+interval arithmetic must stay on ``time.monotonic``).  Deliberate
+unseeded fallbacks carry a ``# repro: noqa[RA006]`` at the call site.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from typing import List, Optional
 from tools.analyze.core import Finding, Module, Project, Rule, dotted_name
 
 #: relpath suffixes exempt from the rule (documented in STATIC_ANALYSIS.md).
-WHITELIST = ("repro/obs/tracing.py",)
+WHITELIST = ("repro/obs/tracing.py", "repro/obs/health/recorder.py")
 
 _WALLCLOCK_RE = re.compile(
     r"(^|\.)time\.(time|time_ns)$"
