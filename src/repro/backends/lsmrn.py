@@ -1,0 +1,290 @@
+"""LSM-RN-style latent-space backend (arXiv:1602.04301, adapted).
+
+LSM-RN models time-varying road-network speeds in a low-dimensional
+latent space learned with graph-regularized non-negative matrix
+factorization, refreshed online by incremental latent-factor updates
+instead of global re-learning.  This backend adapts that recipe to the
+repo's per-slot speed histories:
+
+* **Global learning (fit)** — stack every fitted slot's
+  ``(n_days, n_roads)`` sample matrix into one non-negative matrix
+  ``Y`` and factorize ``Y ≈ W Vᵀ`` with multiplicative GNMF updates
+  (:func:`gnmf_multiplicative_step`): road factors ``V ≥ 0`` are
+  smoothed along the road graph via the adjacency/degree pair — the
+  same graph-Laplacian regularizer LSM-RN applies to its latent
+  attributes — and ``W`` holds one latent weight per observed day.
+  Each slot keeps the mean of its days' weights as its latent profile.
+* **Incremental update (refresh)** — with ``V`` fixed, a new day's
+  speeds yield a closed-form ridge solve for that day's latent weight,
+  blended into the slot profile with exponential forgetting.  This is
+  the paper's "incremental latent-position update" shape: cheap, local,
+  and it leaves the expensive global factors untouched.
+* **Online estimation (estimate)** — given sparse probes, solve for the
+  current latent weight from the probed rows of ``V`` with the slot
+  profile as a ridge prior, then decode the full field ``V u``.  Probed
+  roads keep their probes.
+
+The state blob is ``(V, slot profiles, digest)`` — plain arrays,
+picklable, versioned copy-on-write by the ModelStore like every other
+backend state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.backends.base import EstimatorBackend, arrays_digest
+from repro.errors import BackendError, NotFittedError
+from repro.network.graph import TrafficNetwork
+from repro.traffic.history import SpeedHistory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import Deadline
+
+_EPS = 1e-9
+
+
+def road_adjacency(network: TrafficNetwork) -> sp.csr_matrix:
+    """Symmetric 0/1 adjacency of the road graph (GNMF smoother)."""
+    n = network.n_roads
+    if not network.edges:
+        return sp.csr_matrix((n, n))
+    ei, ej = np.array(network.edges).T
+    rows = np.concatenate([ei, ej])
+    cols = np.concatenate([ej, ei])
+    data = np.ones(rows.shape[0])
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def gnmf_multiplicative_step(
+    matrix: np.ndarray,
+    day_factors: np.ndarray,
+    road_factors: np.ndarray,
+    adjacency: sp.csr_matrix,
+    degrees: np.ndarray,
+    gamma: float,
+    reg: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One multiplicative GNMF round: update ``W`` then ``V``.
+
+    Minimizes ``‖Y − W Vᵀ‖² + γ tr(Vᵀ L V) + λ(‖W‖² + ‖V‖²)`` with the
+    classic non-negative multiplicative rules (Cai et al. GNMF — the
+    update family LSM-RN's solver belongs to).  Factors stay
+    non-negative when initialized non-negative.
+    """
+    numer_w = matrix @ road_factors
+    denom_w = (
+        day_factors @ (road_factors.T @ road_factors)
+        + reg * day_factors
+        + _EPS
+    )
+    day_factors = day_factors * (numer_w / denom_w)
+
+    numer_v = matrix.T @ day_factors + gamma * (adjacency @ road_factors)
+    denom_v = (
+        road_factors @ (day_factors.T @ day_factors)
+        + gamma * degrees[:, None] * road_factors
+        + reg * road_factors
+        + _EPS
+    )
+    road_factors = road_factors * (numer_v / denom_v)
+    return day_factors, road_factors
+
+
+def gnmf_objective(
+    matrix: np.ndarray,
+    day_factors: np.ndarray,
+    road_factors: np.ndarray,
+    laplacian: sp.csr_matrix,
+    gamma: float,
+    reg: float,
+) -> float:
+    """The GNMF objective value (reference/diagnostics)."""
+    residual = matrix - day_factors @ road_factors.T
+    smooth = float(np.sum(road_factors * (laplacian @ road_factors)))
+    return (
+        float(np.sum(residual * residual))
+        + gamma * smooth
+        + reg * (float(np.sum(day_factors**2)) + float(np.sum(road_factors**2)))
+    )
+
+
+@dataclass(frozen=True)
+class LSMRNState:
+    """Latent road factors + per-slot latent profiles (state blob)."""
+
+    road_factors: np.ndarray
+    slot_weights: Mapping[int, np.ndarray]
+    factors_digest: bytes
+
+
+class LSMRNBackend(EstimatorBackend):
+    """Latent-space estimator in the LSM-RN family.
+
+    Args:
+        rank: Latent dimension.
+        n_iterations: Multiplicative update rounds in :meth:`fit`.
+        gamma: Graph-smoothness weight on the road factors.
+        reg: Frobenius regularization λ.
+        ridge: Prior strength tying the online latent weight to the
+            slot profile (η in the ridge solve).
+        seed: RNG seed for the non-negative factor initialization.
+    """
+
+    name = "lsmrn"
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        rank: int = 12,
+        n_iterations: int = 60,
+        gamma: float = 0.5,
+        reg: float = 0.05,
+        ridge: float = 1.0,
+        seed: int = 13,
+    ) -> None:
+        super().__init__(network)
+        if rank <= 0 or n_iterations <= 0:
+            raise BackendError("rank and n_iterations must be positive")
+        if gamma < 0 or reg < 0 or ridge <= 0:
+            raise BackendError("gamma/reg must be >= 0 and ridge > 0")
+        self._rank = int(rank)
+        self._n_iterations = int(n_iterations)
+        self._gamma = float(gamma)
+        self._reg = float(reg)
+        self._ridge = float(ridge)
+        self._seed = int(seed)
+
+    def _fit(self, history: SpeedHistory, slots: Sequence[int]) -> LSMRNState:
+        n = self._network.n_roads
+        blocks = []
+        ranges: Dict[int, Tuple[int, int]] = {}
+        row = 0
+        for slot in slots:
+            block = np.asarray(history.slot_samples(slot), dtype=float)
+            if block.shape[1] != n:
+                raise BackendError(
+                    f"backend {self.name!r}: history covers {block.shape[1]} "
+                    f"roads, network has {n}"
+                )
+            blocks.append(np.maximum(block, _EPS))
+            ranges[int(slot)] = (row, row + block.shape[0])
+            row += block.shape[0]
+        matrix = np.vstack(blocks)
+
+        rank = min(self._rank, matrix.shape[0], n)
+        rng = np.random.default_rng(self._seed)
+        scale = np.sqrt(max(float(matrix.mean()), _EPS) / rank)
+        day_factors = rng.uniform(0.5, 1.5, size=(matrix.shape[0], rank)) * scale
+        road_factors = rng.uniform(0.5, 1.5, size=(n, rank)) * scale
+
+        adjacency = road_adjacency(self._network)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        for _ in range(self._n_iterations):
+            day_factors, road_factors = gnmf_multiplicative_step(
+                matrix, day_factors, road_factors, adjacency, degrees,
+                self._gamma, self._reg,
+            )
+
+        slot_weights = {
+            slot: day_factors[lo:hi].mean(axis=0)
+            for slot, (lo, hi) in ranges.items()
+        }
+        return LSMRNState(
+            road_factors=road_factors,
+            slot_weights=slot_weights,
+            factors_digest=arrays_digest(road_factors),
+        )
+
+    def _refresh(
+        self,
+        state: object,
+        day_samples: Mapping[int, np.ndarray],
+        learning_rate: float,
+    ) -> LSMRNState:
+        lsm = self._state_of(state)
+        factors = lsm.road_factors
+        rank = factors.shape[1]
+        updated = dict(lsm.slot_weights)
+        # Full-observation gram is shared across slots and refreshes
+        # (V is fixed); route it through the store's artifact cache.
+        gram = self.derived(
+            "gram",
+            lsm.factors_digest,
+            lambda: factors.T @ factors + self._ridge * np.eye(rank),
+        )
+        touched = False
+        for slot, sample in day_samples.items():
+            prior = updated.get(int(slot))
+            if prior is None:
+                continue
+            speeds = np.asarray(sample, dtype=float).ravel()
+            if speeds.shape[0] != factors.shape[0]:
+                raise BackendError(
+                    f"backend {self.name!r}: day sample for slot {slot} has "
+                    f"{speeds.shape[0]} roads, factors have {factors.shape[0]}"
+                )
+            rhs = factors.T @ speeds + self._ridge * prior
+            day_weight = np.linalg.solve(gram, rhs)
+            updated[int(slot)] = (
+                (1.0 - learning_rate) * prior + learning_rate * day_weight
+            )
+            touched = True
+        if not touched:
+            return lsm
+        return LSMRNState(
+            road_factors=factors,
+            slot_weights=updated,
+            factors_digest=lsm.factors_digest,
+        )
+
+    def _estimate(
+        self,
+        state: object,
+        probes: Dict[int, float],
+        slot: int,
+        deadline: Optional["Deadline"],
+    ) -> Tuple[np.ndarray, Mapping[str, object]]:
+        lsm = self._state_of(state)
+        prior = lsm.slot_weights.get(slot)
+        if prior is None:
+            raise NotFittedError(
+                f"backend {self.name!r}: slot {slot} not fitted "
+                f"(available: {sorted(lsm.slot_weights)})"
+            )
+        factors = lsm.road_factors
+        rank = factors.shape[1]
+        observed = np.array(sorted(probes), dtype=int)
+        residual = 0.0
+        if observed.size:
+            values = np.array([probes[int(r)] for r in observed])
+            v_obs = factors[observed]
+            lhs = v_obs.T @ v_obs + self._ridge * np.eye(rank)
+            rhs = v_obs.T @ values + self._ridge * prior
+            weight = np.linalg.solve(lhs, rhs)
+            residual = float(
+                np.sqrt(np.mean((v_obs @ weight - values) ** 2))
+            )
+        else:
+            weight = np.asarray(prior, dtype=float)
+        field = factors @ weight
+        if observed.size:
+            field[observed] = values
+        field = np.maximum(field, 0.5)
+        return field, {
+            "rank": int(rank),
+            "observed": int(observed.size),
+            "probe_rmse": residual,
+        }
+
+    def _state_of(self, state: object) -> LSMRNState:
+        if not isinstance(state, LSMRNState):
+            raise BackendError(
+                f"backend {self.name!r} expected LSMRNState, got "
+                f"{type(state).__name__}"
+            )
+        return state

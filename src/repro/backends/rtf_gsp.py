@@ -1,0 +1,111 @@
+"""The paper's RTF+GSP estimator as a pluggable backend.
+
+Thin adapter over the pieces :class:`~repro.core.pipeline.CrowdRTSE`
+already uses: :func:`~repro.core.inference.fit_rtf` for the offline
+stage, :func:`~repro.core.online_update.refresh_slots` for the daily
+refresh, and a private :class:`~repro.core.gsp.GSPEngine` for the
+online propagation.  The state blob is simply the per-slot
+:class:`~repro.core.rtf.RTFSlot` parameters — the same objects a
+:class:`~repro.core.store.ModelSnapshot` versions natively — so
+attaching this backend duplicates no model weight.
+
+The serving default path does **not** go through this adapter:
+``backend="rtf_gsp"`` requests take the original pinned-snapshot
+pipeline (bit-identical to pre-backend builds).  The adapter exists so
+the protocol covers the reference estimator too — differential tests
+pin the two paths against each other, and shadow mode can score any
+challenger against rtf_gsp through one interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import EstimatorBackend
+from repro.core.gsp import GSPConfig, GSPEngine
+from repro.core.inference import fit_rtf
+from repro.core.online_update import refresh_slots
+from repro.core.rtf import RTFSlot
+from repro.errors import BackendError, NotFittedError
+from repro.network.graph import TrafficNetwork
+from repro.traffic.history import SpeedHistory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import Deadline
+
+
+@dataclass(frozen=True)
+class RTFGSPState:
+    """Fitted RTF parameters per global slot (the backend state blob)."""
+
+    params: Mapping[int, RTFSlot]
+
+
+class RTFGSPBackend(EstimatorBackend):
+    """RTF model + GSP propagation behind the backend protocol."""
+
+    name = "rtf_gsp"
+
+    def __init__(
+        self,
+        network: TrafficNetwork,
+        gsp_config: Optional[GSPConfig] = None,
+    ) -> None:
+        super().__init__(network)
+        # Own engine: cached CSR structures and schedules are keyed by
+        # parameter digest, so repeated estimates stay warm across
+        # refreshes exactly like the native pipeline engine.
+        self._engine = GSPEngine(network)
+        self._gsp_config = gsp_config
+
+    def _fit(self, history: SpeedHistory, slots: Sequence[int]) -> RTFGSPState:
+        model, _diagnostics = fit_rtf(self._network, history, slots)
+        return RTFGSPState({t: model.slot(t) for t in model.slots})
+
+    def _refresh(
+        self,
+        state: object,
+        day_samples: Mapping[int, np.ndarray],
+        learning_rate: float,
+    ) -> RTFGSPState:
+        rtf_state = self._state_of(state)
+        current = dict(rtf_state.params)
+        touched = {t: v for t, v in day_samples.items() if t in current}
+        if not touched:
+            return rtf_state
+        for slot_params in refresh_slots(
+            self._network, current, touched, learning_rate
+        ):
+            current[slot_params.slot] = slot_params
+        return RTFGSPState(current)
+
+    def _estimate(
+        self,
+        state: object,
+        probes: Dict[int, float],
+        slot: int,
+        deadline: Optional["Deadline"],
+    ) -> Tuple[np.ndarray, Mapping[str, object]]:
+        rtf_state = self._state_of(state)
+        params = rtf_state.params.get(slot)
+        if params is None:
+            raise NotFittedError(
+                f"backend {self.name!r}: slot {slot} not fitted "
+                f"(available: {sorted(rtf_state.params)})"
+            )
+        result = self._engine.propagate(params, probes, self._gsp_config)
+        return result.speeds, {
+            "sweeps": result.sweeps,
+            "converged": result.converged,
+        }
+
+    def _state_of(self, state: object) -> RTFGSPState:
+        if not isinstance(state, RTFGSPState):
+            raise BackendError(
+                f"backend {self.name!r} expected RTFGSPState, got "
+                f"{type(state).__name__}"
+            )
+        return state

@@ -15,8 +15,10 @@ from repro.baselines.base import BaseEstimator, EstimationContext
 from repro.baselines.periodic import PeriodicEstimator, periodic_field
 from repro.baselines.lasso import (
     LassoEstimator,
+    LassoFieldModel,
     LassoModel,
     fit_lasso,
+    fit_lasso_field,
     lasso_coordinate_descent,
     lasso_coordinate_descent_multi,
 )
@@ -32,8 +34,10 @@ __all__ = [
     "PeriodicEstimator",
     "periodic_field",
     "LassoEstimator",
+    "LassoFieldModel",
     "LassoModel",
     "fit_lasso",
+    "fit_lasso_field",
     "lasso_coordinate_descent",
     "lasso_coordinate_descent_multi",
     "GRMCEstimator",

@@ -199,8 +199,89 @@ def fit_lasso(
     return LassoModel(coef=beta, intercept=y_mean, feature_means=x_mean)
 
 
+@dataclass(frozen=True)
+class LassoFieldModel:
+    """A fitted multi-target lasso: probe values → full speed field.
+
+    Unlike :class:`LassoEstimator` (which carries only hyperparameters),
+    this is the *fitted state*: plain arrays, frozen and picklable, so a
+    model store or estimator backend can serialize it and predict later
+    without refitting.
+
+    Attributes:
+        observed: Probe column indices the model was fitted on.
+        beta: Coefficient matrix, shape ``(p, n_roads)``.
+        feature_means: Historical mean of each probe column.
+        target_means: Historical mean speed of every road.
+    """
+
+    observed: np.ndarray
+    beta: np.ndarray
+    feature_means: np.ndarray
+    target_means: np.ndarray
+
+    def predict(self, probe_values: np.ndarray) -> np.ndarray:
+        """Full field for probe values aligned with :attr:`observed`."""
+        if self.observed.size == 0:
+            return self.target_means.copy()
+        probe_values = np.asarray(probe_values, dtype=np.float64)
+        if probe_values.shape != self.feature_means.shape:
+            raise ModelError(
+                f"probe shape {probe_values.shape} != fitted shape "
+                f"{self.feature_means.shape}"
+            )
+        field = self.target_means + (probe_values - self.feature_means) @ self.beta
+        field[self.observed] = probe_values
+        # Speeds cannot be negative; clip to a small positive floor.
+        return np.maximum(field, 0.5)
+
+
+def fit_lasso_field(
+    samples: np.ndarray,
+    observed: np.ndarray,
+    alpha: float,
+    max_iter: int = 60,
+    tol: float = 1e-5,
+    warm_start: bool = True,
+) -> LassoFieldModel:
+    """Fit one lasso per road on the probed columns of the history.
+
+    All targets share the probe design, so they are solved jointly with
+    the multi-target coordinate descent (one Gram build total).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    observed = np.asarray(observed, dtype=int)
+    y_means = samples.mean(axis=0)
+    if observed.size == 0:
+        return LassoFieldModel(
+            observed=observed,
+            beta=np.zeros((0, samples.shape[1])),
+            feature_means=np.zeros(0),
+            target_means=y_means,
+        )
+    n_samples = samples.shape[0]
+    design = samples[:, observed]
+    x_mean = design.mean(axis=0)
+    x_centered = design - x_mean
+    gram = x_centered.T @ x_centered / n_samples
+    corr = x_centered.T @ (samples - y_means[None, :]) / n_samples
+    beta = lasso_coordinate_descent_multi(
+        gram, corr, alpha, max_iter, tol, warm_start=warm_start
+    )
+    return LassoFieldModel(
+        observed=observed,
+        beta=beta,
+        feature_means=x_mean,
+        target_means=y_means,
+    )
+
+
 class LassoEstimator(BaseEstimator):
     """Per-road lasso on the probed roads (the paper's LASSO baseline).
+
+    The estimator carries hyperparameters only; each query fits a
+    :class:`LassoFieldModel` (the serializable state) via
+    :func:`fit_lasso_field` and predicts from it.
 
     Args:
         alpha: L1 penalty; the paper tunes within 0–0.5 and settles on
@@ -225,29 +306,16 @@ class LassoEstimator(BaseEstimator):
         self._tol = tol
         self._warm_start = warm_start
 
-    def estimate(self, context: EstimationContext) -> np.ndarray:
-        samples = np.asarray(context.history_samples, dtype=np.float64)
-        observed = context.observed_indices
-        estimates = samples.mean(axis=0)  # fallback when nothing observed
-        if observed.size == 0:
-            return estimates
-        n_samples = samples.shape[0]
-        design = samples[:, observed]
-        x_mean = design.mean(axis=0)
-        x_centered = design - x_mean
-        gram = x_centered.T @ x_centered / n_samples
-        probe_vector = context.observed_values
-
-        # One lasso per road, all sharing the probe design: solve them
-        # jointly with the multi-target coordinate descent.
-        y_means = estimates  # per-road history mean
-        corr = x_centered.T @ (samples - y_means[None, :]) / n_samples
-        beta = lasso_coordinate_descent_multi(
-            gram, corr, self._alpha, self._max_iter, self._tol,
+    def fit_field(self, context: EstimationContext) -> LassoFieldModel:
+        """The fitted (picklable) field model for one query's probes."""
+        return fit_lasso_field(
+            np.asarray(context.history_samples, dtype=np.float64),
+            context.observed_indices,
+            self._alpha,
+            self._max_iter,
+            self._tol,
             warm_start=self._warm_start,
         )
-        estimates = y_means + (probe_vector - x_mean) @ beta
-        for road, value in context.probes.items():
-            estimates[int(road)] = float(value)
-        # Speeds cannot be negative; clip to a small positive floor.
-        return np.maximum(estimates, 0.5)
+
+    def estimate(self, context: EstimationContext) -> np.ndarray:
+        return self.fit_field(context).predict(context.observed_values)

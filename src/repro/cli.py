@@ -385,6 +385,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not slots:
         slots = [data.slot]
     system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=slots)
+    # Non-default backends (primary or shadow challenger) are fitted on
+    # the same training history and attached before serving starts.
+    for name in {args.backend, args.shadow} - {None, "rtf_gsp"}:
+        system.attach_backend(name, history=data.train_history)
+        print(f"attached backend {name!r} (store v{system.store.version})")
     market = repro.CrowdMarket(
         data.network, data.pool, data.cost_model,
         rng=np.random.default_rng(args.seed),
@@ -430,6 +435,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 item.deadline_ms / 1e3 if item.deadline_ms is not None else None
             ),
             truth=oracles[key],
+            backend=args.backend,
         )
 
     config = serving.ServeConfig(
@@ -439,16 +445,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_s=(
             args.deadline_ms / 1e3 if args.deadline_ms is not None else None
         ),
+        shadow_backend=args.shadow,
     )
     print(
         f"serving {len(items)} requests over slots {slots} "
-        f"({args.workers} workers, queue depth {args.queue_depth})"
+        f"({args.workers} workers, queue depth {args.queue_depth}, "
+        f"backend {args.backend})"
     )
     admin = _start_admin(args, system.store)
     try:
         with serving.QueryService(system, market=market, config=config) as service:
             report = serving.replay(service, items, bind=bind)
             print(report.format())
+            if args.shadow is not None:
+                # Shadow scoring trails ticket resolution; only the
+                # drain on close() makes the tally final.
+                service.close()
+                stats = service.shadow_stats
+                print(
+                    f"shadow[{args.shadow}]: {stats.scored} scored, "
+                    f"{stats.errors} errors, "
+                    f"mean divergence {stats.mean_divergence_kmh:.2f} km/h"
+                )
             _hold_admin(args)
     finally:
         _stop_admin(admin)
@@ -629,6 +647,7 @@ EXPERIMENTS = (
     "noise_sensitivity",
     "daily_refresh",
     "stream_replay",
+    "leaderboard",
 )
 
 
@@ -797,6 +816,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--serve-slots", type=int, default=3,
         help="how many consecutive slots (from the dataset slot) to fit and serve",
+    )
+    p_serve.add_argument(
+        "--backend", default="rtf_gsp",
+        help="estimator backend answering the requests (any registered "
+        "name: rtf_gsp, per, lasso, grmc, lsmrn, gmrf, ...)",
+    )
+    p_serve.add_argument(
+        "--shadow", default=None, metavar="BACKEND",
+        help="score this challenger backend in shadow mode on every "
+        "completed request (serve.shadow.* metrics; answers unchanged)",
     )
     _add_obs_args(p_serve)
     _add_admin_args(p_serve)

@@ -14,7 +14,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -43,6 +52,9 @@ from repro.core.store import ModelSnapshot, ModelStore
 from repro.crowd.market import BudgetLedger, CrowdMarket, ProbeReceipt, TruthOracle
 from repro.network.graph import TrafficNetwork
 from repro.traffic.history import SpeedHistory
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard (typing only)
+    from repro.backends.base import BackendEstimate, EstimatorBackend
 
 #: Named OCS solvers accepted by :meth:`CrowdRTSE.answer_query`.
 SELECTORS: Mapping[str, Callable[[OCSInstance], OCSResult]] = {
@@ -101,11 +113,15 @@ class QueryResult:
         selection: The OCS outcome (which roads were crowdsourced).
         probes: Aggregated crowd answers per crowdsourced road.
         receipts: Detailed probe receipts (answers, payments).
-        gsp: The propagation diagnostics.
+        gsp: The propagation diagnostics (``None`` when a non-GSP
+            estimator backend produced the field; its diagnostics live
+            in the backend's provenance instead).
         budget_spent: Units actually paid.
         model_version: Version of the :class:`ModelSnapshot` the whole
             answer was served from (0 for results assembled outside a
             store, e.g. in unit tests building the dataclass directly).
+        backend: Registry name of the estimator backend that produced
+            the field (``"rtf_gsp"`` for the paper's default pipeline).
     """
 
     queried: Tuple[int, ...]
@@ -114,9 +130,10 @@ class QueryResult:
     selection: OCSResult
     probes: Dict[int, float]
     receipts: Tuple[ProbeReceipt, ...]
-    gsp: GSPResult
+    gsp: Optional[GSPResult]
     budget_spent: int
     model_version: int = 0
+    backend: str = "rtf_gsp"
 
     def estimate_of(self, road_index: int) -> float:
         """Estimated speed of one queried road."""
@@ -334,6 +351,83 @@ class CrowdRTSE:
         return snapshot
 
     # ------------------------------------------------------------------
+    # Estimator backends
+    # ------------------------------------------------------------------
+
+    def attach_backend(
+        self,
+        name: str,
+        history: Optional[SpeedHistory] = None,
+        state: Optional[object] = None,
+        backend: Optional["EstimatorBackend"] = None,
+    ) -> ModelSnapshot:
+        """Fit (or adopt) an estimator backend and attach it to the store.
+
+        After attaching, :meth:`answer_query` accepts ``backend=name``,
+        :meth:`refresh` advances the backend's state blob alongside the
+        RTF slots, and the serving layer can select (or shadow-score)
+        the backend per request.
+
+        Args:
+            name: Registry name (see
+                :func:`repro.backends.available_backends`).
+            history: Offline record to fit the initial state from; the
+                backend fits exactly the store's currently fitted slots.
+            state: Pre-fitted state blob to adopt instead of fitting.
+            backend: Pre-built backend instance (default: instantiate
+                from the registry for this system's network).
+
+        Returns:
+            The freshly published :class:`ModelSnapshot` carrying the
+            backend state.
+        """
+        # Imported lazily: repro.backends imports core modules for its
+        # adapters, so a module-level import here would be circular.
+        from repro.backends.registry import create_backend
+
+        if backend is None:
+            backend = create_backend(name, self._network)
+        if state is None:
+            if history is None:
+                raise ModelError(
+                    f"attach_backend({name!r}) needs a history to fit from "
+                    f"or a pre-fitted state"
+                )
+            state = backend.fit(history, slots=self._store.current().slots)
+        return self._store.attach_backend(name, backend, state)
+
+    def estimate_with_backend(
+        self,
+        name: str,
+        probes: Mapping[int, float],
+        slot: int,
+        snapshot: Optional[ModelSnapshot] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> "BackendEstimate":
+        """Run one attached backend's estimator on already-gathered probes.
+
+        The backend-path analogue of the GSP stage: the serving layer's
+        batched path and shadow mode call it directly with the probes a
+        prepared query collected.
+
+        Args:
+            name: Attached backend name.
+            probes: Probed speeds keyed by road index.
+            slot: Global time slot.
+            snapshot: Pinned model version (defaults to current).
+            deadline: Optional wall-clock budget.
+
+        Returns:
+            The backend's ``BackendEstimate`` (field + provenance).
+        """
+        snap = snapshot if snapshot is not None else self._store.current()
+        backend = self._store.backend_instance(name)
+        state = snap.backend_state(name)
+        estimate = getattr(backend, "estimate")
+        with wrap_internal("backend"):
+            return estimate(state, probes, int(slot), deadline)
+
+    # ------------------------------------------------------------------
     # Online stage
     # ------------------------------------------------------------------
 
@@ -465,6 +559,25 @@ class CrowdRTSE:
             model_version=prepared.snapshot.version,
         )
 
+    @staticmethod
+    def _assemble_backend_result(
+        prepared: "PreparedQuery", field_kmh: np.ndarray, backend: str
+    ) -> QueryResult:
+        """Assemble a :class:`QueryResult` from a backend's field."""
+        estimates = field_kmh[np.asarray(prepared.queried, dtype=int)]
+        return QueryResult(
+            queried=prepared.queried,
+            estimates_kmh=estimates,
+            full_field_kmh=field_kmh,
+            selection=prepared.selection,
+            probes=prepared.probes,
+            receipts=prepared.receipts,
+            gsp=None,
+            budget_spent=prepared.ledger.spent,
+            model_version=prepared.snapshot.version,
+            backend=backend,
+        )
+
     def answer_query(
         self,
         queried: Sequence[int],
@@ -479,8 +592,9 @@ class CrowdRTSE:
         use_trivial_fast_path: bool = True,
         snapshot: Optional[ModelSnapshot] = None,
         deadline: Optional[Deadline] = None,
+        backend: Optional[str] = None,
     ) -> QueryResult:
-        """Online stage: OCS → crowd probe → GSP → answer (Fig. 1).
+        """Online stage: OCS → crowd probe → estimate → answer (Fig. 1).
 
         Args:
             queried: Queried road indices ``R^q``.
@@ -503,6 +617,11 @@ class CrowdRTSE:
             deadline: Optional wall-clock budget, checked at the OCS,
                 probe, and GSP stage boundaries
                 (:class:`~repro.errors.QueryTimeoutError` on expiry).
+            backend: Estimator backend that turns the probes into the
+                speed field.  ``None`` (or ``"rtf_gsp"``) takes the
+                original GSP propagation path, bit-identical to
+                pre-backend builds; any other name must first be
+                attached via :meth:`attach_backend`.
 
         Returns:
             A :class:`QueryResult`.
@@ -531,6 +650,21 @@ class CrowdRTSE:
                 queried, slot, budget, market, truth, theta, selector,
                 rng, use_trivial_fast_path, snap, deadline,
             )
+            if backend is not None and backend != "rtf_gsp":
+                # Pluggable-estimator path: the attached backend turns
+                # the probes into the field; GSP never runs.
+                estimate = self.estimate_with_backend(
+                    backend, prepared.probes, slot,
+                    snapshot=snap, deadline=deadline,
+                )
+                query_span.set_attr("budget_spent", prepared.ledger.spent)
+                query_span.set_attr("backend", backend)
+                self._record_query_metrics(
+                    selector, prepared.ledger, time.perf_counter() - start
+                )
+                return self._assemble_backend_result(
+                    prepared, estimate.speeds, backend
+                )
             if deadline is not None:
                 deadline.check("gsp")
             with wrap_internal("gsp"):

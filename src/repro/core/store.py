@@ -36,7 +36,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ModelError, NotFittedError
+from repro.errors import BackendError, ModelError, NotFittedError
 from repro.core.correlation import (
     CorrelationTable,
     PathWeightMode,
@@ -68,6 +68,8 @@ class StoreStats:
     correlation_hits: int = 0
     propagation_derivations: int = 0
     propagation_hits: int = 0
+    backend_derivations: int = 0
+    backend_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for logs and tests)."""
@@ -80,6 +82,8 @@ class StoreStats:
             "correlation_hits": self.correlation_hits,
             "propagation_derivations": self.propagation_derivations,
             "propagation_hits": self.propagation_hits,
+            "backend_derivations": self.backend_derivations,
+            "backend_hits": self.backend_hits,
         }
 
 
@@ -158,11 +162,19 @@ class _ArtifactCache:
                 self._stats.correlation_hits += 1
             else:
                 self._stats.correlation_derivations += 1
-        else:
+        elif kind == _KIND_PROPAGATION:
             if hit:
                 self._stats.propagation_hits += 1
             else:
                 self._stats.propagation_derivations += 1
+        else:
+            # Backend-owned artifacts (kinds prefixed "backend."): the
+            # pluggable estimators route their derived factorizations /
+            # precision matrices through this cache on attach.
+            if hit:
+                self._stats.backend_hits += 1
+            else:
+                self._stats.backend_derivations += 1
         if metrics.enabled:
             metrics.counter(
                 "store.artifacts.lookups",
@@ -219,6 +231,7 @@ class ModelSnapshot:
         digests: Mapping[int, bytes],
         path_mode: PathWeightMode,
         artifacts: _ArtifactCache,
+        backend_states: Optional[Mapping[str, object]] = None,
     ) -> None:
         if not params:
             raise ModelError("a snapshot needs at least one fitted slot")
@@ -228,6 +241,7 @@ class ModelSnapshot:
         self._digests = dict(digests)
         self._path_mode = path_mode
         self._artifacts = artifacts
+        self._backend_states: Dict[str, object] = dict(backend_states or {})
         self._lazy_lock = threading.Lock()
         self._model: Optional[RTFModel] = None
         self._correlations: Optional[SnapshotCorrelations] = None
@@ -294,6 +308,29 @@ class ModelSnapshot:
             if self._model is None:
                 self._model = RTFModel(self._network, self._params.values())
             return self._model
+
+    # -- backend state blobs --------------------------------------------
+
+    @property
+    def backend_names(self) -> Tuple[str, ...]:
+        """Names of the estimator backends with state in this version."""
+        return tuple(sorted(self._backend_states))
+
+    def backend_state(self, name: str) -> object:
+        """The immutable state blob of one attached backend.
+
+        Raises:
+            BackendError: When no state for ``name`` was ever attached
+                (see :meth:`ModelStore.attach_backend`).
+        """
+        try:
+            return self._backend_states[name]
+        except KeyError:
+            raise BackendError(
+                f"no state for backend {name!r} in snapshot "
+                f"v{self._version} (attached: {list(self.backend_names)}); "
+                f"attach it via CrowdRTSE.attach_backend first"
+            ) from None
 
     # -- derived artifacts ----------------------------------------------
 
@@ -363,6 +400,12 @@ class ModelStore:
         self._network = model.network
         self._path_mode = path_mode
         self._artifacts = _ArtifactCache(self.stats, max_artifacts)
+        # Attached estimator backends (duck-typed: anything exposing
+        # refresh(state, day_samples, learning_rate) and
+        # estimate(state, probes, slot, deadline)); their *state* lives
+        # in the snapshots, the instances here are the stateless math
+        # that advances it on refresh.
+        self._backends: Dict[str, object] = {}
         self._lock = threading.RLock()
         self._created_monotonic = time.monotonic()
         params = {t: model.slot(t) for t in model.slots}
@@ -470,6 +513,19 @@ class ModelStore:
         replacements = list(new_slots)
         if not replacements:
             raise ModelError("publish needs at least one slot")
+        return self._publish(replacements, backend_states=None)
+
+    def _publish(
+        self,
+        replacements: "list[RTFSlot]",
+        backend_states: Optional[Mapping[str, object]],
+    ) -> ModelSnapshot:
+        """Shared publish path: validate, swap the snapshot, count.
+
+        ``backend_states=None`` carries the previous version's blobs
+        forward unchanged (plain slot publish); a mapping replaces them
+        atomically with the slot swap (refresh / attach).
+        """
         seen = set()
         for slot_params in replacements:
             slot_params.check_against(self._network)
@@ -486,6 +542,11 @@ class ModelStore:
                 for slot_params in replacements:
                     params[slot_params.slot] = slot_params
                     digests[slot_params.slot] = params_signature(slot_params)
+                states = (
+                    previous._backend_states
+                    if backend_states is None
+                    else backend_states
+                )
                 snapshot = ModelSnapshot(
                     previous.version + 1,
                     self._network,
@@ -493,6 +554,7 @@ class ModelStore:
                     digests,
                     self._path_mode,
                     self._artifacts,
+                    backend_states=states,
                 )
                 self._current = snapshot
             span.set_attr("version", snapshot.version)
@@ -530,7 +592,10 @@ class ModelStore:
         with get_tracer().span("store.refresh", slots=len(day_samples)):
             # Hold the lock across read-modify-write so two concurrent
             # refreshes cannot base themselves on the same version and
-            # silently drop each other's updates.
+            # silently drop each other's updates.  Attached backend
+            # states advance inside the same hold and publish with the
+            # RTF slots in one version — a reader never sees RTF
+            # parameters from day d next to a backend state from d-1.
             with self._lock:
                 snapshot = self.current()
                 for slot in day_samples:
@@ -538,7 +603,17 @@ class ModelStore:
                 refreshed = refresh_slots(
                     self._network, snapshot._params, day_samples, learning_rate
                 )
-                published = self.publish(refreshed)
+                states: Optional[Dict[str, object]] = None
+                if self._backends:
+                    states = dict(snapshot._backend_states)
+                    for name, backend in self._backends.items():
+                        state = states.get(name)
+                        if state is None:
+                            continue
+                        states[name] = backend.refresh(  # type: ignore[attr-defined]
+                            state, day_samples, learning_rate
+                        )
+                published = self._publish(refreshed, states)
                 self.stats.refreshes += 1
                 self.stats.refreshed_slots += len(refreshed)
         metrics = get_metrics()
@@ -546,6 +621,76 @@ class ModelStore:
             metrics.counter("store.refreshes").inc()
             metrics.counter("store.refreshed_slots").inc(len(refreshed))
         return published
+
+    # -- estimator backends ---------------------------------------------
+
+    def attach_backend(
+        self, name: str, backend: object, state: object
+    ) -> ModelSnapshot:
+        """Attach an estimator backend's fitted state to the store.
+
+        Publishes a new version whose snapshot carries ``state`` under
+        ``name``; every subsequent :meth:`refresh` advances the blob via
+        ``backend.refresh(state, day_samples, learning_rate)`` and
+        publishes it atomically with the RTF slots.  The backend object
+        itself is stateless math — it is kept on the store (not the
+        snapshot) purely to drive refreshes and per-query estimates.
+
+        The store deliberately duck-types ``backend`` rather than
+        importing :mod:`repro.backends` (which depends on this module):
+        anything exposing ``refresh``/``estimate`` qualifies, and a
+        ``bind_artifacts`` hook, when present, is wired to the store's
+        digest-keyed artifact cache under ``backend.``-prefixed kinds.
+
+        Returns:
+            The freshly published :class:`ModelSnapshot`.
+
+        Raises:
+            BackendError: When ``backend`` lacks the protocol methods.
+        """
+        if not name or not isinstance(name, str):
+            raise BackendError(f"invalid backend name {name!r}")
+        for attr in ("refresh", "estimate"):
+            if not callable(getattr(backend, attr, None)):
+                raise BackendError(
+                    f"backend {name!r} does not implement {attr}(); "
+                    f"estimator backends must follow the "
+                    f"fit/refresh/estimate protocol"
+                )
+        bind = getattr(backend, "bind_artifacts", None)
+        if callable(bind):
+            bind(self._derive_backend_artifact)
+        with get_tracer().span("store.attach_backend", backend=name):
+            with self._lock:
+                states = dict(self._current._backend_states)
+                states[name] = state
+                self._backends[name] = backend
+                return self._publish([], states)
+
+    def backend_instance(self, name: str) -> object:
+        """The attached backend object registered under ``name``.
+
+        Raises:
+            BackendError: When ``name`` was never attached.
+        """
+        with self._lock:
+            backend = self._backends.get(name)
+        if backend is None:
+            raise BackendError(
+                f"backend {name!r} is not attached to this store "
+                f"(attached: {sorted(self._backends)})"
+            )
+        return backend
+
+    @property
+    def attached_backends(self) -> Tuple[str, ...]:
+        """Names of the attached estimator backends, sorted."""
+        with self._lock:
+            return tuple(sorted(self._backends))
+
+    def _derive_backend_artifact(self, kind: str, digest: bytes, derive):
+        """Digest-keyed derivation hook handed to attached backends."""
+        return self._artifacts.get_or_derive(f"backend.{kind}", digest, derive)
 
     # -- cache plumbing -------------------------------------------------
 

@@ -66,6 +66,16 @@ class ConvergenceError(ModelError):
     """
 
 
+class BackendError(ModelError):
+    """Raised by the pluggable estimator-backend layer.
+
+    Covers registry misuse (unknown or duplicate backend names), state
+    blobs that do not match the backend that produced them, and backend
+    estimates that violate the field contract (wrong shape, non-finite
+    speeds).
+    """
+
+
 class SelectionError(ReproError):
     """Raised when an OCS instance is infeasible or malformed."""
 

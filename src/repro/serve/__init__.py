@@ -28,6 +28,7 @@ from repro.serve.service import (
     ServedResult,
     ServeRequest,
     ServeTicket,
+    ShadowStats,
 )
 from repro.serve.workload import (
     ReplayReport,
@@ -48,6 +49,7 @@ __all__ = [
     "ServeRequest",
     "ServeTicket",
     "ServedResult",
+    "ShadowStats",
     "WorkloadItem",
     "load_workload",
     "replay",

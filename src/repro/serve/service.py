@@ -42,7 +42,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import ContextManager, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -68,6 +68,43 @@ from repro.obs import health as obs_health
 #: and the ``serve.degraded`` counter's ``reason`` label.
 DEGRADED_DEADLINE = "deadline"
 DEGRADED_BUDGET = "budget"
+
+#: Bucket edges (km/h) of the ``serve.shadow.divergence_kmh`` histogram.
+_DIVERGENCE_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+@dataclass
+class ShadowStats:
+    """Running tally of shadow-mode scoring, one per :class:`QueryService`.
+
+    Attributes:
+        scored: Challenger estimates that completed.
+        errors: Challenger estimates that raised (counted, swallowed).
+        divergence_sum_kmh: Sum over scored requests of the mean
+            absolute field difference challenger − primary (km/h).
+        latency_sum_s: Sum of challenger estimate latencies.
+    """
+
+    scored: int = 0
+    errors: int = 0
+    divergence_sum_kmh: float = 0.0
+    latency_sum_s: float = 0.0
+
+    @property
+    def mean_divergence_kmh(self) -> float:
+        """Mean per-request field divergence (0 when nothing scored)."""
+        if self.scored == 0:
+            return 0.0
+        return self.divergence_sum_kmh / self.scored
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for logs and the admin endpoint."""
+        return {
+            "scored": float(self.scored),
+            "errors": float(self.errors),
+            "mean_divergence_kmh": self.mean_divergence_kmh,
+            "latency_sum_s": self.latency_sum_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -103,6 +140,13 @@ class ServeConfig:
             at least half full, :meth:`QueryService.submit` rejects
             with :class:`~repro.errors.OverloadedError` *before* hard
             overload — counted under ``serve.shed``.
+        shadow_backend: Challenger estimator backend scored in shadow
+            mode: after a request completes on the default ``rtf_gsp``
+            path, the worker re-estimates the *same probes* off the
+            *same pinned snapshot* with this backend and emits the
+            ``serve.shadow.*`` error/latency metrics — the caller's
+            answer and latency are untouched (tickets resolve first).
+            The backend must be attached to the system's store.
     """
 
     num_workers: int = 2
@@ -115,6 +159,7 @@ class ServeConfig:
     serialize_probes: bool = True
     gsp_config: Optional[GSPConfig] = None
     shed_on_failing: bool = True
+    shadow_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -133,6 +178,13 @@ class ServeRequest:
 
     ``market``/``truth``/``rng`` default to the service-level ones; a
     replay driver overrides them per request (e.g. per test day).
+
+    ``backend`` selects the estimator backend that turns the probes
+    into the speed field.  The default ``"rtf_gsp"`` is the paper's
+    GSP pipeline (bit-identical to pre-backend builds); other names
+    must be attached to the system's store first
+    (:meth:`~repro.core.pipeline.CrowdRTSE.attach_backend`).  Requests
+    only coalesce with requests for the same backend.
     """
 
     queried: Tuple[int, ...]
@@ -145,6 +197,7 @@ class ServeRequest:
     truth: Optional[TruthOracle] = None
     rng: Optional[np.random.Generator] = None
     coalescable: bool = True
+    backend: str = "rtf_gsp"
 
 
 @dataclass(frozen=True)
@@ -268,6 +321,8 @@ class QueryService:
         self._closing = False
         self._started = False
         self._workers: List[threading.Thread] = []
+        self._shadow_stats = ShadowStats()
+        self._shadow_lock = threading.Lock()
         if autostart:
             self.start()
 
@@ -282,6 +337,12 @@ class QueryService:
     def system(self) -> CrowdRTSE:
         """The estimator being served."""
         return self._system
+
+    @property
+    def shadow_stats(self) -> ShadowStats:
+        """Consistent copy of the shadow-mode tally (all zeros when off)."""
+        with self._shadow_lock:
+            return replace(self._shadow_stats)
 
     def start(self) -> None:
         """Start the worker pool (idempotent)."""
@@ -501,6 +562,7 @@ class QueryService:
             float(request.budget),
             float(request.theta),
             request.selector,
+            request.backend,
             id(request.market),
             id(request.truth),
             id(request.rng),
@@ -540,6 +602,7 @@ class QueryService:
                         rng=request.rng,
                         snapshot=snapshot,
                         deadline=leader.deadline,
+                        backend=request.backend,
                     )
             except QueryTimeoutError as exc:
                 self._finish_timeout(tickets, snapshot, exc)
@@ -553,7 +616,7 @@ class QueryService:
             except Exception as exc:
                 self._fail_all(tickets, InternalError("serve", exc))
                 return
-        self._finish_ok(tickets, result)
+        self._finish_ok(tickets, result, snapshot)
 
     def _serve_buckets_batched(
         self, buckets: List[List[ServeTicket]], snapshot: ModelSnapshot
@@ -622,16 +685,53 @@ class QueryService:
             ready.append((tickets, prepared))
         if not ready:
             return
+        # Non-default backends answer bucket-by-bucket off the shared
+        # snapshot; only the rtf_gsp buckets share a propagation batch.
+        gsp_ready: List[Tuple[List[ServeTicket], PreparedQuery]] = []
+        for tickets, prepared in ready:
+            leader = tickets[0]
+            backend = leader.request.backend
+            if backend == "rtf_gsp":
+                gsp_ready.append((tickets, prepared))
+                continue
+            try:
+                estimate = self._system.estimate_with_backend(
+                    backend,
+                    prepared.probes,
+                    prepared.slot,
+                    snapshot=snapshot,
+                    deadline=leader.deadline,
+                )
+            except QueryTimeoutError as exc:
+                self._finish_timeout(tickets, snapshot, exc)
+                continue
+            except ReproError as exc:
+                self._fail_all(tickets, exc)
+                continue
+            except Exception as exc:
+                self._fail_all(tickets, InternalError("serve", exc))
+                continue
+            self._finish_ok(
+                tickets,
+                self._system._assemble_backend_result(
+                    prepared, estimate.speeds, backend
+                ),
+                snapshot,
+            )
+        if not gsp_ready:
+            return
         items = [
             (snapshot.slot(prepared.slot), prepared.probes)
-            for _, prepared in ready
+            for _, prepared in gsp_ready
         ]
         gsp_results = self._system.gsp_engine.propagate_batch(
             items, self._config.gsp_config
         )
-        for (tickets, prepared), gsp_result in zip(ready, gsp_results):
+        for (tickets, prepared), gsp_result in zip(gsp_ready, gsp_results):
             self._finish_ok(
-                tickets, self._system._assemble_result(prepared, gsp_result)
+                tickets,
+                self._system._assemble_result(prepared, gsp_result),
+                snapshot,
             )
 
     # -- helpers --------------------------------------------------------
@@ -673,7 +773,12 @@ class QueryService:
             deadline.budget_seconds,
         )
 
-    def _finish_ok(self, tickets: List[ServeTicket], result: QueryResult) -> None:
+    def _finish_ok(
+        self,
+        tickets: List[ServeTicket],
+        result: QueryResult,
+        snapshot: ModelSnapshot,
+    ) -> None:
         metrics = get_metrics()
         for k, ticket in enumerate(tickets):
             latency = time.perf_counter() - ticket.enqueued_at
@@ -696,6 +801,10 @@ class QueryService:
                     result=result,
                 )
             )
+        # Shadow scoring runs strictly after every ticket resolved, so
+        # the caller's answer and latency are already final.
+        if self._config.shadow_backend is not None:
+            self._score_shadow(tickets[0].request, result, snapshot)
 
     def _finish_timeout(
         self, tickets: List[ServeTicket], snapshot: ModelSnapshot, exc: QueryTimeoutError
@@ -740,6 +849,68 @@ class QueryService:
                     total_seconds=latency,
                 )
             )
+
+    def _score_shadow(
+        self,
+        request: ServeRequest,
+        result: QueryResult,
+        snapshot: ModelSnapshot,
+    ) -> None:
+        """Score the challenger backend against the answer just served.
+
+        Re-estimates from the *same* probes and pinned snapshot, so the
+        comparison isolates the estimator (no extra crowd spend).  Any
+        challenger failure is counted, never propagated — shadow mode
+        must not break serving.
+        """
+        challenger = self._config.shadow_backend
+        if challenger is None or challenger == result.backend:
+            return
+        metrics = get_metrics()
+        tracer = get_tracer()
+        start = time.perf_counter()
+        with tracer.span(
+            "serve.shadow", backend=challenger, slot=int(request.slot)
+        ):
+            try:
+                estimate = self._system.estimate_with_backend(
+                    challenger,
+                    result.probes,
+                    request.slot,
+                    snapshot=snapshot,
+                )
+            except Exception:
+                if metrics.enabled:
+                    metrics.counter(
+                        "serve.shadow.scored",
+                        {"backend": challenger, "outcome": "error"},
+                    ).inc()
+                with self._shadow_lock:
+                    self._shadow_stats.errors += 1
+                return
+        elapsed = time.perf_counter() - start
+        divergence = float(
+            np.mean(np.abs(estimate.speeds - result.full_field_kmh))
+        )
+        if metrics.enabled:
+            metrics.counter(
+                "serve.shadow.scored",
+                {"backend": challenger, "outcome": "ok"},
+            ).inc()
+            metrics.histogram(
+                "serve.shadow.latency_seconds",
+                DEFAULT_TIME_BUCKETS,
+                {"backend": challenger},
+            ).observe(elapsed)
+            metrics.histogram(
+                "serve.shadow.divergence_kmh",
+                _DIVERGENCE_BUCKETS,
+                {"backend": challenger},
+            ).observe(divergence)
+        with self._shadow_lock:
+            self._shadow_stats.scored += 1
+            self._shadow_stats.latency_sum_s += elapsed
+            self._shadow_stats.divergence_sum_kmh += divergence
 
     def _fail_all(self, tickets: List[ServeTicket], exc: ReproError) -> None:
         metrics = get_metrics()

@@ -133,6 +133,12 @@ class StreamRefresher:
         system: The fitted pipeline whose store receives publishes.
         config: Streaming knobs; defaults are production-shaped.
 
+    Each slot close publishes through :meth:`ModelStore.refresh`, which
+    also advances the state of *every* estimator backend attached via
+    ``CrowdRTSE.attach_backend`` — streamed observations keep lsmrn,
+    gmrf, and the offline-shim backends as fresh as the RTF slots, in
+    the same atomic snapshot.
+
     Use as a context manager (or call :meth:`close`) so the final
     partially-filled slots are drained and the publisher thread joins::
 

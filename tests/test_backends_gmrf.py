@@ -1,0 +1,247 @@
+"""Differential tests for the GMRF reconstruction backend.
+
+The sparse conditional-mean solve is checked against the textbook dense
+joint-covariance formula, the ML grid search against a brute-force
+log-likelihood evaluation, and the refresh against its exponential
+update (arXiv:1306.6482 adapted; see docs/PAPER_MAPPING.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro
+from repro.backends.gmrf import (
+    _ALPHA_GRID,
+    _BETA_GRID,
+    GMRFBackend,
+    GMRFState,
+    gmrf_conditional_mean,
+)
+from repro.baselines.grmc import graph_laplacian
+from repro.errors import BackendError, NotFittedError
+from repro.traffic.history import SpeedHistory
+
+SLOT_OFFSET = 120
+N_SLOTS = 3
+
+
+@pytest.fixture(scope="module")
+def net():
+    return repro.grid_network(4, 4)  # 16 roads
+
+
+@pytest.fixture(scope="module")
+def history(net):
+    rng = np.random.default_rng(17)
+    base = rng.uniform(25.0, 45.0, size=net.n_roads)
+    speeds = base[None, None, :] + 4.0 * rng.standard_normal(
+        (10, N_SLOTS, net.n_roads)
+    )
+    return SpeedHistory(np.maximum(speeds, 5.0), net.road_ids, SLOT_OFFSET)
+
+
+@pytest.fixture(scope="module")
+def backend(net):
+    return GMRFBackend(net)
+
+
+@pytest.fixture(scope="module")
+def state(backend, history):
+    return backend.fit(history)
+
+
+def _dense_conditional_reference(precision, mu, observed, values):
+    """Conditional mean via the dense joint covariance Σ = Q⁻¹."""
+    n = mu.shape[0]
+    cov = np.linalg.inv(precision.toarray())
+    mask = np.zeros(n, dtype=bool)
+    mask[observed] = True
+    unknown = np.nonzero(~mask)[0]
+    field = np.array(mu, copy=True)
+    field[observed] = values
+    if unknown.size:
+        sigma_uo = cov[np.ix_(unknown, observed)]
+        sigma_oo = cov[np.ix_(observed, observed)]
+        field[unknown] = mu[unknown] + sigma_uo @ np.linalg.solve(
+            sigma_oo, values - mu[observed]
+        )
+    return field
+
+
+class TestConditionalMean:
+    def test_matches_dense_covariance_reference(self, net):
+        rng = np.random.default_rng(41)
+        n = net.n_roads
+        laplacian = graph_laplacian(net).tocsr()
+        precision = (0.2 * sp.identity(n, format="csr") + 1.5 * laplacian).tocsr()
+        mu = rng.uniform(20.0, 50.0, size=n)
+        observed = np.array([1, 4, 9, 12])
+        values = mu[observed] + rng.uniform(-6.0, 6.0, size=observed.size)
+
+        got = gmrf_conditional_mean(precision, mu, observed, values)
+        ref = _dense_conditional_reference(precision, mu, observed, values)
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+    def test_empty_observation_returns_mean(self, net):
+        n = net.n_roads
+        precision = sp.identity(n, format="csr")
+        mu = np.linspace(20.0, 40.0, n)
+        got = gmrf_conditional_mean(
+            precision, mu, np.array([], dtype=int), np.array([])
+        )
+        np.testing.assert_array_equal(got, mu)
+        got[0] = -1.0  # must be a copy, not a view of mu
+        assert mu[0] != -1.0
+
+    def test_full_observation_returns_values(self, net):
+        n = net.n_roads
+        precision = sp.identity(n, format="csr")
+        mu = np.full(n, 30.0)
+        observed = np.arange(n)
+        values = np.linspace(10.0, 60.0, n)
+        got = gmrf_conditional_mean(precision, mu, observed, values)
+        np.testing.assert_array_equal(got, values)
+
+    def test_pull_toward_neighbors(self, net):
+        """A slow probe drags its graph neighbors below the prior mean."""
+        n = net.n_roads
+        laplacian = graph_laplacian(net).tocsr()
+        precision = (0.1 * sp.identity(n, format="csr") + 2.0 * laplacian).tocsr()
+        mu = np.full(n, 40.0)
+        observed = np.array([0])
+        values = np.array([10.0])
+        field = gmrf_conditional_mean(precision, mu, observed, values)
+        neighbors = [j for i, j in net.edges if i == 0]
+        neighbors += [i for i, j in net.edges if j == 0]
+        assert neighbors
+        assert all(field[r] < 40.0 for r in neighbors)
+
+
+class TestFit:
+    def test_selects_grid_maximizer(self, backend, state, history, net):
+        assert isinstance(state, GMRFState)
+        assert state.alpha in _ALPHA_GRID
+        assert state.beta in _BETA_GRID
+
+        # Brute force: exact Gaussian log-likelihood of the centered
+        # residuals for every grid pair, via dense slogdet.
+        laplacian = graph_laplacian(net).toarray()
+        residuals = np.vstack(
+            [
+                history.slot_samples(slot)
+                - history.slot_samples(slot).mean(axis=0)
+                for slot in history.global_slots
+            ]
+        )
+        d = residuals.shape[0]
+        best, best_ll = None, -np.inf
+        for alpha in _ALPHA_GRID:
+            for beta in _BETA_GRID:
+                q = alpha * np.eye(net.n_roads) + beta * laplacian
+                _, log_det = np.linalg.slogdet(q)
+                quad = float(np.sum(residuals * (residuals @ q)))
+                ll = 0.5 * d * log_det - 0.5 * quad
+                if ll > best_ll:
+                    best_ll, best = ll, (alpha, beta)
+        assert (state.alpha, state.beta) == best
+
+    def test_mu_is_per_slot_mean(self, state, history):
+        for slot in history.global_slots:
+            np.testing.assert_allclose(
+                state.mu[slot],
+                history.slot_samples(slot).mean(axis=0),
+                rtol=1e-12,
+            )
+
+    def test_selection_disabled_keeps_defaults(self, net, history):
+        fixed = GMRFBackend(
+            net, alpha=0.25, beta=3.0, select_hyperparameters=False
+        )
+        state = fixed.fit(history)
+        assert state.alpha == 0.25
+        assert state.beta == 3.0
+
+    def test_wrong_width_history_raises(self, backend):
+        bad = SpeedHistory(
+            np.full((3, 2, 5), 30.0), [f"r{k}" for k in range(5)], SLOT_OFFSET
+        )
+        with pytest.raises(BackendError, match="roads"):
+            backend.fit(bad)
+
+
+class TestRefresh:
+    def test_exponential_update(self, backend, state):
+        slot = SLOT_OFFSET + 1
+        rng = np.random.default_rng(53)
+        day = rng.uniform(20.0, 45.0, size=backend.network.n_roads)
+        lr = 0.25
+        refreshed = backend.refresh(state, {slot: day}, learning_rate=lr)
+        expected = (1.0 - lr) * state.mu[slot] + lr * day
+        np.testing.assert_allclose(refreshed.mu[slot], expected, rtol=1e-12)
+        assert refreshed.alpha == state.alpha
+        assert refreshed.beta == state.beta
+        for other in state.mu:
+            if other == slot:
+                continue
+            np.testing.assert_array_equal(
+                refreshed.mu[other], state.mu[other]
+            )
+
+    def test_unknown_slot_is_noop(self, backend, state):
+        day = np.full(backend.network.n_roads, 33.0)
+        assert backend.refresh(state, {999: day}, learning_rate=0.2) is state
+
+    def test_wrong_length_sample_raises(self, backend, state):
+        with pytest.raises(BackendError, match="day sample"):
+            backend.refresh(
+                state, {SLOT_OFFSET: np.full(3, 30.0)}, learning_rate=0.2
+            )
+
+
+class TestEstimate:
+    def test_matches_conditional_mean(self, backend, state):
+        slot = SLOT_OFFSET
+        probes = {2: 22.0, 8: 44.0, 13: 31.0}
+        estimate = backend.estimate(state, probes, slot)
+        assert estimate.backend == "gmrf"
+        observed = np.array(sorted(probes))
+        values = np.array([probes[int(r)] for r in observed])
+        expected = np.maximum(
+            gmrf_conditional_mean(
+                backend.precision_matrix(state), state.mu[slot],
+                observed, values,
+            ),
+            0.5,
+        )
+        np.testing.assert_allclose(estimate.speeds, expected, rtol=1e-10)
+        for road, speed in probes.items():
+            assert estimate.speeds[road] == pytest.approx(speed)
+        assert estimate.provenance["observed"] == 3
+        assert estimate.provenance["alpha"] == state.alpha
+        assert estimate.provenance["beta"] == state.beta
+
+    def test_no_probes_returns_mean_profile(self, backend, state):
+        estimate = backend.estimate(state, {}, SLOT_OFFSET)
+        np.testing.assert_allclose(
+            estimate.speeds,
+            np.maximum(state.mu[SLOT_OFFSET], 0.5),
+            rtol=1e-12,
+        )
+
+    def test_unfitted_slot_raises(self, backend, state):
+        with pytest.raises(NotFittedError, match="not fitted"):
+            backend.estimate(state, {0: 30.0}, 7)
+
+    def test_wrong_state_type_raises(self, backend):
+        with pytest.raises(BackendError, match="GMRFState"):
+            backend.estimate(object(), {0: 30.0}, SLOT_OFFSET)
+
+
+class TestConstructor:
+    @pytest.mark.parametrize("kwargs", [{"alpha": 0.0}, {"beta": -1.0}])
+    def test_invalid_hyperparameters(self, net, kwargs):
+        with pytest.raises(BackendError):
+            GMRFBackend(net, **kwargs)

@@ -1,0 +1,291 @@
+"""Differential tests for the LSM-RN latent-space backend.
+
+The vectorized GNMF solver is checked against a naive loop reference,
+the objective is checked to descend, and the incremental refresh is
+checked against the closed-form ridge solve it claims to implement
+(arXiv:1602.04301 adapted; see docs/PAPER_MAPPING.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.lsmrn import (
+    LSMRNBackend,
+    LSMRNState,
+    gnmf_multiplicative_step,
+    gnmf_objective,
+    road_adjacency,
+)
+from repro.baselines.grmc import graph_laplacian
+from repro.errors import BackendError, NotFittedError
+from repro.traffic.history import SpeedHistory
+
+SLOT_OFFSET = 100
+N_SLOTS = 4
+
+
+@pytest.fixture(scope="module")
+def net():
+    return repro.grid_network(3, 4)  # 12 roads
+
+
+@pytest.fixture(scope="module")
+def history(net):
+    rng = np.random.default_rng(5)
+    speeds = 35.0 + 8.0 * rng.standard_normal((9, N_SLOTS, net.n_roads))
+    return SpeedHistory(np.maximum(speeds, 5.0), net.road_ids, SLOT_OFFSET)
+
+
+@pytest.fixture(scope="module")
+def backend(net):
+    return LSMRNBackend(net, rank=4, n_iterations=25, seed=3)
+
+
+@pytest.fixture(scope="module")
+def state(backend, history):
+    return backend.fit(history)
+
+
+def _loop_reference_step(matrix, w, v, adjacency, degrees, gamma, reg, eps):
+    """gnmf_multiplicative_step re-derived with explicit Python loops."""
+    n_days, n_roads = matrix.shape
+    rank = w.shape[1]
+    adj = adjacency.toarray()
+
+    w_new = np.empty_like(w)
+    vtv = np.empty((rank, rank))
+    for a in range(rank):
+        for b in range(rank):
+            vtv[a, b] = sum(v[r, a] * v[r, b] for r in range(n_roads))
+    for d in range(n_days):
+        for k in range(rank):
+            numer = sum(matrix[d, r] * v[r, k] for r in range(n_roads))
+            denom = (
+                sum(w[d, a] * vtv[a, k] for a in range(rank))
+                + reg * w[d, k]
+                + eps
+            )
+            w_new[d, k] = w[d, k] * numer / denom
+
+    v_new = np.empty_like(v)
+    wtw = np.empty((rank, rank))
+    for a in range(rank):
+        for b in range(rank):
+            wtw[a, b] = sum(w_new[d, a] * w_new[d, b] for d in range(n_days))
+    for r in range(n_roads):
+        for k in range(rank):
+            numer = sum(matrix[d, r] * w_new[d, k] for d in range(n_days))
+            numer += gamma * sum(
+                adj[r, r2] * v[r2, k] for r2 in range(n_roads)
+            )
+            denom = (
+                sum(v[r, a] * wtw[a, k] for a in range(rank))
+                + gamma * degrees[r] * v[r, k]
+                + reg * v[r, k]
+                + eps
+            )
+            v_new[r, k] = v[r, k] * numer / denom
+    return w_new, v_new
+
+
+class TestGNMFStep:
+    def test_matches_loop_reference(self, net):
+        rng = np.random.default_rng(21)
+        n_days, rank = 7, 3
+        matrix = rng.uniform(10.0, 50.0, size=(n_days, net.n_roads))
+        w = rng.uniform(0.5, 1.5, size=(n_days, rank))
+        v = rng.uniform(0.5, 1.5, size=(net.n_roads, rank))
+        adjacency = road_adjacency(net)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        gamma, reg = 0.5, 0.05
+
+        got_w, got_v = gnmf_multiplicative_step(
+            matrix, w, v, adjacency, degrees, gamma, reg
+        )
+        ref_w, ref_v = _loop_reference_step(
+            matrix, w, v, adjacency, degrees, gamma, reg, eps=1e-9
+        )
+        np.testing.assert_allclose(got_w, ref_w, rtol=1e-10)
+        np.testing.assert_allclose(got_v, ref_v, rtol=1e-10)
+
+    def test_objective_descends(self, net):
+        rng = np.random.default_rng(8)
+        matrix = rng.uniform(10.0, 50.0, size=(12, net.n_roads))
+        rank = 4
+        scale = np.sqrt(matrix.mean() / rank)
+        w = rng.uniform(0.5, 1.5, size=(12, rank)) * scale
+        v = rng.uniform(0.5, 1.5, size=(net.n_roads, rank)) * scale
+        adjacency = road_adjacency(net)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        laplacian = graph_laplacian(net).tocsr()
+        gamma, reg = 0.5, 0.05
+
+        values = [gnmf_objective(matrix, w, v, laplacian, gamma, reg)]
+        for _ in range(30):
+            w, v = gnmf_multiplicative_step(
+                matrix, w, v, adjacency, degrees, gamma, reg
+            )
+            values.append(gnmf_objective(matrix, w, v, laplacian, gamma, reg))
+        diffs = np.diff(values)
+        assert np.all(diffs <= 1e-6 * np.abs(values[0]))
+        assert values[-1] < values[0]
+
+    def test_factors_stay_nonnegative(self, net):
+        rng = np.random.default_rng(9)
+        matrix = rng.uniform(10.0, 50.0, size=(6, net.n_roads))
+        w = rng.uniform(0.5, 1.5, size=(6, 3))
+        v = rng.uniform(0.5, 1.5, size=(net.n_roads, 3))
+        adjacency = road_adjacency(net)
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        for _ in range(20):
+            w, v = gnmf_multiplicative_step(
+                matrix, w, v, adjacency, degrees, 0.5, 0.05
+            )
+        assert np.all(w >= 0) and np.all(v >= 0)
+
+    def test_adjacency_symmetric_binary(self, net):
+        adjacency = road_adjacency(net)
+        dense = adjacency.toarray()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+        assert dense.sum() == 2 * len(net.edges)
+
+
+class TestFit:
+    def test_state_shape(self, state, net):
+        assert isinstance(state, LSMRNState)
+        assert state.road_factors.shape == (net.n_roads, 4)
+        assert np.all(state.road_factors >= 0)
+        assert sorted(state.slot_weights) == list(
+            range(SLOT_OFFSET, SLOT_OFFSET + N_SLOTS)
+        )
+
+    def test_reconstruction_beats_global_mean(self, state, history):
+        slot = SLOT_OFFSET + 1
+        samples = history.slot_samples(slot)
+        field = state.road_factors @ state.slot_weights[slot]
+        err_model = np.mean((field - samples.mean(axis=0)) ** 2)
+        err_global = np.mean((samples.mean() - samples.mean(axis=0)) ** 2)
+        assert err_model < err_global
+
+    def test_deterministic(self, backend, history, state):
+        again = backend.fit(history)
+        np.testing.assert_array_equal(again.road_factors, state.road_factors)
+
+    def test_wrong_width_history_raises(self, backend):
+        bad = SpeedHistory(
+            np.full((3, 2, 5), 30.0), [f"r{k}" for k in range(5)], SLOT_OFFSET
+        )
+        with pytest.raises(BackendError, match="roads"):
+            backend.fit(bad)
+
+
+class TestRefresh:
+    def test_matches_closed_form_ridge(self, backend, state):
+        slot = SLOT_OFFSET + 2
+        rng = np.random.default_rng(31)
+        day = rng.uniform(20.0, 45.0, size=backend.network.n_roads)
+        lr = 0.3
+
+        refreshed = backend.refresh(state, {slot: day}, learning_rate=lr)
+
+        factors = state.road_factors
+        rank = factors.shape[1]
+        ridge = 1.0  # backend default
+        gram = factors.T @ factors + ridge * np.eye(rank)
+        prior = state.slot_weights[slot]
+        day_weight = np.linalg.solve(gram, factors.T @ day + ridge * prior)
+        expected = (1.0 - lr) * prior + lr * day_weight
+        np.testing.assert_allclose(
+            refreshed.slot_weights[slot], expected, rtol=1e-10
+        )
+
+    def test_other_slots_and_factors_untouched(self, backend, state):
+        slot = SLOT_OFFSET
+        day = np.full(backend.network.n_roads, 33.0)
+        refreshed = backend.refresh(state, {slot: day}, learning_rate=0.2)
+        assert refreshed is not state
+        np.testing.assert_array_equal(
+            refreshed.road_factors, state.road_factors
+        )
+        assert refreshed.factors_digest == state.factors_digest
+        for other in state.slot_weights:
+            if other == slot:
+                continue
+            np.testing.assert_array_equal(
+                refreshed.slot_weights[other], state.slot_weights[other]
+            )
+
+    def test_unknown_slot_is_noop(self, backend, state):
+        day = np.full(backend.network.n_roads, 33.0)
+        refreshed = backend.refresh(state, {999: day}, learning_rate=0.2)
+        assert refreshed is state
+
+    def test_wrong_length_sample_raises(self, backend, state):
+        with pytest.raises(BackendError, match="day sample"):
+            backend.refresh(
+                state, {SLOT_OFFSET: np.full(3, 30.0)}, learning_rate=0.2
+            )
+
+
+class TestEstimate:
+    def test_pins_probes_and_matches_ridge_decode(self, backend, state):
+        slot = SLOT_OFFSET + 1
+        probes = {0: 28.0, 3: 41.0, 7: 36.5}
+        estimate = backend.estimate(state, probes, slot)
+        assert estimate.backend == "lsmrn"
+        for road, speed in probes.items():
+            assert estimate.speeds[road] == pytest.approx(speed)
+
+        factors = state.road_factors
+        rank = factors.shape[1]
+        observed = np.array(sorted(probes))
+        values = np.array([probes[int(r)] for r in observed])
+        v_obs = factors[observed]
+        ridge = 1.0
+        weight = np.linalg.solve(
+            v_obs.T @ v_obs + ridge * np.eye(rank),
+            v_obs.T @ values + ridge * state.slot_weights[slot],
+        )
+        expected = factors @ weight
+        expected[observed] = values
+        expected = np.maximum(expected, 0.5)
+        np.testing.assert_allclose(estimate.speeds, expected, rtol=1e-10)
+        assert estimate.provenance["observed"] == 3
+        assert estimate.provenance["rank"] == rank
+        assert estimate.provenance["probe_rmse"] >= 0.0
+
+    def test_no_probes_decodes_slot_profile(self, backend, state):
+        slot = SLOT_OFFSET
+        estimate = backend.estimate(state, {}, slot)
+        expected = np.maximum(
+            state.road_factors @ state.slot_weights[slot], 0.5
+        )
+        np.testing.assert_allclose(estimate.speeds, expected, rtol=1e-12)
+
+    def test_unfitted_slot_raises(self, backend, state):
+        with pytest.raises(NotFittedError, match="not fitted"):
+            backend.estimate(state, {0: 30.0}, 7)
+
+    def test_wrong_state_type_raises(self, backend):
+        with pytest.raises(BackendError, match="LSMRNState"):
+            backend.estimate(object(), {0: 30.0}, SLOT_OFFSET)
+
+
+class TestConstructor:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rank": 0},
+            {"n_iterations": 0},
+            {"gamma": -0.1},
+            {"reg": -0.1},
+            {"ridge": 0.0},
+        ],
+    )
+    def test_invalid_hyperparameters(self, net, kwargs):
+        with pytest.raises(BackendError):
+            LSMRNBackend(net, **kwargs)

@@ -5,10 +5,11 @@ import pytest
 
 import repro
 from repro.errors import ModelError
-from repro.baselines import EstimationContext, LassoEstimator
+from repro.baselines import EstimationContext, LassoEstimator, LassoFieldModel
 from repro.baselines.lasso import (
     LassoModel,
     fit_lasso,
+    fit_lasso_field,
     lasso_coordinate_descent,
     lasso_coordinate_descent_multi,
 )
@@ -165,3 +166,52 @@ class TestLassoEstimator:
         lasso_err = np.abs(field[free] - truth_day[free]).mean()
         mean_err = np.abs(mean[free] - truth_day[free]).mean()
         assert lasso_err < mean_err * 1.05
+
+
+class TestLassoFieldModel:
+    """The serializable fitted-state split (backend satellite)."""
+
+    def _fitted(self, small_world, alpha=0.05):
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        observed = np.arange(0, small_world["network"].n_roads, 4)
+        return samples, observed, fit_lasso_field(samples, observed, alpha)
+
+    def test_estimator_delegates_to_fit_field(self, small_world):
+        """estimate() == fit_field().predict() — the refactor changed
+        the call shape, not the numbers."""
+        net = small_world["network"]
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        probes = {0: 25.0, 4: 50.0, 8: 66.0}
+        context = EstimationContext(net, samples, probes)
+        estimator = LassoEstimator(alpha=0.05)
+        field = estimator.estimate(context)
+        model = estimator.fit_field(context)
+        np.testing.assert_array_equal(
+            field, model.predict(context.observed_values)
+        )
+
+    def test_pickle_roundtrip_predicts_identically(self, small_world):
+        import pickle
+
+        samples, observed, model = self._fitted(small_world)
+        assert isinstance(model, LassoFieldModel)
+        revived = pickle.loads(pickle.dumps(model))
+        probe_values = samples[-1][observed]
+        np.testing.assert_array_equal(
+            model.predict(probe_values), revived.predict(probe_values)
+        )
+        np.testing.assert_array_equal(revived.beta, model.beta)
+        np.testing.assert_array_equal(revived.observed, model.observed)
+
+    def test_predict_pins_probes_and_floors(self, small_world):
+        samples, observed, model = self._fitted(small_world)
+        probe_values = samples[-1][observed]
+        field = model.predict(probe_values)
+        np.testing.assert_allclose(field[observed], probe_values)
+        assert np.all(field >= 0.5)
+
+    def test_empty_observation_returns_target_means(self, small_world):
+        samples = small_world["history"].slot_samples(small_world["slot"])
+        model = fit_lasso_field(samples, np.array([], dtype=int), alpha=0.05)
+        field = model.predict(np.array([]))
+        np.testing.assert_allclose(field, samples.mean(axis=0))

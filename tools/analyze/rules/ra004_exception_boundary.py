@@ -28,7 +28,7 @@ _BUILTIN_EXCEPTIONS = {
 
 #: Modules covered by the boundary contract (relpath suffix match).
 _SCOPE_SUFFIXES = ("pipeline.py", "cli.py")
-_SCOPE_FRAGMENTS = ("/serve/", "/stream/")
+_SCOPE_FRAGMENTS = ("/serve/", "/stream/", "/backends/")
 
 _ROOT_CLASS = "ReproError"
 
