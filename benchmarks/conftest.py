@@ -55,6 +55,13 @@ def semisyn_probe(semisyn, semisyn_system):
     market = market_for(semisyn, seed=0)
     truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
     result = semisyn_system.answer_query(
-        semisyn.queried, semisyn.slot, budget=budget, market=market, truth=truth
+        repro.EstimationRequest(
+            queried=semisyn.queried,
+            slot=semisyn.slot,
+            budget=budget,
+            warm_start=False,
+        ),
+        market=market,
+        truth=truth,
     )
     return result, truth

@@ -6,6 +6,7 @@ of exact posterior variances (which power the confidence bands).
 
 import numpy as np
 
+from repro.core.request import EstimationRequest
 from repro.core.uncertainty import conditional_variances
 from repro.datasets import truth_oracle_for
 from repro.experiments import allocation_study
@@ -34,8 +35,14 @@ def test_posterior_variance_cost(benchmark, semisyn, semisyn_system):
     market = market_for(semisyn, seed=3)
     truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
     result = semisyn_system.answer_query(
-        semisyn.queried, semisyn.slot, budget=min(semisyn.budgets),
-        market=market, truth=truth,
+        EstimationRequest(
+            queried=semisyn.queried,
+            slot=semisyn.slot,
+            budget=min(semisyn.budgets),
+            warm_start=False,
+        ),
+        market=market,
+        truth=truth,
     )
     variances = benchmark(
         conditional_variances, semisyn.network, params, result.probes
@@ -54,8 +61,14 @@ def test_more_probes_reduce_total_uncertainty(benchmark, semisyn, semisyn_system
         for budget in (min(semisyn.budgets), max(semisyn.budgets)):
             market = market_for(semisyn, seed=4)
             result = semisyn_system.answer_query(
-                semisyn.queried, semisyn.slot, budget=budget,
-                market=market, truth=truth,
+                EstimationRequest(
+                    queried=semisyn.queried,
+                    slot=semisyn.slot,
+                    budget=budget,
+                    warm_start=False,
+                ),
+                market=market,
+                truth=truth,
             )
             variances = conditional_variances(
                 semisyn.network, params, result.probes

@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.exact_inference import exact_conditional_mean, gsp_optimality_gap
 from repro.core.gsp import GSPConfig, propagate
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.experiments.common import market_for
 
@@ -20,8 +21,14 @@ def probes(semisyn, semisyn_system):
     market = market_for(semisyn, seed=13)
     truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
     result = semisyn_system.answer_query(
-        semisyn.queried, semisyn.slot, budget=semisyn.budgets[1],
-        market=market, truth=truth,
+        EstimationRequest(
+            queried=semisyn.queried,
+            slot=semisyn.slot,
+            budget=semisyn.budgets[1],
+            warm_start=False,
+        ),
+        market=market,
+        truth=truth,
     )
     return result.probes
 

@@ -14,6 +14,7 @@ from repro.baselines import (
     HopWeightedEstimator,
 )
 from repro.baselines.knn_temporal import TemporalKNNEstimator
+from repro.core.request import EstimationRequest
 from repro.eval.metrics import mean_absolute_percentage_error
 
 _ESTIMATORS = {
@@ -31,8 +32,14 @@ def context_and_truth(semisyn, semisyn_system):
     market = market_for(semisyn, seed=31)
     truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
     result = semisyn_system.answer_query(
-        semisyn.queried, semisyn.slot, budget=min(semisyn.budgets),
-        market=market, truth=truth,
+        EstimationRequest(
+            queried=semisyn.queried,
+            slot=semisyn.slot,
+            budget=min(semisyn.budgets),
+            warm_start=False,
+        ),
+        market=market,
+        truth=truth,
     )
     context = EstimationContext(
         network=semisyn.network,

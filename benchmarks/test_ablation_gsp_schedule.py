@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.gsp import GSPConfig, GSPSchedule, propagate
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.experiments.common import ExperimentScale, market_for
 
@@ -21,8 +22,14 @@ def world(semisyn, semisyn_system):
     market = market_for(semisyn, seed=9)
     truth = truth_oracle_for(semisyn.test_history, 0, semisyn.slot)
     result = semisyn_system.answer_query(
-        semisyn.queried, semisyn.slot, budget=semisyn.budgets[1],
-        market=market, truth=truth,
+        EstimationRequest(
+            queried=semisyn.queried,
+            slot=semisyn.slot,
+            budget=semisyn.budgets[1],
+            warm_start=False,
+        ),
+        market=market,
+        truth=truth,
     )
     return semisyn, semisyn_system, result.probes
 

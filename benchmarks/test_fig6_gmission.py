@@ -7,6 +7,7 @@ correlation-only baselines at every budget.
 """
 
 
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.experiments import figure6
 from repro.experiments.common import ExperimentScale, market_for
@@ -21,9 +22,12 @@ def test_fig6_full_query(benchmark, gmission, gmission_system):
     def answer():
         market = market_for(gmission, seed=5)
         return gmission_system.answer_query(
-            gmission.queried,
-            gmission.slot,
-            budget=max(gmission.budgets),
+            EstimationRequest(
+                queried=gmission.queried,
+                slot=gmission.slot,
+                budget=max(gmission.budgets),
+                warm_start=False,
+            ),
             market=market,
             truth=truth,
         )

@@ -61,12 +61,15 @@ def _run_query(world, seed, backend):
     kwargs = {} if backend is None else {"backend": backend}
     start = time.perf_counter()
     result = world["system"].answer_query(
-        data.queried,
-        data.slot,
-        budget=12,
+        repro.EstimationRequest(
+            queried=data.queried,
+            slot=data.slot,
+            budget=12,
+            rng=np.random.default_rng(seed),
+            warm_start=False,
+        ),
         market=market,
         truth=world["truth"],
-        rng=np.random.default_rng(seed),
         **kwargs,
     )
     return time.perf_counter() - start, result

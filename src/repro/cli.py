@@ -42,6 +42,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
@@ -89,6 +90,24 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--test-days", type=int, default=5)
     parser.add_argument("--slots", type=int, default=12, help="simulated slots per day")
     parser.add_argument("--seed", type=int, default=2018)
+
+
+def _add_latency_args(parser: argparse.ArgumentParser) -> None:
+    """Shared per-request latency knobs (``query`` and ``serve``)."""
+    group = parser.add_argument_group("latency")
+    group.add_argument(
+        "--precision", choices=("float64", "float32"), default=None,
+        help="GSP sweep precision: float64 is the bit-exact reference, "
+        "float32 the fast opt-in mode (documented tolerance contract; "
+        "see docs/API.md).  Default: float64, or whatever the trace "
+        "line carries",
+    )
+    group.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable warm-starting GSP from the previous converged "
+        "field (warm starts converge to the same fixed point within "
+        "the solver tolerance, not bit-identically)",
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -247,16 +266,17 @@ def cmd_query(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed),
     )
     truth = repro.truth_oracle_for(data.test_history, args.day, data.slot)
-    result = system.answer_query(
-        data.queried,
-        data.slot,
+    request = repro.EstimationRequest(
+        queried=data.queried,
+        slot=data.slot,
         budget=args.budget,
-        market=market,
-        truth=truth,
         theta=args.theta,
         selector=args.selector,
         rng=np.random.default_rng(args.seed),
+        precision=args.precision or "float64",
+        warm_start=not args.no_warm_start,
     )
+    result = system.answer_query(request, market=market, truth=truth)
     truths = np.array([truth(q) for q in data.queried])
     mape = repro.mean_absolute_percentage_error(result.estimates_kmh, truths)
     fer = repro.false_estimation_rate(result.estimates_kmh, truths)
@@ -293,13 +313,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
     )
     truth = repro.truth_oracle_for(data.test_history, day=0, slot=data.slot)
     result = system.answer_query(
-        data.queried,
-        data.slot,
-        budget=args.budget,
+        repro.EstimationRequest(
+            queried=data.queried,
+            slot=data.slot,
+            budget=args.budget,
+            selector=args.selector,
+            rng=np.random.default_rng(args.seed),
+        ),
         market=market,
         truth=truth,
-        selector=args.selector,
-        rng=np.random.default_rng(args.seed),
     )
     print(
         f"# instrumented query: selected {len(result.selection.selected)} roads, "
@@ -335,12 +357,14 @@ def cmd_refresh(args: argparse.Namespace) -> int:
             rng=np.random.default_rng(args.seed + day),
         )
         result = system.answer_query(
-            data.queried,
-            data.slot,
-            budget=args.budget,
+            repro.EstimationRequest(
+                queried=data.queried,
+                slot=data.slot,
+                budget=args.budget,
+                rng=np.random.default_rng(args.seed + day),
+            ),
             market=market,
             truth=truth,
-            rng=np.random.default_rng(args.seed + day),
         )
         truths = np.array([truth(q) for q in data.queried])
         mape = repro.mean_absolute_percentage_error(result.estimates_kmh, truths)
@@ -385,11 +409,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not slots:
         slots = [data.slot]
     system = repro.CrowdRTSE.fit(data.network, data.train_history, slots=slots)
-    # Non-default backends (primary or shadow challenger) are fitted on
-    # the same training history and attached before serving starts.
-    for name in {args.backend, args.shadow} - {None, "rtf_gsp"}:
-        system.attach_backend(name, history=data.train_history)
-        print(f"attached backend {name!r} (store v{system.store.version})")
     market = repro.CrowdMarket(
         data.network, data.pool, data.cost_model,
         rng=np.random.default_rng(args.seed),
@@ -416,27 +435,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
 
+    # Non-default backends (the --backend override, the shadow
+    # challenger, and anything the trace lines name) are fitted on the
+    # same training history and attached before serving starts.
+    backends = {args.backend, args.shadow} | {item.backend for item in items}
+    for name in sorted(backends - {None, "rtf_gsp"}):
+        system.attach_backend(name, history=data.train_history)
+        print(f"attached backend {name!r} (store v{system.store.version})")
+
     # Truth oracles are (day, slot)-specific; cache them so identical
     # requests share one oracle object and stay coalescable.
     oracles = {}
 
-    def bind(item: "serving.WorkloadItem") -> "serving.ServeRequest":
+    def bind(item: "repro.EstimationRequest") -> "repro.EstimationRequest":
         day = min(item.day, data.test_history.n_days - 1)
         key = (day, item.slot)
         if key not in oracles:
             oracles[key] = repro.truth_oracle_for(data.test_history, day, item.slot)
-        return serving.ServeRequest(
-            queried=item.queried,
-            slot=item.slot,
-            budget=item.budget,
-            theta=item.theta,
-            selector=item.selector,
-            deadline_s=(
-                item.deadline_ms / 1e3 if item.deadline_ms is not None else None
-            ),
-            truth=oracles[key],
-            backend=args.backend,
-        )
+        overrides = {"truth": oracles[key]}
+        if args.backend != "rtf_gsp":
+            overrides["backend"] = args.backend
+        if args.precision is not None:
+            overrides["precision"] = args.precision
+        if args.no_warm_start:
+            overrides["warm_start"] = False
+        return dataclasses.replace(item, **overrides)
 
     config = serving.ServeConfig(
         num_workers=args.workers,
@@ -561,7 +584,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                             )
                         tickets.append(
                             service.submit(
-                                serving.ServeRequest(
+                                repro.EstimationRequest(
                                     queried=tuple(data.queried),
                                     slot=data.slot,
                                     budget=args.budget,
@@ -703,6 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--day", type=int, default=0, help="test day to query")
     p_query.add_argument("--verbose", action="store_true", help="print per-road rows")
+    _add_latency_args(p_query)
     _add_obs_args(p_query)
     p_query.set_defaults(func=cmd_query)
 
@@ -827,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="score this challenger backend in shadow mode on every "
         "completed request (serve.shadow.* metrics; answers unchanged)",
     )
+    _add_latency_args(p_serve)
     _add_obs_args(p_serve)
     _add_admin_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)

@@ -40,6 +40,7 @@ from repro.core.gsp import (
     GSPProvenance,
     GSPResult,
     GSPSchedule,
+    PrecisionPolicy,
     PropagationStructure,
     build_propagation_structure,
     engine_for,
@@ -67,6 +68,15 @@ from repro.core.store import (
     SnapshotCorrelations,
     StoreStats,
 )
+from repro.core.snapshot_io import (
+    SnapshotFile,
+    load_model,
+    load_store,
+    read_snapshot,
+    verify_digests,
+    write_snapshot,
+)
+from repro.core.request import EstimationRequest, as_request
 from repro.core.pipeline import CrowdRTSE, QueryResult
 
 __all__ = [
@@ -98,6 +108,7 @@ __all__ = [
     "GSPProvenance",
     "GSPResult",
     "GSPSchedule",
+    "PrecisionPolicy",
     "PropagationStructure",
     "build_propagation_structure",
     "engine_for",
@@ -119,6 +130,14 @@ __all__ = [
     "ModelStore",
     "SnapshotCorrelations",
     "StoreStats",
+    "SnapshotFile",
+    "load_model",
+    "load_store",
+    "read_snapshot",
+    "verify_digests",
+    "write_snapshot",
+    "EstimationRequest",
+    "as_request",
     "BatchResult",
     "answer_batch",
     "sequential_baseline",

@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import SelectionError
 from repro.core.gsp import GSPConfig
 from repro.core.pipeline import CrowdRTSE, QueryResult
+from repro.core.request import EstimationRequest
 from repro.crowd.market import CrowdMarket, TruthOracle
 
 
@@ -85,15 +86,18 @@ def answer_batch(
             raise SelectionError(f"query {k} is empty")
     union: List[int] = sorted({int(r) for query in queries for r in query})
     shared = system.answer_query(
-        union,
-        slot,
-        budget=budget,
+        EstimationRequest(
+            queried=union,
+            slot=slot,
+            budget=budget,
+            theta=theta,
+            selector=selector,
+            rng=rng,
+            warm_start=False,
+        ),
         market=market,
         truth=truth,
-        theta=theta,
-        selector=selector,
         gsp_config=gsp_config,
-        rng=rng,
     )
     per_query = tuple(
         shared.full_field_kmh[np.asarray([int(r) for r in query], dtype=int)]
@@ -129,14 +133,17 @@ def sequential_baseline(
     spent = 0
     for query in queries:
         result = system.answer_query(
-            query,
-            slot,
-            budget=share,
+            EstimationRequest(
+                queried=query,
+                slot=slot,
+                budget=share,
+                theta=theta,
+                selector=selector,
+                rng=rng,
+                warm_start=False,
+            ),
             market=market,
             truth=truth,
-            theta=theta,
-            selector=selector,
-            rng=rng,
         )
         estimates.append(result.estimates_kmh)
         spent += result.budget_spent

@@ -87,6 +87,48 @@ class GSPKernel(str, enum.Enum):
     VECTORIZED = "vectorized"
 
 
+class PrecisionPolicy(str, enum.Enum):
+    """Numeric precision of the propagation sweep.
+
+    The **tolerance contract**: ``FLOAT64`` is the reference precision —
+    every differential test and the batched/coalesced serving paths are
+    bit-identical under it.  ``FLOAT32`` is an opt-in speed/memory mode
+    for the vectorized kernel: the sweep state and folded parameters are
+    cast down once, sweeps run in single precision, and the returned
+    field is upcast with observed roads re-clamped to their exact probed
+    values.  Non-observed roads are guaranteed within
+    :attr:`field_rtol` relative divergence of the float64 field on
+    converged runs (enforced by ``tests/test_precision.py``); selections
+    and everything upstream of GSP are precision-independent.
+    """
+
+    FLOAT64 = "float64"
+    FLOAT32 = "float32"
+
+    @property
+    def dtype(self) -> "np.dtype":
+        """The numpy dtype sweeps run in."""
+        return np.dtype(np.float32 if self is PrecisionPolicy.FLOAT32 else np.float64)
+
+    @property
+    def field_rtol(self) -> float:
+        """Documented relative divergence bound vs the float64 field."""
+        return 5e-4 if self is PrecisionPolicy.FLOAT32 else 0.0
+
+    @classmethod
+    def coerce(cls, value: "str | PrecisionPolicy") -> "PrecisionPolicy":
+        """Accept a policy or its string spelling (``"float32"``)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise ModelError(
+                f"unknown precision {value!r}; expected one of "
+                f"{sorted(p.value for p in cls)}"
+            ) from None
+
+
 #: Schedules whose group updates commute, so the vectorized kernel's
 #: fused group update reproduces the sequential result exactly.
 VECTORIZABLE_SCHEDULES = frozenset(
@@ -144,6 +186,9 @@ class GSPConfig:
         strict: Raise :class:`ConvergenceError` when the sweep budget is
             exhausted (default: return the last iterate).
         seed: RNG seed for the RANDOM schedule.
+        precision: Sweep precision; see :class:`PrecisionPolicy`.
+            ``FLOAT32`` requires the vectorized kernel (use
+            :meth:`with_precision` to adjust the schedule when needed).
     """
 
     epsilon: float = 1e-3
@@ -152,12 +197,44 @@ class GSPConfig:
     kernel: GSPKernel = GSPKernel.AUTO
     strict: bool = False
     seed: Optional[int] = None
+    precision: PrecisionPolicy = PrecisionPolicy.FLOAT64
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
             raise ModelError(f"epsilon must be positive, got {self.epsilon}")
         if self.max_sweeps <= 0:
             raise ModelError(f"max_sweeps must be positive, got {self.max_sweeps}")
+        object.__setattr__(self, "precision", PrecisionPolicy.coerce(self.precision))
+
+    def with_precision(self, precision: "str | PrecisionPolicy") -> "GSPConfig":
+        """This config adjusted to run under ``precision``.
+
+        ``FLOAT32`` only runs on the vectorized kernel; when the current
+        schedule is not vectorizable and the kernel is ``AUTO``, the
+        schedule is upgraded to ``BFS_PARALLEL`` (an explicitly
+        ``REFERENCE`` kernel raises :class:`ModelError` instead).
+        """
+        from dataclasses import replace
+
+        policy = PrecisionPolicy.coerce(precision)
+        if policy is PrecisionPolicy.FLOAT64:
+            return replace(self, precision=policy)
+        if self.schedule in VECTORIZABLE_SCHEDULES:
+            if self.kernel is GSPKernel.REFERENCE:
+                raise ModelError(
+                    "float32 precision requires the vectorized kernel; "
+                    "the reference kernel is float64-only"
+                )
+            return replace(self, precision=policy)
+        if self.kernel is not GSPKernel.AUTO:
+            raise ModelError(
+                "float32 precision requires a vectorizable schedule "
+                f"({sorted(s.value for s in VECTORIZABLE_SCHEDULES)}); "
+                f"got {self.schedule.value!r} with kernel {self.kernel.value!r}"
+            )
+        return replace(
+            self, precision=policy, schedule=GSPSchedule.BFS_PARALLEL
+        )
 
     def resolved_kernel(self) -> GSPKernel:
         """The concrete kernel AUTO resolves to for this schedule."""
@@ -191,10 +268,13 @@ class GSPProvenance:
             reference builder).
         schedule_cache_hit: Whether the BFS layers / colouring came out
             of the engine cache.
+        warm_start: Whether the sweep was seeded from a caller-provided
+            field instead of the prior means μ.
     """
 
     structure_cache_hit: bool = False
     schedule_cache_hit: bool = False
+    warm_start: bool = False
 
 
 @dataclass(frozen=True)
@@ -603,6 +683,8 @@ class GSPEngine:
         params: RTFSlot,
         observed: Mapping[int, float],
         config: Optional[GSPConfig] = None,
+        *,
+        initial_field: Optional[np.ndarray] = None,
     ) -> GSPResult:
         """Run GSP for one slot (Alg. 5), using the cached structures.
 
@@ -610,13 +692,21 @@ class GSPEngine:
             params: RTF parameters of the query slot.
             observed: Probed speeds keyed by road index; clamped.
             config: Solver knobs.
+            initial_field: Optional warm-start seed, shape
+                ``(n_roads,)`` — the sweep starts from this field instead
+                of the prior means μ (observed roads are still clamped to
+                their probed values).  Converges to the same fixed point;
+                a seed near it (e.g. the previous slot's converged field)
+                cuts sweeps-to-convergence.  Callers are responsible for
+                the seed's freshness — see
+                ``ModelSnapshot.warm_field``/``store_warm_field``.
 
         Returns:
             A :class:`GSPResult`.
 
         Raises:
             ModelError: On index/shape problems or an impossible
-                kernel/schedule combination.
+                kernel/schedule/precision combination.
             ConvergenceError: In ``strict`` mode when ε is not reached.
 
         Warns:
@@ -626,6 +716,11 @@ class GSPEngine:
         """
         cfg = config or GSPConfig()
         kernel = cfg.resolved_kernel()
+        if cfg.precision is PrecisionPolicy.FLOAT32 and kernel is not GSPKernel.VECTORIZED:
+            raise ModelError(
+                "float32 precision requires the vectorized kernel "
+                "(see GSPConfig.with_precision)"
+            )
         params.check_against(self._network)
         n = self._network.n_roads
         for road, value in observed.items():
@@ -633,6 +728,17 @@ class GSPEngine:
                 raise ModelError(f"observed road index {road} outside 0..{n - 1}")
             if not np.isfinite(value) or value <= 0:
                 raise ModelError(f"observed speed for road {road} must be positive")
+        if initial_field is not None:
+            seed_field = np.asarray(initial_field, dtype=np.float64)
+            if seed_field.shape != (n,):
+                raise ModelError(
+                    f"initial_field shape {seed_field.shape} does not match "
+                    f"{n} roads"
+                )
+            if not np.all(np.isfinite(seed_field)):
+                raise ModelError("initial_field must be finite")
+        else:
+            seed_field = None
 
         tracer = get_tracer()
         with tracer.span(
@@ -641,9 +747,13 @@ class GSPEngine:
             schedule=cfg.schedule.value,
             kernel=kernel.value,
             observed_roads=len(observed),
+            warm_start=seed_field is not None,
         ) as span:
             start = time.perf_counter()
-            speeds = params.mu.astype(np.float64).copy()
+            if seed_field is not None:
+                speeds = seed_field.copy()
+            else:
+                speeds = params.mu.astype(np.float64).copy()
             for road, value in observed.items():
                 speeds[road] = float(value)
             observed_set = frozenset(int(road) for road in observed)
@@ -660,6 +770,7 @@ class GSPEngine:
                     runtime_seconds=runtime,
                     schedule=cfg.schedule,
                     kernel=kernel,
+                    provenance=GSPProvenance(warm_start=seed_field is not None),
                 )
 
             if kernel is GSPKernel.VECTORIZED:
@@ -673,6 +784,12 @@ class GSPEngine:
                 speeds, sweeps, converged, history = _vectorized_sweeps(
                     structure, compiled, speeds, cfg
                 )
+                if cfg.precision is PrecisionPolicy.FLOAT32:
+                    # Upcast and re-clamp: observed roads keep their exact
+                    # probed values regardless of the sweep precision.
+                    speeds = speeds.astype(np.float64)
+                    for road, value in observed.items():
+                        speeds[road] = float(value)
             else:
                 structure_hit = schedule_hit = False
                 speeds, sweeps, converged, history = _reference_sweeps(
@@ -710,6 +827,7 @@ class GSPEngine:
                 provenance=GSPProvenance(
                     structure_cache_hit=structure_hit,
                     schedule_cache_hit=schedule_hit,
+                    warm_start=seed_field is not None,
                 ),
             )
 
@@ -742,6 +860,8 @@ class GSPEngine:
         self,
         items: Sequence[Tuple[RTFSlot, Mapping[int, float]]],
         config: Optional[GSPConfig] = None,
+        *,
+        initial_fields: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> List[GSPResult]:
         """Answer several time slots in one call.
 
@@ -753,11 +873,23 @@ class GSPEngine:
         Args:
             items: Per-slot propagation inputs.
             config: Solver knobs applied to every item.
+            initial_fields: Optional per-item warm-start seeds, aligned
+                with ``items`` (``None`` entries cold-start from μ).
 
         Returns:
             One :class:`GSPResult` per item, in input order.
         """
-        return [self.propagate(params, observed, config) for params, observed in items]
+        if initial_fields is not None and len(initial_fields) != len(items):
+            raise ModelError(
+                f"initial_fields length {len(initial_fields)} does not match "
+                f"{len(items)} items"
+            )
+        seeds: Sequence[Optional[np.ndarray]]
+        seeds = initial_fields if initial_fields is not None else [None] * len(items)
+        return [
+            self.propagate(params, observed, config, initial_field=seed)
+            for (params, observed), seed in zip(items, seeds)
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -773,17 +905,22 @@ def _vectorized_sweeps(
 ) -> Tuple[np.ndarray, int, bool, List[float]]:
     """Fused group updates until ε-convergence (Eq. 18, whole groups)."""
     # Gather the per-group parameter slices once per call; only the
-    # neighbour-value gather remains inside the sweep loop.
+    # neighbour-value gather remains inside the sweep loop.  Under the
+    # FLOAT32 policy the folded parameters and the iterate are cast down
+    # once here and the whole sweep runs single-precision.
+    dtype = cfg.precision.dtype
+    if speeds.dtype != dtype:
+        speeds = speeds.astype(dtype)
     prepared = []
     for group in compiled.groups:
         prepared.append(
             (
                 group.nodes,
                 structure.indices[group.flat],
-                structure.weights[group.flat],
+                structure.weights[group.flat].astype(dtype, copy=False),
                 group.owner,
-                structure.const_pull[group.nodes],
-                structure.denom[group.nodes],
+                structure.const_pull[group.nodes].astype(dtype, copy=False),
+                structure.denom[group.nodes].astype(dtype, copy=False),
                 group.nodes.size,
             )
         )

@@ -8,16 +8,25 @@ local optimum.  Because every accepted move strictly improves Eq. 13,
 the result upper-bounds how much any small perturbation could gain —
 the gap it closes over Hybrid-Greedy is an empirical measure of the
 greedy's slack.
+
+The default *incremental* mode evaluates each trial move from a cached
+per-queried-road coverage state (best and second-best correlation over
+the current selection) instead of re-scoring the whole selection with
+``instance.objective`` — ``O(|R^q|)`` per trial instead of
+``O(|R^q| · |R^c|)``.  The trial values are the same maxima the full
+rescore computes, reduced by the same ``np.dot``, so move decisions are
+bit-identical to the oracle (``incremental=False``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
 
-from repro.errors import SelectionError
 from repro.core.ocs import OCSInstance, OCSResult
+from repro.errors import SelectionError
 from repro.obs import DEFAULT_ITERATION_BUCKETS, get_metrics, get_tracer
 
 
@@ -37,10 +46,93 @@ def _is_feasible_swap(
     return instance.is_feasible(sorted(trial))
 
 
+class _CoverState:
+    """Cached coverage of the current selection for O(|R^q|) trial moves.
+
+    For every queried road, tracks the best and second-best correlation
+    over the selected roads (and which selected road provides the best),
+    so an *add* trial is ``max(best, corr[·, road])`` and a *swap* trial
+    replaces the outgoing road's contribution with the runner-up before
+    taking the max.  Feasibility checks reduce to one vectorized
+    redundancy row test plus an O(1) cost comparison because the current
+    selection is feasible by invariant.
+    """
+
+    def __init__(self, instance: OCSInstance) -> None:
+        self.instance = instance
+        self.q = np.asarray(instance.queried, dtype=int)
+        self.sigma_q = instance.sigma[self.q]
+        self.cost_of: Dict[int, float] = {
+            int(road): float(c) for road, c in zip(instance.candidates, instance.costs)
+        }
+        self.sel: List[int] = []
+        self.total_cost = 0.0
+        self.best = np.full(len(self.q), -np.inf)
+        self.best_road = np.full(len(self.q), -1, dtype=int)
+        self.second = np.full(len(self.q), -np.inf)
+
+    def rebuild(self, selected: Set[int]) -> None:
+        """Recompute the coverage caches for a new current selection."""
+        self.sel = sorted(int(r) for r in selected)
+        self.total_cost = sum(self.cost_of[r] for r in self.sel)
+        n_q = len(self.q)
+        if not self.sel:
+            self.best = np.full(n_q, -np.inf)
+            self.best_road = np.full(n_q, -1, dtype=int)
+            self.second = np.full(n_q, -np.inf)
+            return
+        sel_arr = np.asarray(self.sel, dtype=int)
+        cover = self.instance.corr[np.ix_(self.q, sel_arr)]
+        arg = cover.argmax(axis=1)
+        self.best = cover[np.arange(n_q), arg]
+        self.best_road = sel_arr[arg]
+        if len(self.sel) > 1:
+            runner = cover.copy()
+            runner[np.arange(n_q), arg] = -np.inf
+            self.second = runner.max(axis=1)
+        else:
+            self.second = np.full(n_q, -np.inf)
+
+    def add_objective(self, road: int) -> float:
+        """Eq. 13 of ``sel ∪ {road}`` without rescanning the selection."""
+        values = np.maximum(self.best, self.instance.corr[self.q, road])
+        return float(np.dot(self.sigma_q, values))
+
+    def swap_objective(self, out: int, road: int) -> float:
+        """Eq. 13 of ``(sel − {out}) ∪ {road}``."""
+        excl = np.where(self.best_road == out, self.second, self.best)
+        values = np.maximum(excl, self.instance.corr[self.q, road])
+        return float(np.dot(self.sigma_q, values))
+
+    def feasible_add(self, road: int) -> bool:
+        if road not in self.cost_of or road in self.sel:
+            return False
+        if self.total_cost + self.cost_of[road] > self.instance.budget + 1e-9:
+            return False
+        return self._redundancy_ok(road, exclude=None)
+
+    def feasible_swap(self, out: int, road: int) -> bool:
+        if road not in self.cost_of or road in self.sel:
+            return False
+        cost = self.total_cost - self.cost_of[out] + self.cost_of[road]
+        if cost > self.instance.budget + 1e-9:
+            return False
+        return self._redundancy_ok(road, exclude=out)
+
+    def _redundancy_ok(self, road: int, exclude: Optional[int]) -> bool:
+        others = [r for r in self.sel if r != exclude]
+        if not others:
+            return True
+        row = self.instance.corr[road, np.asarray(others, dtype=int)]
+        return bool(np.all(row <= self.instance.theta + 1e-12))
+
+
 def local_search(
     instance: OCSInstance,
     initial: Sequence[int] = (),
     max_rounds: int = 200,
+    *,
+    incremental: bool = True,
 ) -> OCSResult:
     """Best-improvement local search over add / drop / swap moves.
 
@@ -49,6 +141,11 @@ def local_search(
         initial: Feasible starting selection (e.g. Hybrid-Greedy's
             output); empty to start from scratch.
         max_rounds: Cap on improving rounds.
+        incremental: Evaluate trial moves from the cached coverage state
+            (default).  ``False`` re-scores every trial with
+            ``instance.objective`` — the slow oracle the incremental
+            mode is differential-tested against; both modes apply the
+            same move sequence.
 
     Returns:
         An :class:`OCSResult` at a local optimum (no single add, drop or
@@ -64,6 +161,9 @@ def local_search(
     selected: Set[int] = {int(r) for r in initial}
     candidates = list(instance.candidates)
     best_objective = instance.objective(sorted(selected))
+    cover = _CoverState(instance) if incremental else None
+    if cover is not None:
+        cover.rebuild(selected)
     rounds = 0
     objective_evaluations = 1
     moves_applied = {"add": 0, "swap": 0}
@@ -75,30 +175,37 @@ def local_search(
         for road in candidates:
             if road in selected:
                 continue
-            if not _is_feasible_swap(instance, selected, None, road):
-                continue
-            gain = instance.objective(sorted(selected | {road})) - best_objective
+            if cover is not None:
+                if not cover.feasible_add(road):
+                    continue
+                trial = cover.add_objective(road)
+            else:
+                if not _is_feasible_swap(instance, selected, None, road):
+                    continue
+                trial = instance.objective(sorted(selected | {road}))
+            gain = trial - best_objective
             objective_evaluations += 1
             if gain > best_gain:
                 best_gain, best_move = gain, (None, road)
         # Swaps (drop one, add one).
         for out in list(selected):
             without = selected - {out}
-            base_without = instance.objective(sorted(without))
-            objective_evaluations += 1
             for road in candidates:
                 if road in selected:
                     continue
-                if not _is_feasible_swap(instance, without, None, road):
-                    continue
-                gain = (
-                    instance.objective(sorted(without | {road})) - best_objective
-                )
+                if cover is not None:
+                    if not cover.feasible_swap(out, road):
+                        continue
+                    trial = cover.swap_objective(out, road)
+                else:
+                    if not _is_feasible_swap(instance, without, None, road):
+                        continue
+                    trial = instance.objective(sorted(without | {road}))
+                gain = trial - best_objective
                 objective_evaluations += 1
                 if gain > best_gain:
                     best_gain, best_move = gain, (out, road)
             # Pure drops can never improve a monotone objective; skip.
-            del base_without
         if best_move is None:
             break
         out, into = best_move
@@ -106,6 +213,8 @@ def local_search(
             selected.discard(out)
         if into is not None:
             selected.add(into)
+        if cover is not None:
+            cover.rebuild(selected)
         kind = "add" if out is None else "swap"
         moves_applied[kind] += 1
         tracer.event(

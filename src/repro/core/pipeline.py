@@ -23,6 +23,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 import numpy as np
@@ -36,7 +37,8 @@ from repro.errors import (
 )
 from repro.obs import DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
 from repro.core.correlation import CorrelationTable, PathWeightMode
-from repro.core.gsp import GSPConfig, GSPEngine, GSPResult
+from repro.core.gsp import GSPConfig, GSPEngine, GSPResult, PrecisionPolicy
+from repro.core.request import EstimationRequest
 from repro.core.inference import InferenceDiagnostics, RTFInferenceConfig, fit_rtf
 from repro.core.ocs import (
     OCSInstance,
@@ -580,11 +582,11 @@ class CrowdRTSE:
 
     def answer_query(
         self,
-        queried: Sequence[int],
-        slot: int,
-        budget: float,
-        market: CrowdMarket,
-        truth: TruthOracle,
+        request: Union[EstimationRequest, Sequence[int]],
+        slot: Optional[int] = None,
+        budget: Optional[float] = None,
+        market: Optional[CrowdMarket] = None,
+        truth: Optional[TruthOracle] = None,
         theta: float = 0.92,
         selector: str = "hybrid",
         gsp_config: Optional[GSPConfig] = None,
@@ -596,17 +598,37 @@ class CrowdRTSE:
     ) -> QueryResult:
         """Online stage: OCS → crowd probe → estimate → answer (Fig. 1).
 
+        The canonical spelling takes one
+        :class:`~repro.core.request.EstimationRequest`::
+
+            system.answer_query(
+                EstimationRequest(queried=(3, 7), slot=93, budget=20.0),
+                market=market, truth=truth,
+            )
+
+        The legacy spelling — queried roads first, every knob as its own
+        argument — still works but warns ``DeprecationWarning`` once per
+        process (removal horizon v2.0; see docs/API.md) and keeps its
+        pre-v2 numerics: it constructs a request with
+        ``warm_start=False`` so answers stay bit-identical.
+
         Args:
-            queried: Queried road indices ``R^q``.
-            slot: Global time slot of the query.
-            budget: Crowdsourcing budget ``K``.
-            market: The crowd marketplace.
-            truth: Ground-truth oracle the (simulated) workers measure.
-            theta: Redundancy threshold θ.
-            selector: ``"hybrid"``, ``"ratio"``, ``"objective"`` or
-                ``"random"``.
-            gsp_config: Propagation knobs.
-            rng: RNG for the random selector.
+            request: The query (an :class:`EstimationRequest`), or the
+                queried road indices ``R^q`` (deprecated spelling).
+            slot: Global time slot (legacy spelling only; an
+                :class:`EstimationRequest` carries its own).
+            budget: Crowdsourcing budget ``K`` (legacy spelling only).
+            market: The crowd marketplace; fills a request whose
+                ``market`` is unset.
+            truth: Ground-truth oracle the (simulated) workers measure;
+                fills a request whose ``truth`` is unset.
+            theta: Redundancy threshold θ (legacy spelling only).
+            selector: OCS solver (legacy spelling only).
+            gsp_config: Propagation knobs; the request's ``precision``
+                is applied on top via
+                :meth:`~repro.core.gsp.GSPConfig.with_precision`.
+            rng: RNG for the random selector (a request's own ``rng``
+                wins).
             use_trivial_fast_path: Apply Remark 2's closed-form optima
                 when they apply (θ = 1, unit costs, over-adequate budget
                 or few queried roads) instead of running the greedy.
@@ -614,24 +636,68 @@ class CrowdRTSE:
                 serving layer pins one snapshot per worker batch and
                 passes it here; direct callers leave it ``None`` and the
                 query pins the store's current version itself.
-            deadline: Optional wall-clock budget, checked at the OCS,
+            deadline: Explicit wall-clock budget, checked at the OCS,
                 probe, and GSP stage boundaries
                 (:class:`~repro.errors.QueryTimeoutError` on expiry).
-            backend: Estimator backend that turns the probes into the
-                speed field.  ``None`` (or ``"rtf_gsp"``) takes the
-                original GSP propagation path, bit-identical to
-                pre-backend builds; any other name must first be
-                attached via :meth:`attach_backend`.
+                When ``None``, a request's ``deadline_s`` starts its
+                budget here.
+            backend: Estimator backend override (legacy spelling;
+                requests carry their own ``backend`` field).
 
         Returns:
             A :class:`QueryResult`.
 
         Raises:
-            QueryTimeoutError: When ``deadline`` expires mid-pipeline.
+            QueryTimeoutError: When the deadline expires mid-pipeline.
             ReproError: Every intentional failure; stray internal
                 ``ValueError``/``KeyError`` surface as
                 :class:`~repro.errors.InternalError`.
         """
+        if isinstance(request, EstimationRequest):
+            if slot is not None or budget is not None:
+                raise ModelError(
+                    "pass either an EstimationRequest or the legacy "
+                    "(queried, slot, budget, ...) arguments, not both"
+                )
+            req = request.bound(market, truth)
+            if backend is not None:
+                from dataclasses import replace
+
+                req = replace(req, backend=backend)
+        else:
+            warn_deprecated_once(
+                "pipeline.answer_query_kwargs",
+                "answer_query(queried, slot, budget, ...) with loose "
+                "arguments is deprecated and will be removed in v2.0; "
+                "pass a repro.EstimationRequest instead (the legacy "
+                "spelling keeps warm_start off for bit-stable answers)",
+            )
+            if slot is None or budget is None:
+                raise ModelError(
+                    "the legacy answer_query spelling needs queried, slot "
+                    "and budget"
+                )
+            req = EstimationRequest(
+                queried=tuple(int(q) for q in request),
+                slot=int(slot),
+                budget=float(budget),
+                theta=theta,
+                selector=selector,
+                market=market,
+                truth=truth,
+                rng=rng,
+                backend=backend if backend is not None else "rtf_gsp",
+                warm_start=False,
+            )
+        if req.market is None or req.truth is None:
+            raise ModelError(
+                "answer_query needs a market and a truth oracle (on the "
+                "request or as arguments)"
+            )
+        effective_rng = req.rng if req.rng is not None else rng
+        if deadline is None and req.deadline_s is not None:
+            deadline = Deadline.after(req.deadline_s)
+
         tracer = get_tracer()
         start = time.perf_counter()
         # Pin ONE model version for the whole query: a refresh published
@@ -640,43 +706,122 @@ class CrowdRTSE:
         snap = snapshot if snapshot is not None else self._store.current()
         with tracer.span(
             "pipeline.answer_query",
-            slot=int(slot),
-            budget=float(budget),
-            queried=len(queried),
-            selector=selector,
+            slot=req.slot,
+            budget=req.budget,
+            queried=len(req.queried),
+            selector=req.selector,
             model_version=snap.version,
         ) as query_span:
             prepared = self._select_and_probe(
-                queried, slot, budget, market, truth, theta, selector,
-                rng, use_trivial_fast_path, snap, deadline,
+                req.queried, req.slot, req.budget, req.market, req.truth,
+                req.theta, req.selector, effective_rng,
+                use_trivial_fast_path, snap, deadline,
             )
-            if backend is not None and backend != "rtf_gsp":
+            if req.backend != "rtf_gsp":
                 # Pluggable-estimator path: the attached backend turns
                 # the probes into the field; GSP never runs.
                 estimate = self.estimate_with_backend(
-                    backend, prepared.probes, slot,
+                    req.backend, prepared.probes, req.slot,
                     snapshot=snap, deadline=deadline,
                 )
                 query_span.set_attr("budget_spent", prepared.ledger.spent)
-                query_span.set_attr("backend", backend)
+                query_span.set_attr("backend", req.backend)
                 self._record_query_metrics(
-                    selector, prepared.ledger, time.perf_counter() - start
+                    req.selector, prepared.ledger, time.perf_counter() - start
                 )
                 return self._assemble_backend_result(
-                    prepared, estimate.speeds, backend
+                    prepared, estimate.speeds, req.backend
                 )
             if deadline is not None:
                 deadline.check("gsp")
-            with wrap_internal("gsp"):
-                gsp_result = self._gsp_engine.propagate(
-                    snap.slot(slot), prepared.probes, gsp_config
-                )
+            gsp_result = self._propagate_prepared(prepared, req, gsp_config)
             query_span.set_attr("budget_spent", prepared.ledger.spent)
             query_span.set_attr("gsp_sweeps", gsp_result.sweeps)
         self._record_query_metrics(
-            selector, prepared.ledger, time.perf_counter() - start
+            req.selector, prepared.ledger, time.perf_counter() - start
         )
         return self._assemble_result(prepared, gsp_result)
+
+    # -- GSP stage helpers (shared with the serving layer's batch path) --
+
+    @staticmethod
+    def resolve_gsp_config(
+        gsp_config: Optional[GSPConfig], precision: str
+    ) -> Optional[GSPConfig]:
+        """The effective propagation config under a request's precision.
+
+        ``float64`` leaves ``gsp_config`` untouched (including ``None``
+        → engine default), so the reference path stays bit-identical;
+        any other policy is applied via
+        :meth:`~repro.core.gsp.GSPConfig.with_precision`.
+        """
+        policy = PrecisionPolicy.coerce(precision)
+        if policy is PrecisionPolicy.FLOAT64:
+            return gsp_config
+        base = gsp_config if gsp_config is not None else GSPConfig()
+        return base.with_precision(policy)
+
+    def _warm_seed(
+        self,
+        snapshot: ModelSnapshot,
+        slot: int,
+        observed_key: frozenset,
+        enabled: bool,
+    ) -> Tuple[Optional[np.ndarray], str]:
+        """Fetch a warm-start seed and publish the outcome counter.
+
+        Outcomes mirror the ``gsp.warm_start`` metric: ``used`` (seed
+        found for this exact digest + R^c), ``miss`` (nothing cached),
+        ``mismatch`` (cached under a different R^c), ``disabled``
+        (request opted out).
+        """
+        if enabled:
+            seed, outcome = snapshot.warm_field(slot, observed_key)
+            if outcome == "hit":
+                outcome = "used"
+        else:
+            seed, outcome = None, "disabled"
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("gsp.warm_start", {"outcome": outcome}).inc()
+        return seed, outcome
+
+    def _store_warm(
+        self,
+        snapshot: ModelSnapshot,
+        slot: int,
+        observed_key: frozenset,
+        gsp_result: GSPResult,
+        enabled: bool,
+    ) -> None:
+        """Write a converged field back as the slot's warm-start seed."""
+        if enabled and gsp_result.converged:
+            snapshot.store_warm_field(slot, observed_key, gsp_result.speeds)
+
+    def _propagate_prepared(
+        self,
+        prepared: "PreparedQuery",
+        request: EstimationRequest,
+        gsp_config: Optional[GSPConfig],
+    ) -> GSPResult:
+        """The GSP stage of one prepared query, warm-start managed."""
+        cfg = self.resolve_gsp_config(gsp_config, request.precision)
+        observed_key = frozenset(prepared.probes)
+        seed, _ = self._warm_seed(
+            prepared.snapshot, request.slot, observed_key, request.warm_start
+        )
+        with wrap_internal("gsp"):
+            gsp_result = self._gsp_engine.propagate(
+                prepared.snapshot.slot(request.slot),
+                prepared.probes,
+                cfg,
+                initial_field=seed,
+            )
+        self._store_warm(
+            prepared.snapshot, request.slot, observed_key,
+            gsp_result, request.warm_start,
+        )
+        return gsp_result
 
     @staticmethod
     def _record_query_metrics(

@@ -50,6 +50,11 @@ from repro.obs import get_metrics, get_tracer
 #: Artifact kinds the cache tracks (label values of ``store.artifacts.*``).
 _KIND_CORRELATION = "correlation"
 _KIND_PROPAGATION = "propagation"
+#: Warm-start GSP seed fields, keyed by slot-parameter digest.  Unlike
+#: the derived kinds these are *written back* after a propagation and
+#: explicitly dropped when a refresh replaces the slot (same atomic
+#: publish), so a stale seed can never outlive its parameters.
+_KIND_WARM_START = "warm_start"
 
 
 @dataclass
@@ -151,6 +156,20 @@ class _ArtifactCache:
             self._entries.move_to_end((kind, digest))
             if len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
+
+    def peek(self, kind: str, digest: bytes) -> Optional[object]:
+        """The cached artifact, or ``None`` — never derives, no counters."""
+        key = (kind, digest)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+            return cached
+
+    def drop(self, kind: str, digest: bytes) -> bool:
+        """Remove one entry; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop((kind, digest), None) is not None
 
     def __len__(self) -> int:
         with self._lock:
@@ -374,6 +393,52 @@ class ModelSnapshot:
                 self._correlations = SnapshotCorrelations(self)
             return self._correlations
 
+    # -- warm-start seed fields -----------------------------------------
+
+    def warm_field(
+        self, slot: int, observed_key: frozenset
+    ) -> Tuple[Optional[np.ndarray], str]:
+        """A previous converged GSP field usable as a warm-start seed.
+
+        The seed is keyed by the slot's parameter digest and guarded by
+        the observed set ``R^c`` it converged under: a refreshed slot's
+        new digest misses (and the refresh *also* drops the old entry in
+        the same publish — see :meth:`ModelStore._publish`), and a
+        different crowdsourced selection falls back to cold start.
+
+        Returns:
+            ``(field, outcome)`` where ``outcome`` is ``"hit"``,
+            ``"miss"`` (nothing cached) or ``"mismatch"`` (cached under a
+            different ``R^c``); ``field`` is a read-only float64 array on
+            hit, else ``None``.
+        """
+        entry = self._artifacts.peek(_KIND_WARM_START, self.digest(slot))
+        if entry is None:
+            return None, "miss"
+        field, cached_key = entry  # type: ignore[misc]
+        if cached_key != observed_key:
+            return None, "mismatch"
+        return field, "hit"
+
+    def store_warm_field(
+        self, slot: int, observed_key: frozenset, field: np.ndarray
+    ) -> None:
+        """Cache a converged GSP field as the slot's warm-start seed.
+
+        Raises:
+            ModelError: On a shape mismatch with the network.
+        """
+        arr = np.array(field, dtype=np.float64, copy=True)
+        if arr.shape != (self._network.n_roads,):
+            raise ModelError(
+                f"warm field shape {arr.shape} does not match "
+                f"{self._network.n_roads} roads"
+            )
+        arr.setflags(write=False)
+        self._artifacts.seed(
+            _KIND_WARM_START, self.digest(slot), (arr, frozenset(observed_key))
+        )
+
 
 class ModelStore:
     """Versioned holder of RTF parameters with atomic publishes.
@@ -388,6 +453,12 @@ class ModelStore:
         model: Initial parameters (version 1).
         path_mode: Path-weight transform for Γ_R derivation.
         max_artifacts: LRU capacity of the shared derived-artifact cache.
+        digests: Precomputed per-slot content digests (as written by
+            :mod:`repro.core.snapshot_io`); slots not covered are hashed
+            here.  Trusting the file's digests skips a full pass over
+            every parameter array on cold start — run
+            :func:`repro.core.snapshot_io.verify_digests` when the file
+            crossed a trust boundary.
     """
 
     def __init__(
@@ -395,6 +466,7 @@ class ModelStore:
         model: RTFModel,
         path_mode: PathWeightMode = PathWeightMode.LOG,
         max_artifacts: int = 512,
+        digests: Optional[Mapping[int, bytes]] = None,
     ) -> None:
         self.stats = StoreStats()
         self._network = model.network
@@ -409,9 +481,12 @@ class ModelStore:
         self._lock = threading.RLock()
         self._created_monotonic = time.monotonic()
         params = {t: model.slot(t) for t in model.slots}
-        digests = {t: params_signature(p) for t, p in params.items()}
+        given = dict(digests) if digests is not None else {}
+        digest_map = {
+            t: given.get(t) or params_signature(p) for t, p in params.items()
+        }
         self._current = ModelSnapshot(
-            1, self._network, params, digests, path_mode, self._artifacts
+            1, self._network, params, digest_map, path_mode, self._artifacts
         )
         self._count_publish(len(params))
 
@@ -539,9 +614,14 @@ class ModelStore:
                 previous = self._current
                 params = dict(previous._params)
                 digests = dict(previous._digests)
+                stale_digests = []
                 for slot_params in replacements:
+                    old_digest = digests.get(slot_params.slot)
                     params[slot_params.slot] = slot_params
-                    digests[slot_params.slot] = params_signature(slot_params)
+                    new_digest = params_signature(slot_params)
+                    digests[slot_params.slot] = new_digest
+                    if old_digest is not None and old_digest != new_digest:
+                        stale_digests.append(old_digest)
                 states = (
                     previous._backend_states
                     if backend_states is None
@@ -557,6 +637,13 @@ class ModelStore:
                     backend_states=states,
                 )
                 self._current = snapshot
+                # Same atomic publish: a refreshed slot's warm-start seed
+                # is dropped before any reader can observe the new
+                # version.  A reader still pinned on the old snapshot at
+                # worst cold-starts (miss); a reader of the new version
+                # can never be seeded from pre-refresh parameters.
+                for stale in stale_digests:
+                    self._artifacts.drop(_KIND_WARM_START, stale)
             span.set_attr("version", snapshot.version)
         self._count_publish(len(replacements))
         return snapshot
@@ -708,6 +795,30 @@ class ModelStore:
                 f"correlation matrix shape {matrix.shape} != ({n}, {n})"
             )
         self._artifacts.seed(_KIND_CORRELATION, digest, matrix)
+
+    def seed_propagation(
+        self,
+        digest: bytes,
+        arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        """Warm the artifact cache with precomputed propagation arrays.
+
+        Used by :func:`repro.core.snapshot_io.load_store` so the first
+        GSP propagation after a cold start reads the persisted arrays
+        (typically mmap views) instead of re-deriving them.
+        """
+        if len(arrays) != 4:
+            raise ModelError(
+                f"propagation artifact needs 4 arrays, got {len(arrays)}"
+            )
+        n, m = self._network.n_roads, self._network.n_edges
+        shapes = tuple(a.shape for a in arrays)
+        if shapes != ((n,), (n,), (m,), (m,)):
+            raise ModelError(
+                f"propagation array shapes {shapes} do not match "
+                f"{n} roads / {m} edges"
+            )
+        self._artifacts.seed(_KIND_PROPAGATION, digest, tuple(arrays))
 
     def _count_publish(self, n_slots: int) -> None:
         # Under the store RLock: publish() calls this after releasing its

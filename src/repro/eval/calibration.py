@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.core.pipeline import CrowdRTSE
+from repro.core.request import EstimationRequest
 from repro.crowd.market import CrowdMarket
 from repro.datasets.bundle import Dataset, truth_oracle_for
 from repro.eval.metrics import mean_absolute_percentage_error
@@ -100,14 +101,17 @@ def tune_theta(
             )
             truth = truth_oracle_for(data.train_history, day, data.slot)
             result = system.answer_query(
-                data.queried,
-                data.slot,
-                budget=budget,
+                EstimationRequest(
+                    queried=data.queried,
+                    slot=data.slot,
+                    budget=budget,
+                    theta=theta,
+                    selector=selector,
+                    rng=np.random.default_rng(seed + day),
+                    warm_start=False,
+                ),
                 market=market,
                 truth=truth,
-                theta=theta,
-                selector=selector,
-                rng=np.random.default_rng(seed + day),
             )
             truths = np.array([truth(q) for q in data.queried])
             errors.append(

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.correlation import PathWeightMode, road_road_correlation_matrix
 from repro.core.gsp import GSPConfig, GSPSchedule, propagate
 from repro.core.inference import RTFInferenceConfig, infer_slot_parameters
+from repro.core.request import EstimationRequest
 from repro.crowd.aggregation import Aggregator
 from repro.crowd.market import CrowdMarket
 from repro.datasets import truth_oracle_for
@@ -85,7 +86,11 @@ def gsp_schedule_ablation(
     market = market_for(data, seed=5)
     truth = truth_oracle_for(data.test_history, 0, data.slot)
     base = system.answer_query(
-        data.queried, data.slot, budget=budget, market=market, truth=truth
+        EstimationRequest(
+            queried=data.queried, slot=data.slot, budget=budget, warm_start=False
+        ),
+        market=market,
+        truth=truth,
     )
     params = system.model.slot(data.slot)
     truths = np.array([truth(int(q)) for q in data.queried])
@@ -130,7 +135,11 @@ def aggregation_ablation(
                 data.test_history, trial % data.test_history.n_days, data.slot
             )
             result = system.answer_query(
-                data.queried, data.slot, budget=budget, market=market, truth=truth
+                EstimationRequest(
+                    queried=data.queried, slot=data.slot, budget=budget, warm_start=False
+                ),
+                market=market,
+                truth=truth,
             )
             for receipt in result.receipts:
                 errors.append(

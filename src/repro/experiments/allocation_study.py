@@ -19,6 +19,7 @@ from repro.core.allocation import allocate_budget
 from repro.core.correlation import CorrelationTable
 from repro.core.inference import fit_rtf
 from repro.core.pipeline import CrowdRTSE
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.eval.metrics import mean_absolute_percentage_error
 from repro.experiments.common import (
@@ -79,8 +80,14 @@ def run(
                 market = market_for(data, seed=1000 * day + slot)
                 truth = truth_oracle_for(data.test_history, day_idx, slot)
                 result = system.answer_query(
-                    data.queried, slot, budget=budgets[slot],
-                    market=market, truth=truth,
+                    EstimationRequest(
+                        queried=data.queried,
+                        slot=slot,
+                        budget=budgets[slot],
+                        warm_start=False,
+                    ),
+                    market=market,
+                    truth=truth,
                 )
                 estimates_all.append(result.estimates_kmh)
                 truths_all.append(

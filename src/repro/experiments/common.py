@@ -25,6 +25,7 @@ from repro.baselines import (
 from repro.core.correlation import PathWeightMode
 from repro.core.ocs import OCSInstance
 from repro.core.pipeline import CrowdRTSE
+from repro.core.request import EstimationRequest
 from repro.crowd.cost import CostModel, uniform_random_costs
 from repro.crowd.market import CrowdMarket
 from repro.datasets import (
@@ -190,14 +191,17 @@ def run_estimation_trial(
     market = market_for(data, seed=seed + day)
     truth = truth_oracle_for(data.test_history, day, data.slot)
     result = system.answer_query(
-        data.queried,
-        data.slot,
-        budget=budget,
+        EstimationRequest(
+            queried=data.queried,
+            slot=data.slot,
+            budget=budget,
+            theta=theta if theta is not None else data.theta,
+            selector=selector,
+            rng=np.random.default_rng(seed + day),
+            warm_start=False,
+        ),
         market=market,
         truth=truth,
-        theta=theta if theta is not None else data.theta,
-        selector=selector,
-        rng=np.random.default_rng(seed + day),
     )
     context = EstimationContext(
         network=data.network,

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.gsp import GSPConfig, GSPSchedule
 from repro.core.pipeline import CrowdRTSE
+from repro.core.request import EstimationRequest
 from repro.core.store import ModelStore
 from repro.datasets import truth_oracle_for
 from repro.eval.metrics import mean_absolute_percentage_error
@@ -78,15 +79,18 @@ def run(
         mapes = []
         for system in (static, live):
             result = system.answer_query(
-                data.queried,
-                data.slot,
-                budget=budget,
+                EstimationRequest(
+                    queried=data.queried,
+                    slot=data.slot,
+                    budget=budget,
+                    rng=np.random.default_rng(seed + day),
+                    warm_start=False,
+                ),
                 market=market_for(data, seed=seed + day),
                 truth=truth,
                 # The parallel schedule exercises the digest-keyed
                 # structure cache, so recompilations are visible.
                 gsp_config=GSPConfig(schedule=GSPSchedule.BFS_PARALLEL),
-                rng=np.random.default_rng(seed + day),
             )
             mapes.append(
                 mean_absolute_percentage_error(result.estimates_kmh, truths)

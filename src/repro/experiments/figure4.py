@@ -22,6 +22,7 @@ from repro.baselines import (
     LassoEstimator,
 )
 from repro.core.ocs import hybrid_greedy, objective_greedy, ratio_greedy
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.experiments.common import (
     ExperimentScale,
@@ -84,7 +85,11 @@ def run_estimator_runtime(
         market = market_for(data, seed=1)
         truth = truth_oracle_for(data.test_history, 0, data.slot)
         result = system.answer_query(
-            data.queried, data.slot, budget=budget, market=market, truth=truth
+            EstimationRequest(
+                queried=data.queried, slot=data.slot, budget=budget, warm_start=False
+            ),
+            market=market,
+            truth=truth,
         )
         context = EstimationContext(
             network=data.network,

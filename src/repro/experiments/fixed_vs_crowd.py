@@ -16,6 +16,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.gsp import propagate
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.eval.metrics import mean_absolute_percentage_error
 from repro.experiments.common import (
@@ -67,8 +68,14 @@ def run(
         market = market_for(data, seed=seed + k)
         truth = truth_oracle_for(data.test_history, day, data.slot)
         result = system.answer_query(
-            queried, data.slot, budget=min(data.budgets),
-            market=market, truth=truth,
+            EstimationRequest(
+                queried=queried,
+                slot=data.slot,
+                budget=min(data.budgets),
+                warm_start=False,
+            ),
+            market=market,
+            truth=truth,
         )
         crowd_estimates.append(result.estimates_kmh)
         truths_all.append(np.array([truth(q) for q in queried]))
@@ -125,7 +132,11 @@ def _mean_probe_noise(data, system, queried, seed: int) -> float:
     market = market_for(data, seed=seed + 777)
     truth = truth_oracle_for(data.test_history, 0, data.slot)
     result = system.answer_query(
-        queried, data.slot, budget=min(data.budgets), market=market, truth=truth
+        EstimationRequest(
+            queried=queried, slot=data.slot, budget=min(data.budgets), warm_start=False
+        ),
+        market=market,
+        truth=truth,
     )
     errors = [
         abs(r.aggregated_kmh - r.true_kmh) / r.true_kmh for r in result.receipts

@@ -22,6 +22,7 @@ import numpy as np
 import repro.backends  # noqa: F401 - registers the built-in backends
 from repro.backends.registry import available_backends
 from repro.core.pipeline import CrowdRTSE
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.eval.metrics import (
     false_estimation_rate,
@@ -80,13 +81,16 @@ def run(
     for day in evaluation_days(data, n_trials):
         truth = truth_oracle_for(data.test_history, day, data.slot)
         result = system.answer_query(
-            data.queried,
-            data.slot,
-            budget=budget,
+            EstimationRequest(
+                queried=data.queried,
+                slot=data.slot,
+                budget=budget,
+                theta=data.theta,
+                rng=np.random.default_rng(day),
+                warm_start=False,
+            ),
             market=market_for(data, seed=day),
             truth=truth,
-            theta=data.theta,
-            rng=np.random.default_rng(day),
         )
         truths.append(np.array([truth(int(q)) for q in queried]))
         for name in backends:

@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.request import EstimationRequest
 from repro.crowd.market import CrowdMarket
 from repro.crowd.workers import WorkerPool
 from repro.datasets import truth_oracle_for
@@ -76,8 +77,14 @@ def run(
             )
             truth = truth_oracle_for(data.test_history, day_idx, data.slot)
             result = system.answer_query(
-                data.queried, data.slot, budget=use_budget,
-                market=market, truth=truth,
+                EstimationRequest(
+                    queried=data.queried,
+                    slot=data.slot,
+                    budget=use_budget,
+                    warm_start=False,
+                ),
+                market=market,
+                truth=truth,
             )
             truths = np.array([truth(q) for q in data.queried])
             gsp_errors.append(

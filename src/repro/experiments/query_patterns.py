@@ -13,6 +13,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.request import EstimationRequest
 from repro.datasets import truth_oracle_for
 from repro.eval.metrics import mean_absolute_percentage_error
 from repro.experiments.common import (
@@ -68,7 +69,11 @@ def run(
             market = market_for(data, seed=seed + k)
             truth = truth_oracle_for(data.test_history, day, data.slot)
             result = system.answer_query(
-                queried, data.slot, budget=use_budget, market=market, truth=truth
+                EstimationRequest(
+                    queried=queried, slot=data.slot, budget=use_budget, warm_start=False
+                ),
+                market=market,
+                truth=truth,
             )
             truths = np.array([truth(q) for q in queried])
             gsp_errors.append(

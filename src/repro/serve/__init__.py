@@ -20,6 +20,7 @@ See ``docs/API.md`` ("Serving") for the contract and
 """
 
 from repro.core.pipeline import Deadline
+from repro.core.request import EstimationRequest
 from repro.serve.service import (
     DEGRADED_BUDGET,
     DEGRADED_DEADLINE,
@@ -43,6 +44,7 @@ __all__ = [
     "DEGRADED_BUDGET",
     "DEGRADED_DEADLINE",
     "Deadline",
+    "EstimationRequest",
     "QueryService",
     "ReplayReport",
     "ServeConfig",

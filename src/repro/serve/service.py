@@ -55,10 +55,12 @@ from repro.errors import (
     QueryTimeoutError,
     ReproError,
     ServeError,
+    warn_deprecated_once,
 )
 from repro.baselines.periodic import periodic_field
-from repro.core.gsp import GSPConfig
+from repro.core.gsp import GSPConfig, GSPResult
 from repro.core.pipeline import CrowdRTSE, Deadline, PreparedQuery, QueryResult
+from repro.core.request import EstimationRequest
 from repro.core.store import ModelSnapshot
 from repro.crowd.market import CrowdMarket, TruthOracle
 from repro.obs import DEFAULT_SIZE_BUCKETS, DEFAULT_TIME_BUCKETS, get_metrics, get_tracer
@@ -173,31 +175,28 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
-class ServeRequest:
-    """One query as submitted to the service.
+class ServeRequest(EstimationRequest):
+    """Deprecated alias of :class:`~repro.core.request.EstimationRequest`.
 
-    ``market``/``truth``/``rng`` default to the service-level ones; a
-    replay driver overrides them per request (e.g. per test day).
-
-    ``backend`` selects the estimator backend that turns the probes
-    into the speed field.  The default ``"rtf_gsp"`` is the paper's
-    GSP pipeline (bit-identical to pre-backend builds); other names
-    must be attached to the system's store first
-    (:meth:`~repro.core.pipeline.CrowdRTSE.attach_backend`).  Requests
-    only coalesce with requests for the same backend.
+    Kept as a constructor shim for pre-v2 callers (removal horizon
+    v2.0; see the deprecation table in docs/API.md).  Field names and
+    order match the canonical type, so positional construction keeps
+    working — the one difference is that ``warm_start`` defaults to
+    ``False`` here, preserving the bit-exact answers pre-v2 service
+    builds produced.  New code constructs
+    :class:`~repro.core.request.EstimationRequest` directly.
     """
 
-    queried: Tuple[int, ...]
-    slot: int
-    budget: float
-    theta: float = 0.92
-    selector: str = "hybrid"
-    deadline_s: Optional[float] = None
-    market: Optional[CrowdMarket] = None
-    truth: Optional[TruthOracle] = None
-    rng: Optional[np.random.Generator] = None
-    coalescable: bool = True
-    backend: str = "rtf_gsp"
+    warm_start: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        warn_deprecated_once(
+            "serve.serve_request",
+            "ServeRequest is deprecated and will be removed in v2.0; "
+            "construct repro.EstimationRequest instead (note: "
+            "EstimationRequest defaults warm_start=True)",
+        )
 
 
 @dataclass(frozen=True)
@@ -221,7 +220,7 @@ class ServedResult:
             degraded — there was no propagation).
     """
 
-    request: ServeRequest
+    request: EstimationRequest
     estimates_kmh: np.ndarray
     full_field_kmh: np.ndarray
     model_version: int
@@ -246,7 +245,9 @@ class ServeTicket:
         "_done", "_result", "_error",
     )
 
-    def __init__(self, request: ServeRequest, deadline: Optional[Deadline]) -> None:
+    def __init__(
+        self, request: EstimationRequest, deadline: Optional[Deadline]
+    ) -> None:
         self.request = request
         self.deadline = deadline
         self.enqueued_at = time.perf_counter()
@@ -400,7 +401,7 @@ class QueryService:
 
     # -- admission ------------------------------------------------------
 
-    def submit(self, request: ServeRequest) -> ServeTicket:
+    def submit(self, request: EstimationRequest) -> ServeTicket:
         """Admit one request, or reject it with backpressure.
 
         Raises:
@@ -446,7 +447,9 @@ class QueryService:
             self._work_ready.notify()
         return ticket
 
-    def serve(self, request: ServeRequest, timeout: Optional[float] = None) -> ServedResult:
+    def serve(
+        self, request: EstimationRequest, timeout: Optional[float] = None
+    ) -> ServedResult:
         """Blocking convenience: :meth:`submit` + :meth:`ServeTicket.result`."""
         return self.submit(request).result(timeout)
 
@@ -563,6 +566,8 @@ class QueryService:
             float(request.theta),
             request.selector,
             request.backend,
+            request.precision,
+            request.warm_start,
             id(request.market),
             id(request.truth),
             id(request.rng),
@@ -591,18 +596,12 @@ class QueryService:
             try:
                 with self._maybe_probe_lock():
                     result = self._system.answer_query(
-                        request.queried,
-                        request.slot,
-                        budget=request.budget,
+                        request,
                         market=self._market_of(request),
                         truth=self._truth_of(request),
-                        theta=request.theta,
-                        selector=request.selector,
                         gsp_config=self._config.gsp_config,
-                        rng=request.rng,
                         snapshot=snapshot,
                         deadline=leader.deadline,
-                        backend=request.backend,
                     )
             except QueryTimeoutError as exc:
                 self._finish_timeout(tickets, snapshot, exc)
@@ -720,14 +719,47 @@ class QueryService:
             )
         if not gsp_ready:
             return
-        items = [
-            (snapshot.slot(prepared.slot), prepared.probes)
-            for _, prepared in gsp_ready
-        ]
-        gsp_results = self._system.gsp_engine.propagate_batch(
-            items, self._config.gsp_config
+        # One propagate_batch call per precision (the kernel dtype is a
+        # config-level property, not per-item); within each group every
+        # item carries its own warm-start seed.
+        by_precision: Dict[str, List[Tuple[List[ServeTicket], PreparedQuery]]] = {}
+        for tickets, prepared in gsp_ready:
+            by_precision.setdefault(
+                tickets[0].request.precision, []
+            ).append((tickets, prepared))
+        for precision, group in by_precision.items():
+            self._propagate_group(group, snapshot, precision)
+
+    def _propagate_group(
+        self,
+        group: List[Tuple[List[ServeTicket], PreparedQuery]],
+        snapshot: ModelSnapshot,
+        precision: str,
+    ) -> None:
+        """Propagate one same-precision group as a single GSP batch."""
+        cfg = CrowdRTSE.resolve_gsp_config(self._config.gsp_config, precision)
+        items = []
+        seeds: List[Optional[np.ndarray]] = []
+        keys: List[frozenset] = []
+        for tickets, prepared in group:
+            request = tickets[0].request
+            observed_key = frozenset(prepared.probes)
+            seed, _ = self._system._warm_seed(
+                snapshot, prepared.slot, observed_key, request.warm_start
+            )
+            items.append((snapshot.slot(prepared.slot), prepared.probes))
+            seeds.append(seed)
+            keys.append(observed_key)
+        gsp_results: List[GSPResult] = self._system.gsp_engine.propagate_batch(
+            items, cfg, initial_fields=seeds
         )
-        for (tickets, prepared), gsp_result in zip(gsp_ready, gsp_results):
+        for (tickets, prepared), observed_key, gsp_result in zip(
+            group, keys, gsp_results
+        ):
+            self._system._store_warm(
+                snapshot, prepared.slot, observed_key, gsp_result,
+                tickets[0].request.warm_start,
+            )
             self._finish_ok(
                 tickets,
                 self._system._assemble_result(prepared, gsp_result),
@@ -741,7 +773,7 @@ class QueryService:
             return self._probe_lock
         return _NULL_CONTEXT
 
-    def _market_of(self, request: ServeRequest) -> CrowdMarket:
+    def _market_of(self, request: EstimationRequest) -> CrowdMarket:
         market = request.market if request.market is not None else self._market
         if market is None:
             raise ServeError(
@@ -749,7 +781,7 @@ class QueryService:
             )
         return market
 
-    def _truth_of(self, request: ServeRequest) -> TruthOracle:
+    def _truth_of(self, request: EstimationRequest) -> TruthOracle:
         truth = request.truth if request.truth is not None else self._truth
         if truth is None:
             raise ServeError(
@@ -852,7 +884,7 @@ class QueryService:
 
     def _score_shadow(
         self,
-        request: ServeRequest,
+        request: EstimationRequest,
         result: QueryResult,
         snapshot: ModelSnapshot,
     ) -> None:

@@ -1,16 +1,21 @@
 """Workload traces for the serving layer: load, synthesize, replay.
 
-A workload trace is JSON-lines, one request per line::
+A workload trace is JSON-lines, one
+:class:`~repro.core.request.EstimationRequest` per line::
 
     {"slot": 93, "queried": [3, 7, 11], "budget": 20}
     {"slot": 94, "queried": [3, 7, 11], "budget": 20, "day": 1,
-     "theta": 0.9, "selector": "hybrid", "deadline_ms": 250}
+     "theta": 0.9, "selector": "hybrid", "deadline_s": 0.25,
+     "precision": "float32", "warm_start": true}
 
 ``repro serve --requests trace.jsonl`` replays such a trace through a
 :class:`~repro.serve.service.QueryService` and reports latency
 percentiles; without ``--requests`` it synthesizes a mixed-slot workload
 with a configurable duplication factor (many users asking about the
 same roads in the same slot — exactly what coalescing exploits).
+
+The pre-v2 ``deadline_ms`` key and the :class:`WorkloadItem` type are
+deprecated spellings (removal horizon v2.0; docs/API.md).
 """
 
 from __future__ import annotations
@@ -24,19 +29,34 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import DatasetError, OverloadedError, ReproError
+from repro.errors import (
+    DatasetError,
+    ModelError,
+    OverloadedError,
+    ReproError,
+    warn_deprecated_once,
+)
+from repro.core.request import EstimationRequest
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, bucket_quantile
-from repro.serve.service import QueryService, ServeRequest
+from repro.serve.service import QueryService
 
 #: Keys a trace line may carry (anything else is rejected loudly).
+#: ``deadline_ms`` is the deprecated spelling of ``deadline_s``.
 _TRACE_KEYS = {
-    "slot", "queried", "budget", "theta", "selector", "deadline_ms", "day",
+    "slot", "queried", "budget", "theta", "selector", "deadline_s",
+    "deadline_ms", "day", "backend", "precision", "warm_start",
 }
 
 
 @dataclass(frozen=True)
 class WorkloadItem:
-    """One line of a workload trace (before markets/truths are bound)."""
+    """Deprecated pre-v2 trace-line type (one request before binding).
+
+    Traces now load directly as
+    :class:`~repro.core.request.EstimationRequest`; this shim remains
+    constructible until v2.0 (docs/API.md) and is still accepted by
+    :func:`save_workload` and :func:`replay`.
+    """
 
     slot: int
     queried: Tuple[int, ...]
@@ -46,8 +66,40 @@ class WorkloadItem:
     deadline_ms: Optional[float] = None
     day: int = 0
 
+    def __post_init__(self) -> None:
+        warn_deprecated_once(
+            "serve.workload_item",
+            "WorkloadItem is deprecated and will be removed in v2.0; "
+            "construct repro.EstimationRequest instead (deadline_s "
+            "replaces deadline_ms)",
+        )
 
-def load_workload(path: Union[str, Path]) -> List[WorkloadItem]:
+    def as_request(self) -> EstimationRequest:
+        """The canonical spelling of this trace line."""
+        return EstimationRequest(
+            queried=self.queried,
+            slot=self.slot,
+            budget=self.budget,
+            theta=self.theta,
+            selector=self.selector,
+            deadline_s=(
+                self.deadline_ms / 1e3 if self.deadline_ms is not None else None
+            ),
+            day=self.day,
+        )
+
+
+#: A trace entry as accepted by :func:`save_workload` / :func:`replay`.
+TraceEntry = Union[EstimationRequest, WorkloadItem]
+
+
+def _entry_request(entry: TraceEntry) -> EstimationRequest:
+    if isinstance(entry, WorkloadItem):
+        return entry.as_request()
+    return entry
+
+
+def load_workload(path: Union[str, Path]) -> List[EstimationRequest]:
     """Parse a JSON-lines workload trace.
 
     Raises:
@@ -55,7 +107,7 @@ def load_workload(path: Union[str, Path]) -> List[WorkloadItem]:
             required keys, or unknown keys (typos should fail, not
             silently serve a default).
     """
-    items: List[WorkloadItem] = []
+    items: List[EstimationRequest] = []
     try:
         text = Path(path).read_text()
     except OSError as exc:
@@ -78,23 +130,38 @@ def load_workload(path: Union[str, Path]) -> List[WorkloadItem]:
                 f"{path}:{lineno}: unknown keys {sorted(unknown)} "
                 f"(allowed: {sorted(_TRACE_KEYS)})"
             )
+        if record.get("deadline_ms") is not None:
+            if record.get("deadline_s") is not None:
+                raise DatasetError(
+                    f"{path}:{lineno}: carries both deadline_s and the "
+                    "deprecated deadline_ms — keep deadline_s"
+                )
+            warn_deprecated_once(
+                "serve.workload_deadline_ms",
+                "the deadline_ms trace key is deprecated and will be "
+                "removed in v2.0; write deadline_s (seconds) instead",
+            )
         try:
+            deadline_s: Optional[float] = None
+            if record.get("deadline_s") is not None:
+                deadline_s = float(record["deadline_s"])
+            elif record.get("deadline_ms") is not None:
+                deadline_s = float(record["deadline_ms"]) / 1e3
             items.append(
-                WorkloadItem(
-                    slot=int(record["slot"]),
+                EstimationRequest(
                     queried=tuple(int(q) for q in record["queried"]),
+                    slot=int(record["slot"]),
                     budget=float(record["budget"]),
                     theta=float(record.get("theta", 0.92)),
                     selector=str(record.get("selector", "hybrid")),
-                    deadline_ms=(
-                        float(record["deadline_ms"])
-                        if record.get("deadline_ms") is not None
-                        else None
-                    ),
+                    deadline_s=deadline_s,
+                    backend=str(record.get("backend", "rtf_gsp")),
+                    precision=str(record.get("precision", "float64")),
+                    warm_start=bool(record.get("warm_start", True)),
                     day=int(record.get("day", 0)),
                 )
             )
-        except (KeyError, TypeError, ValueError) as exc:
+        except (KeyError, TypeError, ValueError, ModelError) as exc:
             raise DatasetError(
                 f"{path}:{lineno}: malformed request: {exc}"
             ) from exc
@@ -103,10 +170,17 @@ def load_workload(path: Union[str, Path]) -> List[WorkloadItem]:
     return items
 
 
-def save_workload(items: Sequence[WorkloadItem], path: Union[str, Path]) -> None:
-    """Write a trace back out as JSON-lines (inverse of :func:`load_workload`)."""
+def save_workload(items: Sequence[TraceEntry], path: Union[str, Path]) -> None:
+    """Write a trace back out as JSON-lines (inverse of :func:`load_workload`).
+
+    Always writes the canonical keys (``deadline_s``, never
+    ``deadline_ms``); the latency knobs ``backend``/``precision``/
+    ``warm_start`` are written only when they differ from the request
+    defaults, so pre-v2 readers can still consume default traces.
+    """
     lines = []
-    for item in items:
+    for entry in items:
+        item = _entry_request(entry)
         record: Dict[str, object] = {
             "slot": item.slot,
             "queried": list(item.queried),
@@ -115,8 +189,14 @@ def save_workload(items: Sequence[WorkloadItem], path: Union[str, Path]) -> None
             "selector": item.selector,
             "day": item.day,
         }
-        if item.deadline_ms is not None:
-            record["deadline_ms"] = item.deadline_ms
+        if item.deadline_s is not None:
+            record["deadline_s"] = item.deadline_s
+        if item.backend != "rtf_gsp":
+            record["backend"] = item.backend
+        if item.precision != "float64":
+            record["precision"] = item.precision
+        if not item.warm_start:
+            record["warm_start"] = item.warm_start
         lines.append(json.dumps(record))
     Path(path).write_text("\n".join(lines) + "\n")
 
@@ -130,7 +210,7 @@ def synthesize_workload(
     duplication: int = 4,
     deadline_ms: Optional[float] = None,
     seed: int = 0,
-) -> List[WorkloadItem]:
+) -> List[EstimationRequest]:
     """A mixed-slot workload with realistic request duplication.
 
     ``duplication`` controls how many requests share each unique
@@ -148,7 +228,7 @@ def synthesize_workload(
         )
     duplication = max(1, int(duplication))
     rng = np.random.default_rng(seed)
-    uniques: List[WorkloadItem] = []
+    uniques: List[EstimationRequest] = []
     n_unique = max(1, (n_requests + duplication - 1) // duplication)
     for k in range(n_unique):
         queried = tuple(
@@ -156,11 +236,13 @@ def synthesize_workload(
             for r in rng.choice(len(road_pool), size=queried_size, replace=False)
         )
         uniques.append(
-            WorkloadItem(
-                slot=int(slots[k % len(slots)]),
+            EstimationRequest(
                 queried=tuple(int(road_pool[i]) for i in queried),
+                slot=int(slots[k % len(slots)]),
                 budget=float(budget),
-                deadline_ms=deadline_ms,
+                deadline_s=(
+                    deadline_ms / 1e3 if deadline_ms is not None else None
+                ),
             )
         )
     items = [uniques[k % n_unique] for k in range(n_requests)]
@@ -244,8 +326,8 @@ class ReplayReport:
 
 def replay(
     service: QueryService,
-    items: Sequence[WorkloadItem],
-    bind: Optional[Callable[[WorkloadItem], ServeRequest]] = None,
+    items: Sequence[TraceEntry],
+    bind: Optional[Callable[[TraceEntry], EstimationRequest]] = None,
 ) -> ReplayReport:
     """Submit a whole trace and collect every outcome.
 
@@ -256,25 +338,15 @@ def replay(
 
     Args:
         service: A started :class:`QueryService`.
-        items: The trace.
-        bind: Turns a :class:`WorkloadItem` into a :class:`ServeRequest`
-            (attach per-day markets/truth oracles).  Defaults to a plain
-            field-copy relying on the service-level market/truth.
+        items: The trace (:class:`EstimationRequest`, or the deprecated
+            :class:`WorkloadItem`).
+        bind: Turns a trace entry into the request actually submitted
+            (attach per-day markets/truth oracles).  Defaults to the
+            entry itself, relying on the service-level market/truth.
     """
     if bind is None:
-        def bind(item: WorkloadItem) -> ServeRequest:
-            return ServeRequest(
-                queried=item.queried,
-                slot=item.slot,
-                budget=item.budget,
-                theta=item.theta,
-                selector=item.selector,
-                deadline_s=(
-                    item.deadline_ms / 1e3
-                    if item.deadline_ms is not None
-                    else None
-                ),
-            )
+        def bind(item: TraceEntry) -> EstimationRequest:
+            return _entry_request(item)
 
     report = ReplayReport(n_requests=len(items))
     start = time.perf_counter()

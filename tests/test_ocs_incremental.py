@@ -1,0 +1,118 @@
+"""Differential property tests: incremental OCS gains vs full rescan.
+
+The greedy solvers delta-update their per-candidate marginal gains when
+a road is committed (``_GreedyState.take``) instead of rescanning the
+whole ``(|R^q|, |R^w|)`` correlation block every round.  The contract is
+*bitwise* equivalence on exactly representable inputs: an untouched
+queried row contributes an exact-zero delta, so gains — and therefore
+argmax tie-breaks, selections, objectives and iteration counts — must
+match the ``incremental=False`` oracle exactly.
+
+Hypothesis draws correlations, intensities and θ from a 1/64 binary
+fraction grid: every product and partial sum is then exactly
+representable in float64, so any divergence is a real bookkeeping bug,
+never rounding noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ocs import (
+    OCSInstance,
+    hybrid_greedy,
+    objective_greedy,
+    ratio_greedy,
+)
+
+#: All drawn reals are multiples of this — exactly representable, and
+#: closed under the products/sums the gain update performs.
+GRID = 1.0 / 64.0
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def ocs_instances(draw):
+    n = draw(st.integers(min_value=4, max_value=12))
+    roads = list(range(n))
+    queried = draw(
+        st.lists(st.sampled_from(roads), min_size=1, max_size=4, unique=True)
+    )
+    candidates = draw(
+        st.lists(st.sampled_from(roads), min_size=2, max_size=n, unique=True)
+    )
+    grid_value = st.integers(min_value=0, max_value=64).map(lambda k: k * GRID)
+    # Symmetric correlation matrix with unit diagonal, entries on the grid.
+    upper = draw(
+        st.lists(grid_value, min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    corr = np.eye(n)
+    idx = np.triu_indices(n, k=1)
+    corr[idx] = upper
+    corr[(idx[1], idx[0])] = upper
+    sigma = np.array(
+        draw(st.lists(grid_value, min_size=n, max_size=n)), dtype=np.float64
+    )
+    costs = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=5),
+                min_size=len(candidates),
+                max_size=len(candidates),
+            )
+        ),
+        dtype=np.float64,
+    )
+    budget = float(draw(st.integers(min_value=1, max_value=15)))
+    theta = draw(st.integers(min_value=8, max_value=64).map(lambda k: k * GRID))
+    return OCSInstance(
+        queried=tuple(queried),
+        candidates=tuple(candidates),
+        costs=costs,
+        budget=budget,
+        theta=theta,
+        corr=corr,
+        sigma=sigma,
+    )
+
+
+def _assert_identical(fast, slow):
+    assert fast.selected == slow.selected
+    assert fast.objective == slow.objective
+    assert fast.cost == slow.cost
+    assert fast.iterations == slow.iterations
+
+
+class TestIncrementalMatchesRescan:
+    @SETTINGS
+    @given(instance=ocs_instances())
+    def test_ratio_greedy(self, instance):
+        _assert_identical(
+            ratio_greedy(instance, incremental=True),
+            ratio_greedy(instance, incremental=False),
+        )
+
+    @SETTINGS
+    @given(instance=ocs_instances())
+    def test_objective_greedy(self, instance):
+        _assert_identical(
+            objective_greedy(instance, incremental=True),
+            objective_greedy(instance, incremental=False),
+        )
+
+    @SETTINGS
+    @given(instance=ocs_instances())
+    def test_hybrid_greedy(self, instance):
+        _assert_identical(
+            hybrid_greedy(instance, incremental=True),
+            hybrid_greedy(instance, incremental=False),
+        )
+
+    @SETTINGS
+    @given(instance=ocs_instances())
+    def test_feasibility_is_mode_independent(self, instance):
+        result = hybrid_greedy(instance, incremental=True)
+        assert instance.is_feasible(result.selected)

@@ -1,0 +1,187 @@
+"""The canonical EstimationRequest and its deprecated spellings.
+
+One request type (ISSUE 9) now crosses the pipeline, the serving layer,
+the workload format and the CLI.  These tests pin its contract:
+
+* construction-time validation (deadline, precision) raises
+  :class:`~repro.errors.ModelError`, not a deep solver error;
+* the legacy ``answer_query(queried, slot, budget, ...)`` spelling warns
+  once per process and returns numbers bit-identical to a canonical
+  request with ``warm_start=False``;
+* :class:`~repro.serve.ServeRequest` is a deprecated alias whose only
+  behavioural difference is the pre-v2 ``warm_start=False`` default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.core.gsp import PrecisionPolicy
+from repro.core.request import EstimationRequest, as_request
+from repro.errors import ModelError
+from repro.serve import ServeRequest
+
+
+def _market(data, seed=0):
+    return repro.CrowdMarket(
+        data.network, data.pool, data.cost_model,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestConstruction:
+    def test_normalizes_queried_slot_budget(self):
+        req = EstimationRequest(
+            queried=np.array([3, 1, 4]), slot=np.int64(93), budget=20
+        )
+        assert req.queried == (3, 1, 4)
+        assert isinstance(req.slot, int) and req.slot == 93
+        assert isinstance(req.budget, float) and req.budget == 20.0
+
+    @pytest.mark.parametrize("deadline_s", [0, -0.5])
+    def test_nonpositive_deadline_rejected(self, deadline_s):
+        with pytest.raises(ModelError, match="deadline_s"):
+            EstimationRequest(queried=(1,), slot=0, budget=5, deadline_s=deadline_s)
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ModelError, match="precision"):
+            EstimationRequest(queried=(1,), slot=0, budget=5, precision="float16")
+
+    def test_precision_policy_property(self):
+        req = EstimationRequest(queried=(1,), slot=0, budget=5, precision="float32")
+        assert req.precision_policy is PrecisionPolicy.FLOAT32
+        assert req.precision == "float32"
+
+    def test_precision_accepts_policy_instance(self):
+        req = EstimationRequest(
+            queried=(1,), slot=0, budget=5, precision=PrecisionPolicy.FLOAT32
+        )
+        assert req.precision == "float32"
+
+    def test_warm_start_defaults_on(self):
+        assert EstimationRequest(queried=(1,), slot=0, budget=5).warm_start is True
+
+
+class TestBinding:
+    def test_bound_fills_unset_fields(self, tiny_dataset):
+        market = _market(tiny_dataset)
+        truth = repro.truth_oracle_for(
+            tiny_dataset.test_history, 0, tiny_dataset.slot
+        )
+        req = EstimationRequest(queried=(1, 2), slot=tiny_dataset.slot, budget=10)
+        bound = req.bound(market, truth)
+        assert bound.market is market and bound.truth is truth
+
+    def test_bound_is_identity_when_complete(self, tiny_dataset):
+        market = _market(tiny_dataset)
+        truth = repro.truth_oracle_for(
+            tiny_dataset.test_history, 0, tiny_dataset.slot
+        )
+        req = EstimationRequest(
+            queried=(1, 2), slot=tiny_dataset.slot, budget=10,
+            market=market, truth=truth,
+        )
+        assert req.bound(_market(tiny_dataset, 1), truth) is req
+
+    def test_as_request_passthrough_and_coercion(self):
+        req = EstimationRequest(queried=(1, 2), slot=3, budget=10)
+        assert as_request(req) is req
+        coerced = as_request([4, 5], slot=7, budget=12.0, warm_start=False)
+        assert coerced.queried == (4, 5)
+        assert coerced.slot == 7 and coerced.warm_start is False
+
+
+class TestAnswerQuerySpellings:
+    def test_request_plus_legacy_args_rejected(self, tiny_system, tiny_dataset):
+        req = EstimationRequest(
+            queried=tiny_dataset.queried, slot=tiny_dataset.slot, budget=10
+        )
+        with pytest.raises(ModelError, match="not both"):
+            tiny_system.answer_query(req, slot=tiny_dataset.slot)
+
+    def test_legacy_spelling_without_slot_budget_rejected(self, tiny_system):
+        with pytest.raises(ModelError, match="legacy"):
+            tiny_system.answer_query([1, 2, 3])
+
+    def test_missing_market_or_truth_rejected(self, tiny_system, tiny_dataset):
+        req = EstimationRequest(
+            queried=tiny_dataset.queried, slot=tiny_dataset.slot, budget=10
+        )
+        with pytest.raises(ModelError, match="market"):
+            tiny_system.answer_query(req)
+
+    def test_legacy_spelling_warns_once(self, tiny_system, tiny_dataset):
+        truth = repro.truth_oracle_for(
+            tiny_dataset.test_history, 0, tiny_dataset.slot
+        )
+        errors.reset_deprecation_warnings("pipeline.answer_query_kwargs")
+        with pytest.warns(DeprecationWarning, match="EstimationRequest"):
+            tiny_system.answer_query(
+                tiny_dataset.queried,
+                tiny_dataset.slot,
+                budget=10,
+                market=_market(tiny_dataset),
+                truth=truth,
+            )
+
+    def test_legacy_matches_canonical_warm_start_off(
+        self, tiny_system, tiny_dataset
+    ):
+        """The shim's numbers are bit-identical to the canonical spelling."""
+        truth = repro.truth_oracle_for(
+            tiny_dataset.test_history, 0, tiny_dataset.slot
+        )
+        legacy = tiny_system.answer_query(
+            tiny_dataset.queried,
+            tiny_dataset.slot,
+            budget=10,
+            market=_market(tiny_dataset),
+            truth=truth,
+        )
+        canonical = tiny_system.answer_query(
+            EstimationRequest(
+                queried=tiny_dataset.queried,
+                slot=tiny_dataset.slot,
+                budget=10,
+                warm_start=False,
+            ),
+            market=_market(tiny_dataset),
+            truth=truth,
+        )
+        assert legacy.probes == canonical.probes
+        assert np.array_equal(legacy.estimates_kmh, canonical.estimates_kmh)
+        assert np.array_equal(legacy.full_field_kmh, canonical.full_field_kmh)
+
+    def test_request_deadline_enforced(self, tiny_system, tiny_dataset):
+        truth = repro.truth_oracle_for(
+            tiny_dataset.test_history, 0, tiny_dataset.slot
+        )
+        req = EstimationRequest(
+            queried=tiny_dataset.queried,
+            slot=tiny_dataset.slot,
+            budget=10,
+            deadline_s=1e-9,
+        )
+        with pytest.raises(errors.QueryTimeoutError):
+            tiny_system.answer_query(
+                req, market=_market(tiny_dataset), truth=truth
+            )
+
+
+class TestServeRequestShim:
+    def test_is_estimation_request_with_warm_start_off(self):
+        errors.reset_deprecation_warnings("serve.serve_request")
+        with pytest.warns(DeprecationWarning, match="ServeRequest"):
+            req = ServeRequest(queried=(1, 2), slot=3, budget=10)
+        assert isinstance(req, EstimationRequest)
+        assert req.warm_start is False
+
+    def test_field_order_matches_base(self):
+        base = [f.name for f in dataclasses.fields(EstimationRequest)]
+        sub = [f.name for f in dataclasses.fields(ServeRequest)]
+        assert base == sub

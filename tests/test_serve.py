@@ -18,6 +18,7 @@ from repro.core.pipeline import Deadline
 from repro.serve import (
     DEGRADED_BUDGET,
     DEGRADED_DEADLINE,
+    EstimationRequest,
     QueryService,
     ReplayReport,
     ServeConfig,
@@ -437,15 +438,55 @@ class TestServeMetrics:
 class TestWorkload:
     def test_roundtrip(self, tmp_path):
         items = [
-            WorkloadItem(slot=93, queried=(1, 2, 3), budget=20.0),
-            WorkloadItem(
-                slot=94, queried=(4,), budget=10.0, theta=0.9,
-                selector="ratio", deadline_ms=250.0, day=1,
+            EstimationRequest(queried=(1, 2, 3), slot=93, budget=20.0),
+            EstimationRequest(
+                queried=(4,), slot=94, budget=10.0, theta=0.9,
+                selector="ratio", deadline_s=0.25, day=1,
+                precision="float32", warm_start=False,
             ),
         ]
         path = tmp_path / "trace.jsonl"
         save_workload(items, path)
         assert load_workload(path) == items
+
+    def test_legacy_workload_item_still_loads(self, tmp_path):
+        errors.reset_deprecation_warnings("serve.workload_item")
+        with pytest.warns(DeprecationWarning):
+            items = [
+                WorkloadItem(
+                    slot=94, queried=(4,), budget=10.0, theta=0.9,
+                    selector="ratio", deadline_ms=250.0, day=1,
+                ),
+            ]
+        path = tmp_path / "trace.jsonl"
+        save_workload(items, path)
+        loaded = load_workload(path)
+        assert loaded == [items[0].as_request()]
+        assert loaded[0].deadline_s == pytest.approx(0.25)
+        # The canonical writer never emits the deprecated key.
+        assert "deadline_ms" not in path.read_text()
+
+    def test_deadline_ms_key_still_loads_and_conflicts_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"slot": 1, "queried": [1], "budget": 5, "deadline_ms": 500}\n'
+        )
+        loaded = load_workload(path)
+        assert loaded[0].deadline_s == pytest.approx(0.5)
+        path.write_text(
+            '{"slot": 1, "queried": [1], "budget": 5, '
+            '"deadline_ms": 500, "deadline_s": 0.5}\n'
+        )
+        with pytest.raises(errors.DatasetError, match="both deadline_s"):
+            load_workload(path)
+
+    def test_bad_precision_rejected_as_dataset_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"slot": 1, "queried": [1], "budget": 5, "precision": "float16"}\n'
+        )
+        with pytest.raises(errors.DatasetError, match="malformed request"):
+            load_workload(path)
 
     def test_malformed_json_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"

@@ -172,6 +172,88 @@ class TestConcurrentServing:
         assert all(m is results[0] for m in results)
 
 
+class TestWarmStartUnderRefresh:
+    def test_warm_seeded_answers_stay_correct_under_hot_refresh(
+        self, tiny_dataset
+    ):
+        """Warm-start caching races a hot writer without corrupting answers.
+
+        Readers answer warm-started queries (storing/consuming seeds on
+        their pinned snapshots) while the writer publishes refreshes
+        that drop the touched slot's seed in the same atomic publish.
+        Each warm answer is checked against a cold-start answer off the
+        *same pinned snapshot* — a seed leaking across digests, or a
+        race between the artifact drop and a concurrent store, would
+        surface as a divergent field or an exception.
+        """
+        data = tiny_dataset
+        system = repro.CrowdRTSE.fit(
+            data.network, data.train_history, slots=[data.slot]
+        )
+        local = data.test_history.local_slot(data.slot)
+        truth = repro.truth_oracle_for(data.test_history, 0, data.slot)
+        errors: List[str] = []
+        stop = threading.Event()
+
+        def request(warm_start: bool):
+            return repro.EstimationRequest(
+                queried=data.queried,
+                slot=data.slot,
+                budget=15,
+                warm_start=warm_start,
+            )
+
+        def market(seed: int):
+            return repro.CrowdMarket(
+                data.network,
+                data.pool,
+                data.cost_model,
+                rng=np.random.default_rng(seed),
+            )
+
+        def writer():
+            for day in range(data.test_history.n_days):
+                system.refresh(
+                    {data.slot: data.test_history.day(day)[local]},
+                    learning_rate=0.3,
+                )
+            stop.set()
+
+        def reader(seed: int):
+            while not stop.is_set():
+                snapshot = system.store.current()
+                warm = system.answer_query(
+                    request(True), market=market(seed), truth=truth,
+                    snapshot=snapshot,
+                )
+                cold = system.answer_query(
+                    request(False), market=market(seed), truth=truth,
+                    snapshot=snapshot,
+                )
+                if warm.probes != cold.probes:
+                    errors.append("warm/cold probes diverged on one snapshot")
+                    return
+                if not np.allclose(
+                    warm.full_field_kmh, cold.full_field_kmh, atol=1e-2
+                ):
+                    errors.append(
+                        "warm-started field diverged from cold start "
+                        "beyond the solver tolerance"
+                    )
+                    return
+
+        readers = [threading.Thread(target=reader, args=(s,)) for s in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in readers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=300)
+        for thread in readers:
+            thread.join(timeout=300)
+        assert not errors, errors
+        assert system.store.version == data.test_history.n_days + 1
+
+
 class TestPublishProperty:
     @SETTINGS
     @given(
