@@ -595,7 +595,11 @@ class QueryService:
                 return
             try:
                 with self._maybe_probe_lock():
-                    result = self._system.answer_query(
+                    # The transitive wait is the artifact cache's
+                    # single-flight Event: bounded by one derivation on
+                    # a thread that never takes the probe lock, and
+                    # serialize_probes opts into exactly this hold.
+                    result = self._system.answer_query(  # repro: noqa[RA012]
                         request,
                         market=self._market_of(request),
                         truth=self._truth_of(request),
@@ -645,7 +649,9 @@ class QueryService:
                     continue
                 try:
                     with self._maybe_probe_lock():
-                        prepared = self._system._select_and_probe(
+                        # Same single-flight artifact-cache wait as the
+                        # single path above; see that justification.
+                        prepared = self._system._select_and_probe(  # repro: noqa[RA012]
                             request.queried,
                             request.slot,
                             request.budget,

@@ -18,7 +18,12 @@ from tools.analyze.core import (
     select_rules,
     write_baseline,
 )
-from tools.analyze.reporters import human_report, json_report
+from tools.analyze.reporters import (
+    human_report,
+    json_report,
+    sarif_report,
+    validate_sarif,
+)
 from tools.analyze.rules import ALL_RULES
 from tools.analyze.rules.ra006_determinism import RA006Determinism
 
@@ -30,11 +35,11 @@ FIRING = """
 """
 
 
-def test_registry_ships_six_rules_with_unique_ids():
+def test_registry_ships_twelve_rules_with_unique_ids():
     ids = [rule_cls.rule_id for rule_cls in ALL_RULES]
     assert ids == sorted(ids)
-    assert len(set(ids)) == len(ids) == 6
-    assert ids[0] == "RA001" and ids[-1] == "RA006"
+    assert len(set(ids)) == len(ids) == 12
+    assert ids[0] == "RA001" and ids[-1] == "RA012"
 
 
 def test_select_rules_filters_and_rejects_unknown():
@@ -185,5 +190,194 @@ class TestMainExitCodes:
     def test_list_rules(self, tmp_path, capsys):
         assert analyze_main.main(["--list-rules"]) == EXIT_OK
         out = capsys.readouterr().out
-        for rule_id in ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006"):
-            assert rule_id in out
+        for n in range(1, 13):
+            assert f"RA{n:03d}" in out
+
+
+class TestFingerprintV2:
+    def test_engine_findings_carry_symbol_and_snippet(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        (finding,) = run_rules(project, [RA006Determinism()]).findings
+        assert finding.symbol == "draw"
+        assert finding.snippet == "return np.random.rand(3)"
+
+    def test_baseline_survives_line_moves_and_rewords(self, tmp_path):
+        """The satellite-2 contract: moving the finding line (or
+        rewording the message) must not orphan the baseline entry."""
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        rule = RA006Determinism()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_rules(project, [rule]).findings)
+
+        moved = make_project(
+            tmp_path, {"src/m.py": "\n    ANSWER = 42\n    MORE = 43\n" + FIRING}
+        )
+        result = run_rules(moved, [rule], load_baseline(baseline_path))
+        assert result.findings == []
+        assert result.baselined == 1
+        assert result.stale_baseline == []
+
+    def test_changed_snippet_breaks_the_match(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        rule = RA006Determinism()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_rules(project, [rule]).findings)
+
+        edited = make_project(
+            tmp_path, {"src/m.py": FIRING.replace("rand(3)", "rand(4)")}
+        )
+        result = run_rules(edited, [rule], load_baseline(baseline_path))
+        assert len(result.findings) == 1
+        assert len(result.stale_baseline) == 1
+
+    def test_v1_message_keyed_baseline_still_matches(self, tmp_path):
+        """Migration path: an old baseline written before symbol/snippet
+        existed keeps masking its finding via the legacy fingerprint."""
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        rule = RA006Determinism()
+        (finding,) = run_rules(project, [rule]).findings
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "findings": [{
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }],
+        }))
+        result = run_rules(project, [rule], load_baseline(path))
+        assert result.findings == []
+        assert result.baselined == 1
+
+    def test_written_baseline_is_version_two(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        path = tmp_path / "baseline.json"
+        write_baseline(path, run_rules(project, [RA006Determinism()]).findings)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 2
+        (entry,) = payload["findings"]
+        assert entry["symbol"] == "draw"
+        assert entry["snippet"] == "return np.random.rand(3)"
+
+
+class TestStaleNoqa:
+    def test_suppression_matching_nothing_fails_the_run(self, tmp_path):
+        project = make_project(
+            tmp_path, {"src/m.py": "x = 1  # repro: noqa[RA006]\n"}
+        )
+        result = run_rules(project, [RA006Determinism()])
+        assert result.findings == []
+        assert len(result.stale_suppressions) == 1
+        assert result.stale_suppressions[0].rule == "NOQA"
+        assert result.failed
+
+    def test_live_suppression_is_not_stale(self, tmp_path):
+        source = FIRING.replace(
+            "np.random.rand(3)", "np.random.rand(3)  # repro: noqa[RA006]"
+        )
+        project = make_project(tmp_path, {"src/m.py": source})
+        result = run_rules(project, [RA006Determinism()])
+        assert result.stale_suppressions == []
+        assert not result.failed
+
+    def test_subset_run_does_not_judge_unran_rules(self, tmp_path):
+        """A noqa[RA001] can only be judged stale when RA001 ran."""
+        project = make_project(
+            tmp_path, {"src/m.py": "x = 1  # repro: noqa[RA001]\n"}
+        )
+        result = run_rules(project, [RA006Determinism()])
+        assert result.stale_suppressions == []
+
+    def test_docstring_noqa_mention_is_not_a_suppression(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/m.py": '"""Docs may mention # repro: noqa[RA006] freely."""\n'
+        })
+        result = run_rules(project, [RA006Determinism()])
+        assert result.stale_suppressions == []
+
+    def test_stale_noqa_in_human_report(self, tmp_path):
+        project = make_project(
+            tmp_path, {"src/m.py": "x = 1  # repro: noqa[RA006]\n"}
+        )
+        result = run_rules(project, [RA006Determinism()])
+        report = human_report(result, 1, 1)
+        assert "NOQA" in report
+        assert "stale suppression" in report
+
+
+class TestSarif:
+    def test_sarif_payload_validates_and_carries_findings(self, tmp_path):
+        project = make_project(tmp_path, {"src/m.py": FIRING})
+        rules = [RA006Determinism()]
+        result = run_rules(project, rules)
+        payload = json.loads(sarif_report(result, rules))
+        assert validate_sarif(payload) is None
+        run = payload["runs"][0]
+        (sarif_result,) = run["results"]
+        assert sarif_result["ruleId"] == "RA006"
+        assert sarif_result["partialFingerprints"]["reproAnalyze/v2"]
+        location = sarif_result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/m.py"
+        assert location["region"]["startLine"] == 5
+
+    def test_validator_rejects_malformed_payloads(self):
+        assert validate_sarif({}) is not None
+        assert validate_sarif({"version": "2.1.0", "runs": []}) is not None
+        bad_rule = {
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {"name": "x", "rules": [{"id": "RA001"}]}},
+                "results": [{
+                    "ruleId": "RA999",
+                    "message": {"text": "m"},
+                    "locations": [],
+                }],
+            }],
+        }
+        assert validate_sarif(bad_rule) is not None
+
+    def test_main_sarif_format_flag(self, tmp_path, capsys):
+        write_files(tmp_path, {"src/m.py": FIRING})
+        argv = [
+            "--root", str(tmp_path), "--baseline", str(tmp_path / "bl.json"),
+            "--format", "sarif", "src",
+        ]
+        assert analyze_main.main(argv) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_sarif(payload) is None
+
+
+class TestChangedOnly:
+    FILES = {
+        "src/clean.py": "x = 1\n",
+        "src/dirty.py": FIRING,
+        "src/other_dirty.py": FIRING.replace("draw", "roll"),
+    }
+
+    def _run(self, tmp_path, paths, capsys):
+        write_files(tmp_path, self.FILES)
+        argv = [
+            "--root", str(tmp_path), "--no-baseline", "--changed-only",
+        ] + paths
+        code = analyze_main.main(argv)
+        return code, capsys.readouterr().out
+
+    def test_empty_changed_set_short_circuits(self, tmp_path, capsys):
+        code, out = self._run(tmp_path, ["docs/NOTES.md"], capsys)
+        assert code == EXIT_OK
+        assert "no analyzable files" in out
+
+    def test_only_changed_file_findings_reported(self, tmp_path, capsys):
+        code, out = self._run(tmp_path, ["src/dirty.py", "src/clean.py"], capsys)
+        assert code == EXIT_FINDINGS
+        assert "src/dirty.py" in out
+        assert "src/other_dirty.py" not in out
+
+    def test_clean_changed_file_exits_zero(self, tmp_path, capsys):
+        code, out = self._run(tmp_path, ["src/clean.py"], capsys)
+        assert code == EXIT_OK
+
+    def test_deleted_files_are_dropped(self, tmp_path, capsys):
+        code, out = self._run(tmp_path, ["src/removed.py"], capsys)
+        assert code == EXIT_OK
+        assert "no analyzable files" in out

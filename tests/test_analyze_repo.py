@@ -19,6 +19,8 @@ def test_analyzer_is_clean_on_src_repro(capsys):
     out = capsys.readouterr().out
     assert code == EXIT_OK, out
     assert "0 finding(s)" in out
+    # The gate only counts if the whole rule set ran, RA007-RA012 included.
+    assert "12 rule(s)" in out
 
 
 def test_lock_rules_hold_on_tools_and_benchmarks(capsys):

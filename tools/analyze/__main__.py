@@ -22,10 +22,29 @@ from tools.analyze.core import (
     select_rules,
     write_baseline,
 )
-from tools.analyze.reporters import human_report, json_report
+from tools.analyze.reporters import human_report, json_report, sarif_report
 
 _REPO_ROOT = Path(__file__).resolve().parents[2]
 _DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _changed_python_files(root: Path, raw_paths: Sequence[str]) -> set:
+    """Root-relative ``.py`` paths from a changed-file list.
+
+    Deleted files and non-Python files are silently dropped, so the
+    output of ``git diff --name-only`` can be passed verbatim.
+    """
+    out = set()
+    for raw in raw_paths:
+        path = Path(raw)
+        absolute = path if path.is_absolute() else root / path
+        if path.suffix == ".py" and absolute.is_file():
+            try:
+                rel = absolute.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = absolute.as_posix()
+            out.add(rel)
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,9 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "treat the positional paths as a changed-file list (e.g. from "
+            "`git diff --name-only`): analyze the full default tree for "
+            "cross-module context but report only findings in those files; "
+            "skips the stale-baseline check (subset view)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -96,7 +125,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_OK
 
     try:
-        project = Project.load(Path(args.root), [Path(p) for p in args.paths])
+        root = Path(args.root)
+        if args.changed_only:
+            changed = _changed_python_files(root, args.paths)
+            if not changed:
+                print("0 finding(s): no analyzable files in the changed set")
+                return EXIT_OK
+            tree = Path("src/repro") if (root / "src/repro").is_dir() else Path("src")
+            project = Project.load(root, [tree])
+        else:
+            project = Project.load(root, [Path(p) for p in args.paths])
         old_baseline = load_baseline(Path(args.baseline))
 
         if args.write_baseline:
@@ -114,14 +152,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         baseline = {} if args.no_baseline else old_baseline
         result = run_rules(project, rules, baseline)
-        report = (
-            json_report(result, len(rules), len(project.modules))
-            if args.format == "json"
-            else human_report(result, len(rules), len(project.modules))
-        )
+        if args.changed_only:
+            # Findings outside the changed files (and stale-baseline noise
+            # from the subset view) are the full run's business.
+            result.findings = [f for f in result.findings if f.path in changed]
+            result.stale_suppressions = [
+                f for f in result.stale_suppressions if f.path in changed
+            ]
+            result.stale_baseline = []
+        if args.format == "json":
+            report = json_report(result, len(rules), len(project.modules))
+        elif args.format == "sarif":
+            report = sarif_report(result, rules)
+        else:
+            report = human_report(result, len(rules), len(project.modules))
         print(report)
-        failed = bool(result.findings) or bool(result.stale_baseline)
-        return EXIT_FINDINGS if failed else EXIT_OK
+        return EXIT_FINDINGS if result.failed else EXIT_OK
     except (OSError, SyntaxError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FINDINGS

@@ -1,0 +1,150 @@
+"""Classification of blocking primitives, shared by RA008/RA012.
+
+A *blocking atom* is a call that can stall the calling thread for an
+unbounded (or externally-controlled) time: sleeps, thread joins,
+condition/event waits, queue handoffs, socket traffic, file I/O,
+subprocess spawns.  Lock acquisition is deliberately **not** an atom —
+nested acquisition is RA002's domain (lock-order cycles), and treating
+every ``with lock:`` as blocking would double-report it.
+
+:func:`may_block` lifts the atom classification to a transitive
+per-function summary over the shared call graph, so "calls a helper
+that sleeps" counts the same as sleeping inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional, Set
+
+from tools.analyze.callgraph import CallGraph, FunctionInfo, lock_node
+from tools.analyze.core import dotted_name, self_attr_path
+
+#: Dotted-name prefixes that mean wall-clock blocking wherever they appear.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep",
+    "os.system": "subprocess",
+    "socket.create_connection": "socket I/O",
+}
+
+_BLOCKING_MODULE_PREFIXES = {
+    "subprocess.": "subprocess",
+    "requests.": "network I/O",
+    "urllib.": "network I/O",
+}
+
+#: Attribute calls that block regardless of receiver.
+_BLOCKING_ATTRS = {
+    "read_text": "file I/O",
+    "write_text": "file I/O",
+    "read_bytes": "file I/O",
+    "write_bytes": "file I/O",
+    "recv": "socket I/O",
+    "recv_into": "socket I/O",
+    "sendall": "socket I/O",
+    "connect": "socket I/O",
+    "accept": "socket I/O",
+}
+
+_QUEUEISH = ("queue", "jobs", "inbox", "outbox", "mailbox")
+
+
+def blocking_atom(call: ast.Call) -> Optional[str]:
+    """Short reason string when this call is a blocking primitive."""
+    dotted = dotted_name(call.func)
+    if dotted is not None:
+        if dotted in _BLOCKING_DOTTED:
+            return _BLOCKING_DOTTED[dotted]
+        for prefix, reason in _BLOCKING_MODULE_PREFIXES.items():
+            if dotted.startswith(prefix):
+                return reason
+    if isinstance(call.func, ast.Name):
+        if call.func.id == "open":
+            return "file I/O"
+        if call.func.id == "input":
+            return "stdin read"
+        return None
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    attr = call.func.attr
+    if attr in _BLOCKING_ATTRS:
+        return _BLOCKING_ATTRS[attr]
+    if attr == "sleep":
+        return "time.sleep"
+    if attr == "wait":
+        # Condition/Event/Future wait.  ``Condition.wait`` on a lock the
+        # caller holds is the legitimate release-and-wait idiom; rules
+        # exempt that case via :func:`wait_releases_held_lock`.
+        return "wait"
+    if attr == "join":
+        # Distinguish Thread.join from str.join: a string join always
+        # passes the iterable positionally; Thread.join takes at most a
+        # timeout (usually by keyword or not at all).
+        receiver_is_str = isinstance(call.func.value, ast.Constant) and isinstance(
+            call.func.value.value, str
+        )
+        if receiver_is_str or len(call.args) > 1:
+            return None
+        if len(call.args) == 1 and not isinstance(
+            call.args[0], (ast.Constant, ast.Name)
+        ):
+            return None
+        if len(call.args) == 1 and isinstance(call.args[0], ast.Name):
+            # ``sep.join(parts)`` — one positional non-literal arg is
+            # almost always an iterable, not a timeout.
+            return None
+        return "thread join"
+    if attr in ("get", "put", "get_nowait", "put_nowait"):
+        receiver = dotted_name(call.func.value) or ""
+        base = receiver.lower()
+        if any(marker in base for marker in _QUEUEISH):
+            if attr.endswith("_nowait"):
+                return None
+            return f"queue.{attr}"
+    return None
+
+
+def wait_releases_held_lock(
+    call: ast.Call, func: FunctionInfo, held: FrozenSet[str]
+) -> bool:
+    """True for ``cond.wait()`` where ``cond`` wraps a held lock.
+
+    ``Condition.wait`` atomically releases the wrapped lock while
+    sleeping, so waiting on a condition over the *only* held lock is the
+    correct backpressure idiom, not a blocking-under-lock bug.
+    """
+    if not (isinstance(call.func, ast.Attribute) and call.func.attr == "wait"):
+        return False
+    info = func.class_info
+    if info is None:
+        return False
+    attr = self_attr_path(call.func.value)
+    if attr is None or "." in attr:
+        return False
+    canonical = info.canonical_attr(attr)
+    node = lock_node(func.module, info.node.name, canonical)
+    return held <= {node} and node in held
+
+
+def function_atoms(func: FunctionInfo) -> Set[str]:
+    """Blocking atoms appearing directly in one function body."""
+    atoms: Set[str] = set()
+    for site in func.calls:
+        reason = blocking_atom(site.node)
+        if reason is None:
+            continue
+        if reason == "wait" and wait_releases_held_lock(site.node, func, site.held):
+            # Only exempt from the *summary* when the wait can never
+            # block a caller-held lock: Condition.wait still blocks any
+            # other lock the caller holds, so keep it in the summary.
+            atoms.add("wait")
+            continue
+        atoms.add(reason)
+    return atoms
+
+
+def may_block(graph: CallGraph) -> Dict[str, Set[str]]:
+    """Transitive blocking reasons per function key (fixpoint)."""
+    return graph.fixpoint(
+        {key: function_atoms(func) for key, func in graph.functions.items()}
+    )

@@ -9,9 +9,15 @@ Design notes
   directly; tests build throwaway projects under ``tmp_path``.
 * Suppression is per-line: ``# repro: noqa[RA001]`` (comma-separable) or
   a bare ``# repro: noqa`` on the flagged line silences the finding.
+  A suppression that suppresses nothing is itself reported (stale-noqa,
+  like ruff's), provided every rule it names actually ran.
 * The baseline is a JSON list of grandfathered findings keyed by a
-  line-number-free fingerprint (rule + path + message), so unrelated
-  edits do not invalidate it.  Every entry must carry a justification.
+  line-number-free fingerprint over (rule, path, enclosing symbol,
+  normalized source snippet), so neither line moves nor message rewords
+  invalidate it.  Version-1 entries (keyed on the message) still match
+  through :attr:`Finding.legacy_fingerprint` and are rewritten to the
+  new scheme by ``--write-baseline``.  Every entry must carry a
+  justification.
 """
 
 from __future__ import annotations
@@ -19,8 +25,10 @@ from __future__ import annotations
 import ast
 import dataclasses
 import hashlib
+import io
 import json
 import re
+import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -39,16 +47,31 @@ class Finding:
 
     ``path`` is repo-root-relative (posix separators) so fingerprints are
     machine-independent; ``line`` is 1-based (0 for whole-file findings).
+    ``symbol`` is the enclosing ``Class.method`` (or ``<module>``) and
+    ``snippet`` the whitespace-normalized source line — together they key
+    the baseline fingerprint, so entries survive line moves, message
+    rewords, and edits to neighboring lines.
     """
 
     rule: str
     path: str
     line: int
     message: str
+    symbol: str = ""
+    snippet: str = ""
 
     @property
     def fingerprint(self) -> str:
         """Stable id used by the baseline (deliberately line-free)."""
+        if self.symbol or self.snippet:
+            key = f"{self.rule}::{self.path}::{self.symbol}::{self.snippet}"
+        else:
+            key = f"{self.rule}::{self.path}::{self.message}"
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def legacy_fingerprint(self) -> str:
+        """The version-1 (message-keyed) fingerprint, for baseline migration."""
         digest = hashlib.sha256(
             f"{self.rule}::{self.path}::{self.message}".encode("utf-8")
         ).hexdigest()
@@ -68,24 +91,81 @@ class Module:
         self.tree = ast.parse(source, filename=str(path))
         self.lines = source.splitlines()
         self._suppressions = self._parse_suppressions()
+        self._symbol_spans: Optional[List[Tuple[int, int, str]]] = None
 
     @property
     def name(self) -> str:
         """Dotted-ish short name: final path component without ``.py``."""
         return Path(self.relpath).stem
 
+    def line_text(self, line: int) -> str:
+        """Source text of a 1-based line ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def snippet_at(self, line: int) -> str:
+        """Whitespace-normalized source line, used for fingerprints."""
+        return " ".join(self.line_text(line).split())
+
+    def symbol_at(self, line: int) -> str:
+        """Qualified enclosing symbol (``Class.method``) for a line.
+
+        ``<module>`` for module-level code or line 0 (whole-file
+        findings).
+        """
+        if self._symbol_spans is None:
+            spans: List[Tuple[int, int, str]] = []
+
+            def collect(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        qual = f"{prefix}{child.name}"
+                        end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                        spans.append((child.lineno, end, qual))
+                        collect(child, f"{qual}.")
+                    else:
+                        collect(child, prefix)
+
+            collect(self.tree, "")
+            self._symbol_spans = sorted(spans)
+        best = "<module>"
+        best_size = -1
+        for start, end, qual in self._symbol_spans:
+            if start <= line <= end and (best_size < 0 or end - start <= best_size):
+                best, best_size = qual, end - start
+        return best
+
     def _parse_suppressions(self) -> Dict[int, Optional[Set[str]]]:
-        """Map line number -> suppressed rule ids (None = all rules)."""
+        """Map line number -> suppressed rule ids (None = all rules).
+
+        Only genuine comment tokens count — a ``# repro: noqa`` spelled
+        inside a docstring or string literal is prose, not a
+        suppression (and must not trip the stale-noqa check).
+        """
         out: Dict[int, Optional[Set[str]]] = {}
-        for lineno, text in enumerate(self.lines, start=1):
-            match = _NOQA_RE.search(text)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return out
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
             if not match:
                 continue
             raw = match.group("rules")
+            lineno = token.start[0]
             if raw is None:
                 out[lineno] = None
             else:
-                out[lineno] = {part.strip().upper() for part in raw.split(",") if part.strip()}
+                out[lineno] = {
+                    part.strip().upper() for part in raw.split(",") if part.strip()
+                }
         return out
 
     def is_suppressed(self, rule: str, line: int) -> bool:
@@ -168,12 +248,18 @@ class Rule:
         raise NotImplementedError
 
     def finding(self, module_or_path, line: int, message: str) -> Finding:
-        path = (
-            module_or_path.relpath
-            if isinstance(module_or_path, Module)
-            else str(module_or_path)
+        if isinstance(module_or_path, Module):
+            return Finding(
+                rule=self.rule_id,
+                path=module_or_path.relpath,
+                line=line,
+                message=message,
+                symbol=module_or_path.symbol_at(line) if line else "<module>",
+                snippet=module_or_path.snippet_at(line),
+            )
+        return Finding(
+            rule=self.rule_id, path=str(module_or_path), line=line, message=message
         )
-        return Finding(rule=self.rule_id, path=path, line=line, message=message)
 
 
 # -- baseline ---------------------------------------------------------------
@@ -184,6 +270,10 @@ def load_baseline(path: Path) -> Dict[str, dict]:
 
     Missing file -> empty baseline.  Malformed content raises
     ``ValueError`` (the runner maps that to the internal-error exit).
+    Version-2 entries carry ``symbol``/``snippet`` and key on them;
+    version-1 entries (``message`` only) key on the legacy
+    message-based fingerprint so old baselines keep matching until
+    rewritten by ``--write-baseline``.
     """
     path = Path(path)
     if not path.is_file():
@@ -194,10 +284,17 @@ def load_baseline(path: Path) -> Dict[str, dict]:
         raise ValueError(f"baseline {path} must hold a list of findings")
     out: Dict[str, dict] = {}
     for entry in entries:
-        if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+        if not isinstance(entry, dict) or not {"rule", "path"} <= set(entry):
+            raise ValueError(f"malformed baseline entry in {path}: {entry!r}")
+        if not ({"symbol", "snippet"} & set(entry) or "message" in entry):
             raise ValueError(f"malformed baseline entry in {path}: {entry!r}")
         finding = Finding(
-            rule=entry["rule"], path=entry["path"], line=0, message=entry["message"]
+            rule=entry["rule"],
+            path=entry["path"],
+            line=0,
+            message=entry.get("message", ""),
+            symbol=entry.get("symbol", ""),
+            snippet=entry.get("snippet", ""),
         )
         out[finding.fingerprint] = entry
     return out
@@ -208,24 +305,27 @@ def write_baseline(
     findings: Iterable[Finding],
     previous: Optional[Dict[str, dict]] = None,
 ) -> None:
-    """Write the findings as a fresh baseline.
+    """Write the findings as a fresh version-2 baseline.
 
-    Justifications default to a TODO marker; entries whose fingerprint
-    already existed in ``previous`` keep their written justification.
+    Justifications default to a TODO marker; entries matching
+    ``previous`` (by the new or the legacy fingerprint, so version-1
+    baselines migrate in place) keep their written justification.
     """
     previous = previous or {}
     entries = []
     for f in sorted(findings, key=Finding.sort_key):
-        kept = previous.get(f.fingerprint, {})
+        kept = previous.get(f.fingerprint) or previous.get(f.legacy_fingerprint) or {}
         entries.append(
             {
                 "rule": f.rule,
                 "path": f.path,
+                "symbol": f.symbol,
+                "snippet": f.snippet,
                 "message": f.message,
                 "justification": kept.get("justification", "TODO: justify or fix"),
             }
         )
-    payload = {"version": 1, "findings": entries}
+    payload = {"version": 2, "findings": entries}
     Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
@@ -235,6 +335,61 @@ class RunResult:
     suppressed: int
     baselined: int
     stale_baseline: List[dict]
+    #: ``# repro: noqa`` comments that suppressed nothing (rule "NOQA")
+    stale_suppressions: List[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings or self.stale_baseline or self.stale_suppressions)
+
+
+#: Pseudo rule id for stale-suppression findings (not selectable, not
+#: suppressible, not baselineable — remove the comment instead).
+NOQA_RULE = "NOQA"
+
+
+def _stale_suppressions(
+    project: Project,
+    rules: Sequence[Rule],
+    used: Set[Tuple[str, int]],
+) -> List[Finding]:
+    """Suppression comments that matched no finding of any rule they name.
+
+    A suppression is only judged when every rule it names actually ran
+    (bare ``noqa`` requires the full registry), so ``--select`` subsets
+    never produce false stale reports.
+    """
+    ran = {rule.rule_id for rule in rules}
+    all_ids = {rule_cls.rule_id for rule_cls in _registered_rule_classes()}
+    out: List[Finding] = []
+    for module in project.modules:
+        for line, named in sorted(module._suppressions.items()):
+            required = all_ids if named is None else named
+            if not required <= ran:
+                continue
+            if (module.relpath, line) in used:
+                continue
+            label = "" if named is None else f"[{', '.join(sorted(named))}]"
+            out.append(
+                Finding(
+                    rule=NOQA_RULE,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"suppression '# repro: noqa{label}' matches no "
+                        "finding; remove it"
+                    ),
+                    symbol=module.symbol_at(line),
+                    snippet=module.snippet_at(line),
+                )
+            )
+    return out
+
+
+def _registered_rule_classes() -> List[type]:
+    from tools.analyze.rules import ALL_RULES
+
+    return list(ALL_RULES)
 
 
 def run_rules(
@@ -242,18 +397,24 @@ def run_rules(
     rules: Sequence[Rule],
     baseline: Optional[Dict[str, dict]] = None,
 ) -> RunResult:
-    """Run every rule, then drop suppressed and baselined findings."""
+    """Run every rule, then drop suppressed and baselined findings.
+
+    Suppression comments that suppressed nothing are reported as
+    :data:`NOQA_RULE` findings in ``stale_suppressions``.
+    """
     raw: List[Finding] = []
     for rule in rules:
         raw.extend(rule.check(project))
     raw.sort(key=Finding.sort_key)
 
     suppressed = 0
+    used_suppressions: Set[Tuple[str, int]] = set()
     unsuppressed: List[Finding] = []
     for finding in raw:
         module = project.module(finding.path)
         if module is not None and module.is_suppressed(finding.rule, finding.line):
             suppressed += 1
+            used_suppressions.add((finding.path, finding.line))
         else:
             unsuppressed.append(finding)
 
@@ -262,8 +423,11 @@ def run_rules(
     kept: List[Finding] = []
     baselined = 0
     for finding in unsuppressed:
-        seen_fingerprints.add(finding.fingerprint)
-        if finding.fingerprint in baseline:
+        fingerprint = finding.fingerprint
+        if fingerprint not in baseline and finding.legacy_fingerprint in baseline:
+            fingerprint = finding.legacy_fingerprint
+        seen_fingerprints.add(fingerprint)
+        if fingerprint in baseline:
             baselined += 1
         else:
             kept.append(finding)
@@ -277,6 +441,7 @@ def run_rules(
         suppressed=suppressed,
         baselined=baselined,
         stale_baseline=stale,
+        stale_suppressions=_stale_suppressions(project, rules, used_suppressions),
     )
 
 

@@ -1,0 +1,382 @@
+"""Forward dataflow with a taint-style value-provenance lattice.
+
+The engine the RA007–RA011 rules share.  Values are abstracted as sets
+of string *tags* (the lattice is the powerset under union); a
+:class:`TaintSpec` defines where tags are born (sources), where they
+die (sanitizers), and how calls combine them.  For each function the
+engine walks the body once in program order, maintaining an
+environment ``name -> tags``, and records the tags of **every
+expression node** it evaluates, so rules can afterwards walk the AST
+themselves and ask :meth:`FunctionFlow.tags_of` at their sinks.
+
+Precision choices (deliberately simple, biased to avoid false
+positives on idiomatic code):
+
+* straight-line assignments are strong updates — ``x =
+  x.astype(np.float64)`` launders ``x``;
+* assignments inside ``if``/``while``/``for``/``try`` bodies are weak
+  updates (the new tags union with the old, since the branch may not
+  run); loop bodies are walked twice so tags born late in the body
+  reach uses at the top;
+* calls to resolved project functions use per-function *return-tag
+  summaries* computed to a fixpoint over the shared call graph;
+  unresolved calls propagate the union of receiver and argument tags
+  unless the spec says otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from tools.analyze.callgraph import CallGraph, FunctionInfo
+
+EMPTY: FrozenSet[str] = frozenset()
+
+
+class TaintSpec:
+    """Override points for one taint analysis.
+
+    Every hook returning ``None`` means "no opinion, use the default
+    propagation"; returning a set (possibly empty) is authoritative.
+    """
+
+    def functions(self, graph: CallGraph) -> Iterable[FunctionInfo]:
+        """Which functions to analyze (default: the whole project)."""
+        return graph.functions.values()
+
+    def param_tags(self, func: FunctionInfo, name: str) -> Set[str]:
+        """Tags a parameter starts with (e.g. ``snapshot`` params)."""
+        return set()
+
+    def name_tags(self, func: FunctionInfo, node: ast.Name) -> Set[str]:
+        """Extra tags for a bare name read (e.g. module constants)."""
+        return set()
+
+    def constant_tags(self, node: ast.Constant) -> Set[str]:
+        return set()
+
+    def attribute_tags(
+        self, func: FunctionInfo, node: ast.Attribute, base: FrozenSet[str]
+    ) -> Optional[Set[str]]:
+        """Tags of ``base.attr``.  Default: inherit the base's tags."""
+        return None
+
+    def call_tags(
+        self, func: FunctionInfo, node: ast.Call, ctx: "EvalContext"
+    ) -> Optional[Set[str]]:
+        """Tags of a call result; ``None`` falls through to summaries +
+        receiver/argument propagation."""
+        return None
+
+    def fstring_tags(
+        self, func: FunctionInfo, node: ast.JoinedStr, parts: FrozenSet[str]
+    ) -> Optional[Set[str]]:
+        return None
+
+
+@dataclasses.dataclass
+class EvalContext:
+    """What a spec hook may consult while classifying a call."""
+
+    graph: CallGraph
+    func: FunctionInfo
+    summaries: Dict[str, FrozenSet[str]]
+    evaluate: "Evaluator"
+
+    def arg_tags(self, node: ast.Call) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for arg in node.args:
+            out |= self.evaluate(arg)
+        for kw in node.keywords:
+            out |= self.evaluate(kw.value)
+        return frozenset(out)
+
+    def receiver_tags(self, node: ast.Call) -> FrozenSet[str]:
+        if isinstance(node.func, ast.Attribute):
+            return self.evaluate(node.func.value)
+        return EMPTY
+
+    def callee_summary_tags(self, node: ast.Call) -> FrozenSet[str]:
+        from tools.analyze.callgraph import call_desc
+
+        out: Set[str] = set()
+        for key in self.graph.resolve(call_desc(node, self.func)):
+            out |= self.summaries.get(key, EMPTY)
+        return frozenset(out)
+
+
+class Evaluator:
+    """Callable: ``evaluate(expr) -> FrozenSet[str]`` against one env."""
+
+    def __init__(self, flow: "FunctionFlow") -> None:
+        self._flow = flow
+
+    def __call__(self, node: ast.AST) -> FrozenSet[str]:
+        return self._flow._eval(node)
+
+
+@dataclasses.dataclass
+class FunctionFlow:
+    """The result of analyzing one function body."""
+
+    func: FunctionInfo
+    spec: TaintSpec
+    graph: CallGraph
+    summaries: Dict[str, FrozenSet[str]]
+    env: Dict[str, FrozenSet[str]] = dataclasses.field(default_factory=dict)
+    #: id(expr node) -> tags at evaluation time
+    node_tags: Dict[int, FrozenSet[str]] = dataclasses.field(default_factory=dict)
+    returns: FrozenSet[str] = EMPTY
+    _branch_depth: int = 0
+
+    def tags_of(self, node: ast.AST) -> FrozenSet[str]:
+        """Tags recorded for an expression during the walk."""
+        return self.node_tags.get(id(node), EMPTY)
+
+    # -- expression evaluation ---------------------------------------------
+
+    def _eval(self, node: ast.AST) -> FrozenSet[str]:
+        tags = self._eval_inner(node)
+        self.node_tags[id(node)] = tags
+        return tags
+
+    def _eval_inner(self, node: ast.AST) -> FrozenSet[str]:
+        spec, func = self.spec, self.func
+        if isinstance(node, ast.Name):
+            return frozenset(self.env.get(node.id, EMPTY) | spec.name_tags(func, node))
+        if isinstance(node, ast.Constant):
+            return frozenset(spec.constant_tags(node))
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value)
+            custom = spec.attribute_tags(func, node, base)
+            return frozenset(custom) if custom is not None else base
+        if isinstance(node, ast.Subscript):
+            tags = self._eval(node.value)
+            self._eval(node.slice)
+            return tags
+        if isinstance(node, ast.Call):
+            ctx = EvalContext(self.graph, func, self.summaries, Evaluator(self))
+            # Evaluate operands first so their node_tags are recorded.
+            recv = ctx.receiver_tags(node)
+            args = ctx.arg_tags(node)
+            custom = spec.call_tags(func, node, ctx)
+            if custom is not None:
+                return frozenset(custom)
+            return frozenset(ctx.callee_summary_tags(node) | recv | args)
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: Set[str] = set()
+            for value in node.values:
+                out |= self._eval(value)
+            return frozenset(out)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comp in node.comparators:
+                self._eval(comp)
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for elt in node.elts:
+                out |= self._eval(elt)
+            return frozenset(out)
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key)
+            for value in node.values:
+                out |= self._eval(value)
+            return frozenset(out)
+        if isinstance(node, ast.JoinedStr):
+            parts: Set[str] = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    parts |= self._eval(value.value)
+            custom = self.spec.fstring_tags(func, node, frozenset(parts))
+            return frozenset(custom) if custom is not None else frozenset(parts)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            tags = self._eval(node.value)
+            self._bind(node.target, tags)
+            return tags
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node.generators, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(node.generators, [node.key, node.value])
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part)
+            return EMPTY
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        return EMPTY
+
+    def _eval_comprehension(
+        self, generators: List[ast.comprehension], elements: List[ast.expr]
+    ) -> FrozenSet[str]:
+        saved = dict(self.env)
+        for gen in generators:
+            iter_tags = self._eval(gen.iter)
+            self._bind(gen.target, iter_tags)
+            for cond in gen.ifs:
+                self._eval(cond)
+        out: Set[str] = set()
+        for element in elements:
+            out |= self._eval(element)
+        self.env = saved
+        return frozenset(out)
+
+    # -- statement walk -----------------------------------------------------
+
+    def _bind(self, target: ast.AST, tags: FrozenSet[str]) -> None:
+        if isinstance(target, ast.Name):
+            if self._branch_depth > 0:
+                tags = tags | self.env.get(target.id, EMPTY)
+            self.env[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tags)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tags)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Stores through attributes/subscripts don't retag the base,
+            # but the base expression still gets evaluated (sink rules
+            # look its tags up).
+            self._eval(target.value)
+            if isinstance(target, ast.Subscript):
+                self._eval(target.slice)
+
+    def _walk_body(self, body: List[ast.stmt], *, branched: bool) -> None:
+        if branched:
+            self._branch_depth += 1
+        for stmt in body:
+            self._walk_stmt(stmt)
+        if branched:
+            self._branch_depth -= 1
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed as their own functions
+        if isinstance(stmt, ast.Assign):
+            tags = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, tags)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            tags = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                merged = tags | self.env.get(stmt.target.id, EMPTY)
+                self.node_tags[id(stmt.target)] = self.env.get(stmt.target.id, EMPTY)
+                self.env[stmt.target.id] = merged
+            else:
+                self._bind(stmt.target, tags)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns = self.returns | self._eval(stmt.value)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._walk_body(stmt.body, branched=True)
+            self._walk_body(stmt.orelse, branched=True)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tags = self._eval(stmt.iter)
+            self._bind(stmt.target, iter_tags)
+            # Two passes so tags born late in the body reach early uses.
+            self._walk_body(stmt.body, branched=True)
+            self._walk_body(stmt.body, branched=True)
+            self._walk_body(stmt.orelse, branched=True)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._walk_body(stmt.body, branched=True)
+            self._walk_body(stmt.body, branched=True)
+            self._walk_body(stmt.orelse, branched=True)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tags)
+            self._walk_body(stmt.body, branched=False)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, branched=True)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, branched=True)
+            self._walk_body(stmt.orelse, branched=True)
+            self._walk_body(stmt.finalbody, branched=True)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+            return
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing flows.
+
+
+def analyze_function(
+    graph: CallGraph,
+    spec: TaintSpec,
+    func: FunctionInfo,
+    summaries: Dict[str, FrozenSet[str]],
+) -> FunctionFlow:
+    """One forward pass over a function body."""
+    flow = FunctionFlow(func=func, spec=spec, graph=graph, summaries=summaries)
+    for name in func.all_param_names():
+        tags = spec.param_tags(func, name)
+        if tags:
+            flow.env[name] = frozenset(tags)
+    body = getattr(func.node, "body", [])
+    flow._walk_body(body, branched=False)
+    return flow
+
+
+def run_taint(
+    graph: CallGraph, spec: TaintSpec, *, max_iterations: int = 5
+) -> Dict[str, FunctionFlow]:
+    """Analyze every spec-selected function with return-tag summaries.
+
+    Iterates to a summary fixpoint: each round re-analyzes functions
+    whose callees' return tags grew, so helper-returns-tainted flows
+    through call chains.
+    """
+    targets = {func.key: func for func in spec.functions(graph)}
+    summaries: Dict[str, FrozenSet[str]] = {}
+    flows: Dict[str, FunctionFlow] = {}
+    for _ in range(max_iterations):
+        changed = False
+        for key, func in targets.items():
+            flow = analyze_function(graph, spec, func, summaries)
+            flows[key] = flow
+            if flow.returns != summaries.get(key, EMPTY):
+                summaries[key] = flow.returns
+                changed = True
+        if not changed:
+            break
+    return flows

@@ -1,11 +1,17 @@
-"""Human-readable and JSON reporters for analysis runs."""
+"""Human-readable, JSON, and SARIF reporters for analysis runs."""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
-from tools.analyze.core import RunResult
+from tools.analyze.core import Rule, RunResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def human_report(result: RunResult, rule_count: int, module_count: int) -> str:
@@ -14,10 +20,13 @@ def human_report(result: RunResult, rule_count: int, module_count: int) -> str:
     for finding in result.findings:
         location = f"{finding.path}:{finding.line}" if finding.line else finding.path
         lines.append(f"{location}: {finding.rule} {finding.message}")
+    for finding in result.stale_suppressions:
+        lines.append(f"{finding.path}:{finding.line}: {finding.rule} {finding.message}")
     for entry in result.stale_baseline:
+        what = entry.get("message") or entry.get("snippet") or entry.get("symbol", "")
         lines.append(
             "baseline: stale entry "
-            f"{entry['rule']} {entry['path']}: {entry['message']} "
+            f"{entry['rule']} {entry['path']}: {what} "
             "(no longer found; remove it)"
         )
     summary = (
@@ -29,6 +38,8 @@ def human_report(result: RunResult, rule_count: int, module_count: int) -> str:
         extras.append(f"{result.suppressed} suppressed")
     if result.baselined:
         extras.append(f"{result.baselined} baselined")
+    if result.stale_suppressions:
+        extras.append(f"{len(result.stale_suppressions)} stale suppression(s)")
     if result.stale_baseline:
         extras.append(f"{len(result.stale_baseline)} stale baseline entr(y/ies)")
     if extras:
@@ -46,17 +57,154 @@ def json_report(result: RunResult, rule_count: int, module_count: int) -> str:
                 "path": f.path,
                 "line": f.line,
                 "message": f.message,
+                "symbol": f.symbol,
                 "fingerprint": f.fingerprint,
             }
             for f in result.findings
         ],
         "stale_baseline": result.stale_baseline,
+        "stale_suppressions": [
+            {"rule": f.rule, "path": f.path, "line": f.line, "message": f.message}
+            for f in result.stale_suppressions
+        ],
         "summary": {
             "findings": len(result.findings),
             "suppressed": result.suppressed,
             "baselined": result.baselined,
+            "stale_suppressions": len(result.stale_suppressions),
             "rules": rule_count,
             "modules": module_count,
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sarif_report(result: RunResult, rules: Sequence[Rule]) -> str:
+    """SARIF 2.1.0 output for GitHub code scanning.
+
+    Every selected rule gets a driver entry (so the UI can show its
+    rationale even with zero results); findings and stale suppressions
+    become result objects with physical locations.
+    """
+    driver_rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    driver_rules.append(
+        {
+            "id": "NOQA",
+            "name": "stale-suppression",
+            "shortDescription": {"text": "stale-suppression"},
+            "fullDescription": {
+                "text": "a '# repro: noqa' comment that suppresses nothing"
+            },
+            "defaultConfiguration": {"level": "warning"},
+        }
+    )
+    index = {entry["id"]: i for i, entry in enumerate(driver_rules)}
+
+    results = []
+    for finding in list(result.findings) + list(result.stale_suppressions):
+        region: Dict[str, int] = {"startLine": finding.line if finding.line else 1}
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": index.get(finding.rule, 0),
+                "level": "warning" if finding.rule == "NOQA" else "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": region,
+                        }
+                    }
+                ],
+                "partialFingerprints": {"reproAnalyze/v2": finding.fingerprint},
+            }
+        )
+
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://example.invalid/docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def validate_sarif(payload: dict) -> Optional[str]:
+    """Structural check against the SARIF 2.1.0 shape; None when valid.
+
+    Not a full JSON-schema validation (no network, no extra deps) but
+    covers every constraint GitHub's upload endpoint enforces: version
+    string, runs array, tool.driver.name, rule/result shapes, and that
+    every result's ruleId and ruleIndex agree with the driver rules.
+    """
+    if not isinstance(payload, dict):
+        return "payload must be an object"
+    if payload.get("version") != SARIF_VERSION:
+        return f"version must be {SARIF_VERSION!r}"
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return "runs must be a non-empty array"
+    for run in runs:
+        driver = run.get("tool", {}).get("driver") if isinstance(run, dict) else None
+        if not isinstance(driver, dict) or not isinstance(driver.get("name"), str):
+            return "every run needs tool.driver.name"
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            return "tool.driver.rules must be an array"
+        ids = []
+        for rule in rules:
+            if not isinstance(rule, dict) or not isinstance(rule.get("id"), str):
+                return "every driver rule needs a string id"
+            ids.append(rule["id"])
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            return "run.results must be an array"
+        for res in results:
+            if not isinstance(res, dict):
+                return "every result must be an object"
+            if not isinstance(res.get("message", {}).get("text"), str):
+                return "every result needs message.text"
+            rule_id = res.get("ruleId")
+            if rule_id is not None and ids and rule_id not in ids:
+                return f"result ruleId {rule_id!r} not among driver rules"
+            rule_index = res.get("ruleIndex")
+            if rule_index is not None and not (
+                isinstance(rule_index, int) and 0 <= rule_index < max(len(ids), 1)
+            ):
+                return f"result ruleIndex {rule_index!r} out of range"
+            for loc in res.get("locations", []):
+                phys = loc.get("physicalLocation", {}) if isinstance(loc, dict) else {}
+                art = phys.get("artifactLocation", {})
+                if not isinstance(art.get("uri"), str):
+                    return "every location needs artifactLocation.uri"
+                region = phys.get("region", {})
+                start = region.get("startLine")
+                if start is not None and (not isinstance(start, int) or start < 1):
+                    return "region.startLine must be a positive integer"
+    return None

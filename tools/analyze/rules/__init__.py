@@ -6,6 +6,12 @@ from tools.analyze.rules.ra003_observability import RA003ObservabilityCatalog
 from tools.analyze.rules.ra004_exception_boundary import RA004ExceptionBoundary
 from tools.analyze.rules.ra005_deprecation import RA005DeprecationHorizon
 from tools.analyze.rules.ra006_determinism import RA006Determinism
+from tools.analyze.rules.ra007_snapshot_pinning import RA007SnapshotPinning
+from tools.analyze.rules.ra008_deadline_propagation import RA008DeadlinePropagation
+from tools.analyze.rules.ra009_precision_escape import RA009PrecisionEscape
+from tools.analyze.rules.ra010_mmap_write_safety import RA010MmapWriteSafety
+from tools.analyze.rules.ra011_metrics_cardinality import RA011MetricsCardinality
+from tools.analyze.rules.ra012_blocking_under_lock import RA012BlockingUnderLock
 
 ALL_RULES = [
     RA001LockDiscipline,
@@ -14,6 +20,12 @@ ALL_RULES = [
     RA004ExceptionBoundary,
     RA005DeprecationHorizon,
     RA006Determinism,
+    RA007SnapshotPinning,
+    RA008DeadlinePropagation,
+    RA009PrecisionEscape,
+    RA010MmapWriteSafety,
+    RA011MetricsCardinality,
+    RA012BlockingUnderLock,
 ]
 
 __all__ = [
@@ -24,4 +36,10 @@ __all__ = [
     "RA004ExceptionBoundary",
     "RA005DeprecationHorizon",
     "RA006Determinism",
+    "RA007SnapshotPinning",
+    "RA008DeadlinePropagation",
+    "RA009PrecisionEscape",
+    "RA010MmapWriteSafety",
+    "RA011MetricsCardinality",
+    "RA012BlockingUnderLock",
 ]

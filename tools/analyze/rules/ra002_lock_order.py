@@ -1,110 +1,23 @@
 """RA002: the cross-module lock acquisition-order graph must be acyclic.
 
-Builds a conservative interprocedural model:
+Consumes the shared interprocedural model from
+:mod:`tools.analyze.callgraph` (per-function lock summaries, heuristic
+call resolution, constructor lock aliasing) and adds only the
+lock-order-specific parts:
 
-* lock objects are module-level ``threading.Lock()`` assignments and
-  per-class lock attributes (Conditions alias the lock they wrap;
-  parameter-assigned locks are aliased to the lock their constructor
-  call sites pass in, e.g. ``Counter(name, key, self._lock)`` inside
-  ``MetricsRegistry`` makes ``Counter._lock`` *be* the registry lock);
-* every function gets a summary of locks it may acquire (directly or
-  via calls, to a fixpoint);
 * an edge ``L -> M`` means some code path acquires ``M`` while holding
-  ``L``.  A cycle in that graph is a potential deadlock.  Self-edges on
+  ``L`` (lexically nested ``with``, or a call whose transitive
+  may-acquire set contains ``M``);
+* a cycle in that graph is a potential deadlock.  Self-edges on
   reentrant locks (RLock) are ignored.
-
-Call resolution is heuristic (self-methods, same-module functions,
-unique method names project-wide) — good enough to be sound in practice
-for this codebase and cheap enough to run on every commit.
 """
 
 from __future__ import annotations
 
-import ast
-import dataclasses
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
-from tools.analyze.core import Finding, Module, Project, Rule, self_attr_path
-from tools.analyze.locks import (
-    CONTAINER_MUTATORS,
-    ClassLockInfo,
-    collect_class_locks,
-    collect_module_locks,
-    module_lock_in_with,
-    with_item_lock_attrs,
-)
-
-#: Method names too generic to resolve (dict/list/str traffic would wire
-#: unrelated classes together).
-_UNRESOLVABLE_METHODS = CONTAINER_MUTATORS | {
-    "get",
-    "items",
-    "keys",
-    "values",
-    "copy",
-    "format",
-    "join",
-    "split",
-    "strip",
-    "encode",
-    "decode",
-    "notify",
-    "notify_all",
-    "wait",
-    "acquire",
-    "release",
-    # threading.Thread lifecycle: a `.start()`/`.join()` receiver is a
-    # Thread, and the target runs on a fresh stack holding no locks.
-    "start",
-    "join",
-    "run",
-    "is_alive",
-}
-
-# Call descriptors: ("self", class_key, name) | ("name", module_relpath, name)
-# | ("meth", name) | ("ctor", class_name)
-CallDesc = Tuple[str, ...]
-
-
-@dataclasses.dataclass
-class _FuncInfo:
-    key: str
-    node: ast.AST
-    module: Module
-    class_info: Optional[ClassLockInfo]
-    acquires: Set[str] = dataclasses.field(default_factory=set)
-    #: (held-before, acquired, line) — lexically nested acquisitions
-    nested: List[Tuple[FrozenSet[str], str, int]] = dataclasses.field(
-        default_factory=list
-    )
-    #: (held, descriptor, line)
-    calls: List[Tuple[FrozenSet[str], CallDesc, int]] = dataclasses.field(
-        default_factory=list
-    )
-
-
-class _UnionFind:
-    def __init__(self) -> None:
-        self.parent: Dict[str, str] = {}
-
-    def add(self, item: str) -> None:
-        self.parent.setdefault(item, item)
-
-    def find(self, item: str) -> str:
-        self.add(item)
-        root = item
-        while self.parent[root] != root:
-            root = self.parent[root]
-        while self.parent[item] != root:
-            self.parent[item], item = root, self.parent[item]
-        return root
-
-    def union(self, a: str, b: str) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            # Deterministic canonical representative: lexicographic min.
-            lo, hi = sorted((ra, rb))
-            self.parent[hi] = lo
+from tools.analyze.callgraph import CallGraph, build_callgraph
+from tools.analyze.core import Finding, Project, Rule
 
 
 class RA002LockOrder(Rule):
@@ -116,49 +29,45 @@ class RA002LockOrder(Rule):
     )
 
     def check(self, project: Project) -> List[Finding]:
-        model = _build_model(project)
-        # Fold kinds over alias groups: a group containing any RLock is
-        # reentrant (the merged nodes are literally the same object).
-        canonical_kinds: Dict[str, str] = {}
-        for node, kind in sorted(model.kinds.items()):
-            root = model.aliases.find(node)
-            if kind == "rlock":
-                canonical_kinds[root] = "rlock"
-            else:
-                canonical_kinds.setdefault(root, kind)
-        model.kinds = canonical_kinds
-        edges = _collect_edges(model)
-        return self._report_cycles(model, edges)
+        graph = build_callgraph(project)
+        kinds = _canonical_kinds(graph)
+        edges = _collect_edges(graph)
+        return self._report_cycles(graph, kinds, edges)
 
     def _report_cycles(
-        self, model: "_Model", edges: Dict[Tuple[str, str], Tuple[str, int, str]]
+        self,
+        graph: CallGraph,
+        kinds: Dict[str, str],
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]],
     ) -> List[Finding]:
-        graph: Dict[str, Set[str]] = {}
+        order: Dict[str, Set[str]] = {}
         findings: List[Finding] = []
         for (src, dst), (path, line, via) in sorted(edges.items()):
             if src == dst:
-                if model.kinds.get(src) == "rlock":
+                if kinds.get(src) == "rlock":
                     continue  # reentrant: same-thread reacquisition is fine
+                module = graph.project.module(path)
                 findings.append(
                     self.finding(
-                        path,
+                        module if module is not None else path,
                         line,
                         f"non-reentrant lock {_pretty(src)} may be re-acquired "
                         f"while already held (via {via})",
                     )
                 )
                 continue
-            graph.setdefault(src, set()).add(dst)
+            order.setdefault(src, set()).add(dst)
 
-        for cycle in _find_cycles(graph):
+        for cycle in _find_cycles(order):
             witnesses = []
             for a, b in zip(cycle, cycle[1:] + cycle[:1]):
                 path, line, via = edges[(a, b)]
                 witnesses.append(f"{_pretty(a)} -> {_pretty(b)} ({path}:{line}, {via})")
             path, line, _ = edges[(cycle[0], cycle[1 % len(cycle)])]
+            module = graph.project.module(path)
             findings.append(
                 self.finding(
-                    path,
+                    module if module is not None else path,
                     line,
                     "lock-order cycle (potential deadlock): "
                     + "; ".join(witnesses),
@@ -171,270 +80,30 @@ def _pretty(node_id: str) -> str:
     return node_id.split("::", 1)[-1]
 
 
-@dataclasses.dataclass
-class _Model:
-    functions: Dict[str, _FuncInfo]
-    kinds: Dict[str, str]
-    aliases: _UnionFind
-    #: class name -> list of class keys (module.relpath::Class)
-    classes_by_name: Dict[str, List[str]]
-    #: method name -> list of function keys
-    methods_by_name: Dict[str, List[str]]
-    #: function basename -> list of top-level function keys
-    functions_by_name: Dict[str, List[str]]
+def _canonical_kinds(graph: CallGraph) -> Dict[str, str]:
+    """Fold kinds over alias groups without mutating the shared graph.
+
+    A group containing any RLock is reentrant — the merged nodes are
+    literally the same object.
+    """
+    canonical: Dict[str, str] = {}
+    for node, kind in sorted(graph.kinds.items()):
+        root = graph.aliases.find(node)
+        if kind == "rlock":
+            canonical[root] = "rlock"
+        else:
+            canonical.setdefault(root, kind)
+    return canonical
 
 
-def _lock_node(module: Module, owner: Optional[str], attr: str) -> str:
-    if owner is None:
-        return f"{module.relpath}::{attr}"
-    return f"{module.relpath}::{owner}.{attr}"
-
-
-def _build_model(project: Project) -> _Model:
-    functions: Dict[str, _FuncInfo] = {}
-    kinds: Dict[str, str] = {}
-    aliases = _UnionFind()
-    classes_by_name: Dict[str, List[str]] = {}
-    methods_by_name: Dict[str, List[str]] = {}
-    functions_by_name: Dict[str, List[str]] = {}
-    class_infos: Dict[str, ClassLockInfo] = {}
-    module_locks: Dict[str, Dict[str, str]] = {}
-
-    for module in project.modules:
-        module_locks[module.relpath] = collect_module_locks(module)
-        for name, kind in module_locks[module.relpath].items():
-            kinds[_lock_node(module, None, name)] = kind
-        for info in collect_class_locks(module):
-            class_key = f"{module.relpath}::{info.node.name}"
-            class_infos[class_key] = info
-            for attr, kind in info.attrs.items():
-                canonical = info.canonical_attr(attr)
-                node = _lock_node(module, info.node.name, canonical)
-                if attr == canonical:
-                    kinds.setdefault(node, "lock" if kind == "external" else kind)
-
-    # Index classes/methods/functions and build per-function summaries.
-    for module in project.modules:
-        for stmt in module.tree.body:
-            if isinstance(stmt, ast.ClassDef):
-                class_key = f"{module.relpath}::{stmt.name}"
-                classes_by_name.setdefault(stmt.name, []).append(class_key)
-                info = class_infos.get(class_key)
-                for item in stmt.body:
-                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        key = f"{class_key}.{item.name}"
-                        func = _FuncInfo(key, item, module, info)
-                        functions[key] = func
-                        methods_by_name.setdefault(item.name, []).append(key)
-                        _summarize(func, module_locks[module.relpath])
-            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                key = f"{module.relpath}::{stmt.name}"
-                func = _FuncInfo(key, stmt, module, None)
-                functions[key] = func
-                functions_by_name.setdefault(stmt.name, []).append(key)
-                _summarize(func, module_locks[module.relpath])
-
-    _alias_constructor_locks(project, class_infos, module_locks, aliases)
-    return _Model(
-        functions, kinds, aliases, classes_by_name, methods_by_name, functions_by_name
-    )
-
-
-def _summarize(func: _FuncInfo, mod_locks: Dict[str, str]) -> None:
-    """Fill acquires/nested/calls by walking the function body once."""
-    module = func.module
-    info = func.class_info
-
-    def lock_targets(item: ast.withitem) -> Set[str]:
-        nodes: Set[str] = set()
-        if info is not None:
-            for attr in with_item_lock_attrs(item, info):
-                nodes.add(_lock_node(module, info.node.name, attr))
-        name = module_lock_in_with(item, mod_locks)
-        if name is not None:
-            nodes.add(_lock_node(module, None, name))
-        return nodes
-
-    def visit(node: ast.AST, held: Tuple[str, ...]) -> None:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            return
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            acquired: Set[str] = set()
-            for item in node.items:
-                acquired |= lock_targets(item)
-                visit(item.context_expr, held)
-            for lock in sorted(acquired):
-                func.acquires.add(lock)
-                if held:
-                    func.nested.append((frozenset(held), lock, node.lineno))
-            inner = held + tuple(lock for lock in sorted(acquired) if lock not in held)
-            for stmt in node.body:
-                visit(stmt, inner)
-            return
-        if isinstance(node, ast.Call):
-            desc = _call_desc(node, func)
-            if desc is not None:
-                func.calls.append((frozenset(held), desc, node.lineno))
-        for child in ast.iter_child_nodes(node):
-            visit(child, held)
-
-    body = getattr(func.node, "body", [])
-    for stmt in body:
-        visit(stmt, ())
-
-
-def _call_desc(node: ast.Call, func: _FuncInfo) -> Optional[CallDesc]:
-    callee = node.func
-    if isinstance(callee, ast.Name):
-        return ("name", func.module.relpath, callee.id)
-    if isinstance(callee, ast.Attribute):
-        attr_path = self_attr_path(callee)
-        if attr_path is not None and "." not in attr_path and func.class_info:
-            return ("self", f"{func.module.relpath}::{func.class_info.node.name}", attr_path)
-        if callee.attr in _UNRESOLVABLE_METHODS:
-            return None
-        return ("meth", callee.attr)
-    return None
-
-
-def _alias_constructor_locks(
-    project: Project,
-    class_infos: Dict[str, ClassLockInfo],
-    module_locks: Dict[str, Dict[str, str]],
-    aliases: _UnionFind,
-) -> None:
-    """Union parameter-assigned lock attrs with the locks callers pass."""
-    # Map class name -> (class_key, info) for classes with external locks.
-    interesting: Dict[str, Tuple[str, ClassLockInfo]] = {}
-    for class_key, info in class_infos.items():
-        if info.attr_from_param:
-            interesting[info.node.name] = (class_key, info)
-    if not interesting:
-        return
-
-    for module in project.modules:
-        enclosing: List[Optional[ClassLockInfo]] = [None]
-
-        def visit(node: ast.AST) -> None:
-            is_class = isinstance(node, ast.ClassDef)
-            if is_class:
-                key = f"{module.relpath}::{node.name}"
-                enclosing.append(class_infos.get(key))
-            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-                target = interesting.get(node.func.id)
-                if target is not None:
-                    _alias_one_call(node, target, module, enclosing[-1], module_locks, aliases)
-            for child in ast.iter_child_nodes(node):
-                visit(child)
-            if is_class:
-                enclosing.pop()
-
-        visit(module.tree)
-
-
-def _alias_one_call(
-    call: ast.Call,
-    target: Tuple[str, ClassLockInfo],
-    module: Module,
-    caller_info: Optional[ClassLockInfo],
-    module_locks: Dict[str, Dict[str, str]],
-    aliases: _UnionFind,
-) -> None:
-    class_key, info = target
-    init = next(
-        (
-            item
-            for item in info.node.body
-            if isinstance(item, ast.FunctionDef) and item.name == "__init__"
-        ),
-        None,
-    )
-    if init is None:
-        return
-    params = [arg.arg for arg in init.args.args][1:]  # drop self
-    bound: Dict[str, ast.AST] = {}
-    for param, arg in zip(params, call.args):
-        bound[param] = arg
-    for keyword in call.keywords:
-        if keyword.arg:
-            bound[keyword.arg] = keyword.value
-    target_module_relpath, target_class = class_key.split("::")
-    for attr, param in info.attr_from_param.items():
-        arg = bound.get(param)
-        if arg is None:
-            continue
-        attr_node = f"{target_module_relpath}::{target_class}.{attr}"
-        caller_attr = self_attr_path(arg)
-        if caller_attr and "." not in caller_attr and caller_info is not None:
-            if caller_attr in caller_info.attrs:
-                canonical = caller_info.canonical_attr(caller_attr)
-                caller_node = (
-                    f"{caller_info.module.relpath}::"
-                    f"{caller_info.node.name}.{canonical}"
-                )
-                aliases.union(attr_node, caller_node)
-        elif isinstance(arg, ast.Name) and arg.id in module_locks.get(module.relpath, {}):
-            aliases.union(attr_node, f"{module.relpath}::{arg.id}")
-
-
-def _resolve(desc: CallDesc, model: _Model) -> List[str]:
-    """Function keys a call descriptor may refer to."""
-    kind = desc[0]
-    if kind == "self":
-        _, class_key, name = desc
-        key = f"{class_key}.{name}"
-        if key in model.functions:
-            return [key]
-        return _resolve(("meth", name), model)
-    if kind == "name":
-        _, relpath, name = desc
-        key = f"{relpath}::{name}"
-        if key in model.functions:
-            return [key]
-        if name in model.classes_by_name:
-            return [
-                f"{class_key}.__init__"
-                for class_key in model.classes_by_name[name]
-                if f"{class_key}.__init__" in model.functions
-            ]
-        candidates = model.functions_by_name.get(name, [])
-        if len(candidates) == 1:
-            return candidates
-        return []
-    if kind == "meth":
-        (_, name) = desc
-        candidates = model.methods_by_name.get(name, [])
-        if 1 <= len(candidates) <= 3:
-            return candidates
-        return []
-    return []
-
-
-def _collect_edges(model: _Model) -> Dict[Tuple[str, str], Tuple[str, int, str]]:
+def _collect_edges(graph: CallGraph) -> Dict[Tuple[str, str], Tuple[str, int, str]]:
     """Edges (held -> acquired) with one witness (path, line, via) each."""
-    find = model.aliases.find
+    find = graph.aliases.find
 
     # Fixpoint: what locks can each function acquire, transitively?
-    may_acquire: Dict[str, Set[str]] = {
-        key: {find(lock) for lock in func.acquires}
-        for key, func in model.functions.items()
-    }
-    resolved_calls: Dict[str, List[List[str]]] = {
-        key: [_resolve(desc, model) for (_, desc, _) in func.calls]
-        for key, func in model.functions.items()
-    }
-    for _ in range(30):
-        changed = False
-        for key, func in model.functions.items():
-            acc = may_acquire[key]
-            before = len(acc)
-            for callees in resolved_calls[key]:
-                for callee in callees:
-                    acc |= may_acquire.get(callee, set())
-            if len(acc) != before:
-                changed = True
-        if not changed:
-            break
+    may_acquire = graph.fixpoint(
+        {key: {find(lock) for lock in func.acquires} for key, func in graph.functions.items()}
+    )
 
     edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
 
@@ -443,35 +112,35 @@ def _collect_edges(model: _Model) -> Dict[Tuple[str, str], Tuple[str, int, str]]
         if key not in edges:
             edges[key] = (path, line, via)
 
-    for func_key, func in sorted(model.functions.items()):
+    for func_key, func in sorted(graph.functions.items()):
         relpath = func.module.relpath
         for held, lock, line in func.nested:
             for src in sorted(held):
                 add_edge(find(src), find(lock), relpath, line, func_key)
-        for (held, desc, line), callees in zip(func.calls, resolved_calls[func_key]):
-            if not held:
+        for site in func.calls:
+            if not site.held:
                 continue
-            for callee in callees:
+            for callee in graph.resolve(site.desc):
                 for lock in sorted(may_acquire.get(callee, set())):
-                    for src in sorted(held):
+                    for src in sorted(site.held):
                         add_edge(
                             find(src),
                             find(lock),
                             relpath,
-                            line,
+                            site.line,
                             f"{func_key} -> {callee}",
                         )
     return edges
 
 
-def _find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+def _find_cycles(order: Dict[str, Set[str]]) -> List[List[str]]:
     """Elementary cycles via DFS (one representative per cycle set)."""
     cycles: List[List[str]] = []
     seen_cycles: Set[FrozenSet[str]] = set()
-    nodes = sorted(set(graph) | {d for dsts in graph.values() for d in dsts})
+    nodes = sorted(set(order) | {d for dsts in order.values() for d in dsts})
 
     def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
-        for nxt in sorted(graph.get(node, ())):
+        for nxt in sorted(order.get(node, ())):
             if nxt == start and len(path) > 1:
                 key = frozenset(path)
                 if key not in seen_cycles:

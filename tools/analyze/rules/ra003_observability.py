@@ -49,10 +49,11 @@ class RA003ObservabilityCatalog(Rule):
 
         findings: List[Finding] = []
         for name, (kind, relpath, lineno) in sorted(code_metrics.items()):
+            where = project.module(relpath) or relpath
             if name not in doc_metrics:
                 findings.append(
                     self.finding(
-                        relpath,
+                        where,
                         lineno,
                         f"metric '{name}' ({kind}) is emitted here but has no "
                         f"row in docs/{_DOC_NAME}",
@@ -61,7 +62,7 @@ class RA003ObservabilityCatalog(Rule):
             elif doc_metrics[name][0] != kind:
                 findings.append(
                     self.finding(
-                        relpath,
+                        where,
                         lineno,
                         f"metric '{name}' is registered as a {kind} but "
                         f"documented as a {doc_metrics[name][0]} "
@@ -82,7 +83,7 @@ class RA003ObservabilityCatalog(Rule):
             if name not in doc_text:
                 findings.append(
                     self.finding(
-                        relpath,
+                        project.module(relpath) or relpath,
                         lineno,
                         f"{what} name '{name}' does not appear in the trace "
                         f"schema of docs/{_DOC_NAME}",

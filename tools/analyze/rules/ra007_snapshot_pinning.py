@@ -1,0 +1,165 @@
+"""RA007: one pinned ModelSnapshot per request path, no store internals.
+
+The COW store contract (PR 3/4): a request pins **one**
+:class:`ModelSnapshot` up front and passes it through selection,
+propagation, and backend estimation.  Two independent
+``store.current()`` reads in one request path can observe *different*
+versions across a concurrent publish — a torn request mixing slot
+parameters from two models, exactly the inconsistency the paper's
+one-field-per-query argument forbids.  Reaching around the snapshot API
+into ``store._whatever`` bypasses the pin entirely.
+
+Dataflow: values are tagged ``store`` (``self._store``, ``store``
+params, ``ModelStore(...)``) and ``snapshot`` (``.current()`` /
+``.pinned()`` results, ``snapshot``/``snap`` params).  In request-path
+modules (``pipeline``/``serve``/``backends``) the rule flags
+
+* private (``_``-prefixed) attribute access on a store- or
+  snapshot-tagged value, and
+* a function body acquiring two or more snapshots (multiple
+  ``.current()``/``.pinned()`` call sites) — the torn-request shape.
+
+The tearing check is intra-procedural by design: conditional
+re-acquisition behind ``if snapshot is None`` fallbacks is the
+idiomatic single-pin pattern and must not count twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from tools.analyze.callgraph import FunctionInfo, build_callgraph
+from tools.analyze.core import Finding, Project, Rule
+from tools.analyze.dataflow import FunctionFlow, TaintSpec, run_taint
+
+_SCOPE_PARTS = {"serve", "backends"}
+_SCOPE_STEMS = {"pipeline"}
+_STORE_ATTRS = {"store", "_store"}
+_SNAPSHOT_PARAMS = {"snapshot", "snap"}
+_ACQUIRERS = {"current", "pinned"}
+
+TAG_STORE = "store"
+TAG_SNAPSHOT = "snapshot"
+
+
+def in_scope(relpath: str) -> bool:
+    parts = relpath.split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    return bool(_SCOPE_PARTS & set(parts[:-1])) or stem in _SCOPE_STEMS
+
+
+class _SnapshotSpec(TaintSpec):
+    def param_tags(self, func: FunctionInfo, name: str) -> Set[str]:
+        if name == "store":
+            return {TAG_STORE}
+        if name in _SNAPSHOT_PARAMS:
+            return {TAG_SNAPSHOT}
+        return set()
+
+    def attribute_tags(
+        self, func: FunctionInfo, node: ast.Attribute, base: frozenset
+    ) -> Optional[Set[str]]:
+        if node.attr in _STORE_ATTRS:
+            return {TAG_STORE}
+        if node.attr in _SNAPSHOT_PARAMS:
+            return {TAG_SNAPSHOT}
+        if TAG_STORE in base:
+            # Attributes of a store are not themselves the store.
+            return set(base - {TAG_STORE})
+        return None
+
+    def call_tags(self, func: FunctionInfo, node: ast.Call, ctx) -> Optional[Set[str]]:
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id == "ModelStore":
+            return {TAG_STORE}
+        if isinstance(callee, ast.Attribute) and callee.attr in _ACQUIRERS:
+            if TAG_STORE in ctx.evaluate(callee.value):
+                return {TAG_SNAPSHOT}
+        # Any other call is a laundering boundary for these tags: passing
+        # a store into a constructor does not make the result a store
+        # (``cls(network, store=...)`` builds a system, not a store).
+        # Real store/snapshot returns still flow via callee summaries.
+        summary = ctx.callee_summary_tags(node)
+        passthrough = (ctx.receiver_tags(node) | ctx.arg_tags(node)) - {
+            TAG_STORE,
+            TAG_SNAPSHOT,
+        }
+        return set(summary) | passthrough
+
+
+class RA007SnapshotPinning(Rule):
+    rule_id = "RA007"
+    name = "snapshot-pinning"
+    rationale = (
+        "two store reads in one request can straddle a publish and mix "
+        "model versions; a request pins one snapshot and passes it through"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        graph = build_callgraph(project)
+        spec = _SnapshotSpec()
+        flows = run_taint(graph, spec)
+        findings: List[Finding] = []
+        for key in sorted(flows):
+            flow = flows[key]
+            func = flow.func
+            if not in_scope(func.module.relpath):
+                continue
+            findings.extend(self._check_privacy(func, flow))
+            findings.extend(self._check_tearing(func, flow))
+        return findings
+
+    def _check_privacy(
+        self, func: FunctionInfo, flow: FunctionFlow
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            base_tags = flow.tags_of(node.value)
+            if TAG_STORE in base_tags:
+                what = "ModelStore"
+            elif TAG_SNAPSHOT in base_tags:
+                what = "ModelSnapshot"
+            else:
+                continue
+            findings.append(
+                self.finding(
+                    func.module,
+                    node.lineno,
+                    f"{func.qualname}: raw access to {what} internal "
+                    f"'.{attr}' bypasses the snapshot-pinning API; use the "
+                    "public snapshot surface",
+                )
+            )
+        return findings
+
+    def _check_tearing(
+        self, func: FunctionInfo, flow: FunctionFlow
+    ) -> List[Finding]:
+        acquisitions: List[int] = []
+        for site in func.calls:
+            callee = site.node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _ACQUIRERS
+                and TAG_STORE in flow.tags_of(callee.value)
+            ):
+                acquisitions.append(site.line)
+        if len(acquisitions) < 2:
+            return []
+        lines = ", ".join(str(line) for line in sorted(acquisitions))
+        return [
+            self.finding(
+                func.module,
+                sorted(acquisitions)[1],
+                f"{func.qualname} acquires {len(acquisitions)} snapshots in "
+                f"one request path (lines {lines}); a concurrent publish "
+                "tears the request across model versions — pin one snapshot "
+                "and pass it through",
+            )
+        ]

@@ -1,0 +1,110 @@
+"""RA008: a function holding a Deadline must hand it to slow callees.
+
+The latency contract (PR 4/9) threads one :class:`Deadline` from
+admission through selection, probing, propagation, and backend
+estimation, so every stage can stop early instead of burning the
+client's budget.  A call that *drops* the deadline re-creates the
+unbounded tail the contract exists to kill — silently, because the
+callee simply never checks.
+
+Concretely: for every function with a ``deadline`` parameter, every
+call to a resolved callee that **also accepts** a ``deadline``
+parameter and is *transitively blocking or deadline-checking* must bind
+that parameter to an expression mentioning the caller's deadline
+(``deadline``, ``leader.deadline``, ...).  Passing nothing — or an
+explicit ``None`` — is a dropped deadline; the finding names the
+blocking path.  Callees that accept a deadline but neither block nor
+check it are skipped (nothing is lost by not telling them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from tools.analyze.blocking import may_block
+from tools.analyze.callgraph import CallGraph, bind_call_args, build_callgraph
+from tools.analyze.core import Finding, Project, Rule
+
+_PARAM = "deadline"
+
+
+def _mentions_deadline(node: ast.AST) -> bool:
+    """Does an argument expression reference a deadline value?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _PARAM in sub.id:
+            return True
+        if isinstance(sub, ast.Attribute) and _PARAM in sub.attr:
+            return True
+    return False
+
+
+def _checks_deadline(graph: CallGraph) -> Dict[str, Set[str]]:
+    """Functions that (transitively) consult their deadline.
+
+    Seeded by direct ``deadline.check(...)`` / ``deadline.remaining()``
+    / ``deadline.expired()`` uses; propagated caller-absorbs-callee so a
+    wrapper around a checking helper counts.
+    """
+    seeds: Dict[str, Set[str]] = {}
+    for key, func in graph.functions.items():
+        for site in func.calls:
+            callee = site.node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in ("check", "remaining", "expired")
+                and _mentions_deadline(callee.value)
+            ):
+                seeds.setdefault(key, set()).add("deadline-checking")
+    return graph.fixpoint(seeds)
+
+
+class RA008DeadlinePropagation(Rule):
+    rule_id = "RA008"
+    name = "deadline-propagation"
+    rationale = (
+        "a dropped deadline silently re-creates the unbounded latency "
+        "tail the Deadline contract exists to kill; every blocking stage "
+        "must be able to stop early"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        graph = build_callgraph(project)
+        blocking = may_block(graph)
+        checking = _checks_deadline(graph)
+        findings: List[Finding] = []
+        for key in sorted(graph.functions):
+            func = graph.functions[key]
+            if _PARAM not in func.all_param_names():
+                continue
+            for site in func.calls:
+                for callee_key in graph.resolve(site.desc):
+                    callee = graph.functions[callee_key]
+                    if callee_key == key or _PARAM not in callee.all_param_names():
+                        continue
+                    reasons = sorted(
+                        blocking.get(callee_key, set())
+                        | checking.get(callee_key, set())
+                    )
+                    if not reasons:
+                        continue
+                    bound = bind_call_args(site.node, callee)
+                    arg = bound.get(_PARAM)
+                    if arg is not None and _mentions_deadline(arg):
+                        continue
+                    if arg is None:
+                        how = "never passes its deadline"
+                    elif isinstance(arg, ast.Constant) and arg.value is None:
+                        how = "binds deadline=None"
+                    else:
+                        how = "binds deadline to an unrelated value"
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            site.line,
+                            f"{func.qualname} {how} to {callee.qualname}, "
+                            f"which is {'/'.join(reasons)}; forward the "
+                            "caller's deadline",
+                        )
+                    )
+        return findings

@@ -1,0 +1,209 @@
+"""RA010: memmap-backed snapshot views must never be written in place.
+
+``snapshot_io.read_snapshot`` (PR 9) maps the RPSNAP01 artifact and
+hands out **read-only views** of the underlying buffer; every consumer
+that wants to mutate must copy first (``.astype(...).copy()`` in the
+stream refresher is the canonical laundering).  An in-place write to a
+view either crashes (``WRITEABLE`` is false) or — if someone flips the
+flag — corrupts the on-disk artifact *and* every other snapshot sharing
+the mapping.
+
+Taint: values flowing from ``read_snapshot``/``load_model``/
+``load_store``/``np.memmap``/``SnapshotFile`` (and helper returns, via
+call-graph summaries) are tagged ``mmap``; copies
+(``np.array``, ``.copy()``, ``.astype(...)``) kill the tag.  Sinks are
+in-place mutation: subscript/attribute stores, augmented assignment,
+``out=`` keywords, ``np.copyto``, in-place ndarray methods
+(``fill``/``sort``/``resize``/``partition``/``setflags``).  A tainted
+value passed to a function that mutates the bound parameter
+(transitively) is reported at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from tools.analyze.callgraph import FunctionInfo, bind_call_args, build_callgraph
+from tools.analyze.core import Finding, Project, Rule, dotted_name
+from tools.analyze.dataflow import FunctionFlow, TaintSpec, run_taint
+
+TAG_MMAP = "mmap"
+_PARAM_PREFIX = "param:"
+
+_SOURCE_CALLS = {"read_snapshot", "load_model", "load_store", "SnapshotFile", "memmap", "open_memmap"}
+_COPYING_CALLS = {"copy", "astype", "array", "ascontiguousarray", "tolist", "item"}
+# Fresh allocations and scalar reductions: the result does not alias the
+# receiver/arguments, so provenance must not flow through them
+# (otherwise ``total += view.sum()`` reads as mutating the view).
+_FRESH_CALLS = {
+    "zeros", "ones", "empty", "full", "arange", "linspace",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+    "sum", "mean", "std", "var", "min", "max", "argmin", "argmax",
+    "len", "float", "int", "bool", "str",
+}
+_INPLACE_METHODS = {"fill", "sort", "resize", "partition", "itemset", "setflags", "byteswap"}
+
+
+class _MmapSpec(TaintSpec):
+    def param_tags(self, func: FunctionInfo, name: str) -> Set[str]:
+        # Every parameter carries its own provenance tag so in-place
+        # mutation of a parameter shows up in the function's summary.
+        return {_PARAM_PREFIX + name}
+
+    def call_tags(self, func: FunctionInfo, node: ast.Call, ctx) -> Optional[Set[str]]:
+        callee = node.func
+        name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else getattr(callee, "attr", None)
+        )
+        if name in _SOURCE_CALLS:
+            return {TAG_MMAP} | set(ctx.arg_tags(node))
+        if name in _COPYING_CALLS:
+            if name == "astype":
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "copy"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        return None  # astype(..., copy=False) may alias
+            # The result is fresh memory; drop mmap/param provenance but
+            # keep nothing else (copies launder everything here).
+            return set()
+        if name in _FRESH_CALLS:
+            return set()
+        return None
+
+
+class RA010MmapWriteSafety(Rule):
+    rule_id = "RA010"
+    name = "mmap-write-safety"
+    rationale = (
+        "snapshot arrays are read-only memmap views shared by every "
+        "pinned snapshot; an in-place write crashes or corrupts the "
+        "artifact — copy first"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        graph = build_callgraph(project)
+        flows = run_taint(graph, _MmapSpec())
+
+        # Which (function, param) pairs reach an in-place mutation,
+        # directly or through further calls?  Seeded only by mutations of
+        # the *bare parameter name itself* (a sink on a value merely
+        # derived from the parameter mutates the derivative, not the
+        # caller's array), then propagated over call sites to a fixpoint.
+        mutates: Set[Tuple[str, str]] = set()
+        for key, flow in flows.items():
+            for param in _param_sinks(flow):
+                mutates.add((key, param))
+        for _ in range(10):
+            grew = False
+            for key, flow in flows.items():
+                for callee_key, param, arg, _line in _bound_args(graph, flow):
+                    if (callee_key, param) not in mutates:
+                        continue
+                    if not isinstance(arg, ast.Name):
+                        continue
+                    if _PARAM_PREFIX + arg.id in flow.tags_of(arg):
+                        pair = (key, arg.id)
+                        if pair not in mutates:
+                            mutates.add(pair)
+                            grew = True
+            if not grew:
+                break
+
+        findings: List[Finding] = []
+        for key in sorted(flows):
+            flow = flows[key]
+            func = flow.func
+            for tags, line, what in _direct_sinks(flow):
+                if TAG_MMAP in tags:
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            line,
+                            f"{func.qualname}: {what} on a memmap-backed "
+                            "snapshot view; copy before mutating "
+                            "(.astype(...).copy())",
+                        )
+                    )
+            for callee_key, param, arg, line in _bound_args(graph, flow):
+                if (callee_key, param) in mutates and TAG_MMAP in flow.tags_of(arg):
+                    callee = graph.functions[callee_key]
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            line,
+                            f"{func.qualname}: passes a memmap-backed snapshot "
+                            f"view to {callee.qualname}({param}=...), which "
+                            "mutates it in place; copy before the call",
+                        )
+                    )
+        return findings
+
+
+def _setflags_enables_write(call: ast.Call) -> bool:
+    """``setflags(write=True)`` mutates; ``setflags(write=False)`` hardens."""
+    for kw in call.keywords:
+        if kw.arg == "write":
+            return not (isinstance(kw.value, ast.Constant) and kw.value.value is False)
+    if call.args:
+        first = call.args[0]
+        return not (isinstance(first, ast.Constant) and not first.value)
+    return False
+
+
+def _mutation_sites(flow: FunctionFlow):
+    """(base_expr, line, description) for each in-place mutation site."""
+    func = flow.func
+    for node in ast.walk(func.node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    yield target.value, node.lineno, "subscript store"
+        elif isinstance(node, ast.AugAssign):
+            base = node.target
+            if isinstance(base, ast.Subscript):
+                yield base.value, node.lineno, "augmented store"
+            elif isinstance(base, ast.Name):
+                yield base, node.lineno, "augmented assignment"
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute) and callee.attr in _INPLACE_METHODS:
+                if callee.attr != "setflags" or _setflags_enables_write(node):
+                    yield callee.value, node.lineno, f"in-place .{callee.attr}()"
+            if (dotted_name(callee) or "").endswith("copyto") and node.args:
+                yield node.args[0], node.lineno, "np.copyto"
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    yield kw.value, node.lineno, "out= argument"
+
+
+def _direct_sinks(flow: FunctionFlow):
+    """(tags, line, description) for each in-place mutation site."""
+    for base, line, what in _mutation_sites(flow):
+        yield flow.tags_of(base), line, what
+
+
+def _param_sinks(flow: FunctionFlow):
+    """Parameter names this function mutates in place (bare-name only)."""
+    for base, _line, what in _mutation_sites(flow):
+        if what == "augmented assignment":
+            # ``name += x`` rebinds immutable values; too ambiguous to
+            # claim the *caller's* array is mutated through it.
+            continue
+        if isinstance(base, ast.Name) and _PARAM_PREFIX + base.id in flow.tags_of(base):
+            yield base.id
+
+
+def _bound_args(graph, flow: FunctionFlow):
+    """(callee_key, param, arg_expr, line) for resolvable call sites."""
+    for site in flow.func.calls:
+        for callee_key in graph.resolve(site.desc):
+            callee = graph.functions[callee_key]
+            for param, arg in bind_call_args(site.node, callee).items():
+                yield callee_key, param, arg, site.line

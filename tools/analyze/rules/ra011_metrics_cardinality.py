@@ -1,0 +1,155 @@
+"""RA011: metric label values must stay finite.
+
+The registry enforces ``max_series_per_metric`` at runtime — a
+high-cardinality label (a road id, a snapshot version, a request id)
+does not leak memory, it **raises** once the cap trips, turning a
+telemetry bug into a serving outage.  This rule moves the check to
+analysis time: at every ``registry.counter/gauge/histogram`` call site,
+label values must be string literals or plain variables drawn from a
+finite set — never dynamically formatted strings.
+
+Taint: ``dyn`` marks f-strings with interpolated fields, ``str(x)`` of
+a non-constant, ``.format(...)``, ``repr(...)`` — any value minted per
+request.  Flagged at the sink:
+
+* a ``dyn``-tagged label value (or metric *name* — a formatted metric
+  name is the same bomb one level up);
+* a non-string constant label value (the registry stringifies, hiding
+  the unbounded domain of e.g. integer versions).
+
+Bare names, attributes, and parameters are allowed: enum members and
+bounded mode strings arrive that way, and the runtime cap still backs
+the rule up.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from tools.analyze.callgraph import FunctionInfo, build_callgraph
+from tools.analyze.core import Finding, Project, Rule
+from tools.analyze.dataflow import FunctionFlow, TaintSpec, run_taint
+
+TAG_DYN = "dyn"
+
+_SINK_METHODS = {"counter", "gauge", "histogram"}
+_FORMATTERS = {"format", "join", "replace", "lower", "upper", "strip"}
+# labels may arrive positionally: counter(name, labels) / gauge(name,
+# labels) / histogram(name, buckets, labels).
+_LABEL_POSITION = {"counter": 1, "gauge": 1, "histogram": 2}
+
+
+class _CardinalitySpec(TaintSpec):
+    def fstring_tags(
+        self, func: FunctionInfo, node: ast.JoinedStr, parts: frozenset
+    ) -> Optional[Set[str]]:
+        if any(isinstance(v, ast.FormattedValue) for v in node.values):
+            return {TAG_DYN} | set(parts)
+        return None
+
+    def call_tags(self, func: FunctionInfo, node: ast.Call, ctx) -> Optional[Set[str]]:
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id in ("str", "repr", "format"):
+            if node.args and not isinstance(node.args[0], ast.Constant):
+                return {TAG_DYN}
+            return set()
+        if isinstance(callee, ast.Attribute) and callee.attr in _FORMATTERS:
+            # "road-{}".format(rid) and friends mint a fresh string; a
+            # constant template with dynamic pieces is still dynamic.
+            if callee.attr == "format" and (node.args or node.keywords):
+                return {TAG_DYN}
+            return None
+        return None
+
+
+class RA011MetricsCardinality(Rule):
+    rule_id = "RA011"
+    name = "metrics-label-cardinality"
+    rationale = (
+        "a per-request label value (road id, version, request id) trips "
+        "the registry's series cap and turns telemetry into an outage; "
+        "label domains must be finite"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        graph = build_callgraph(project)
+        flows = run_taint(graph, _CardinalitySpec())
+        findings: List[Finding] = []
+        for key in sorted(flows):
+            flow = flows[key]
+            func = flow.func
+            for site in func.calls:
+                callee = site.node.func
+                if (
+                    not isinstance(callee, ast.Attribute)
+                    or callee.attr not in _SINK_METHODS
+                ):
+                    continue
+                findings.extend(self._check_site(func, flow, site.node, callee.attr))
+        return findings
+
+    def _check_site(
+        self, func: FunctionInfo, flow: FunctionFlow, call: ast.Call, method: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        name_arg = call.args[0] if call.args else None
+        if name_arg is not None and TAG_DYN in flow.tags_of(name_arg):
+            findings.append(
+                self.finding(
+                    func.module,
+                    call.lineno,
+                    f"{func.qualname}: metric name passed to .{method}() is "
+                    "dynamically formatted; metric names must be literals",
+                )
+            )
+        labels = self._labels_arg(call, method)
+        if isinstance(labels, ast.Dict):
+            for label_key, value in zip(labels.keys, labels.values):
+                label = (
+                    repr(label_key.value)
+                    if isinstance(label_key, ast.Constant)
+                    else "<label>"
+                )
+                if TAG_DYN in flow.tags_of(value):
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            value.lineno,
+                            f"{func.qualname}: label {label} in .{method}() is "
+                            "a dynamically formatted string — an unbounded "
+                            "label domain; use a finite set of literals",
+                        )
+                    )
+                elif isinstance(value, ast.Constant) and not isinstance(
+                    value.value, str
+                ):
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            value.lineno,
+                            f"{func.qualname}: label {label} in .{method}() is "
+                            f"a non-string constant ({value.value!r}); label "
+                            "values must be string literals",
+                        )
+                    )
+        elif labels is not None and TAG_DYN in flow.tags_of(labels):
+            findings.append(
+                self.finding(
+                    func.module,
+                    call.lineno,
+                    f"{func.qualname}: labels mapping passed to .{method}() "
+                    "is built from dynamically formatted values",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _labels_arg(call: ast.Call, method: str) -> Optional[ast.AST]:
+        for kw in call.keywords:
+            if kw.arg == "labels":
+                return kw.value
+        position = _LABEL_POSITION[method]
+        if len(call.args) > position:
+            return call.args[position]
+        return None

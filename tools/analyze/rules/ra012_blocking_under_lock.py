@@ -1,0 +1,92 @@
+"""RA012: no blocking call while a lock region is live.
+
+Sleeps, thread joins, foreign condition/event waits, queue handoffs,
+and file/socket I/O under a held lock serialize every other thread
+behind one slow operation — and once snapshot publishes move to
+``multiprocessing.shared_memory``, a blocked publisher lock stalls
+whole worker processes, not just threads.
+
+Two layers, both over the shared call graph:
+
+* a blocking atom executed lexically inside a ``with <lock>:`` region
+  (``Condition.wait`` on the held lock itself is exempt — that is the
+  release-and-wait idiom);
+* a call under a lock to a function whose transitive may-block summary
+  is non-empty (the blocking path is reported).
+
+Lock *acquisition* under a lock is deliberately out of scope: that is
+RA002's lock-order graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from tools.analyze.blocking import blocking_atom, may_block, wait_releases_held_lock
+from tools.analyze.callgraph import build_callgraph
+from tools.analyze.core import Finding, Project, Rule
+
+
+def _pretty(lock_id: str) -> str:
+    return lock_id.split("::", 1)[-1]
+
+
+class RA012BlockingUnderLock(Rule):
+    rule_id = "RA012"
+    name = "blocking-under-lock"
+    rationale = (
+        "a sleep/join/wait/IO call under a held lock serializes every "
+        "other thread behind one slow operation; keep lock regions "
+        "compute-only"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        graph = build_callgraph(project)
+        summaries = may_block(graph)
+        findings: List[Finding] = []
+        for key in sorted(graph.functions):
+            func = graph.functions[key]
+            for site in func.calls:
+                if not site.held:
+                    continue
+                held_names = ", ".join(sorted(_pretty(h) for h in site.held))
+                atom = blocking_atom(site.node)
+                if atom is not None:
+                    if atom == "wait" and wait_releases_held_lock(
+                        site.node, func, site.held
+                    ):
+                        continue
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            site.line,
+                            f"{func.qualname}: blocking call ({atom}) while "
+                            f"holding {held_names}",
+                        )
+                    )
+                    continue
+                for callee in graph.resolve(site.desc):
+                    reasons = summaries.get(callee, set())
+                    if not reasons:
+                        continue
+                    callee_func = graph.functions[callee]
+                    # A callee whose only blocking atom is a wait on a
+                    # condition over the very lock we hold re-enters the
+                    # release-and-wait idiom through a helper.
+                    if reasons == {"wait"} and any(
+                        wait_releases_held_lock(s.node, callee_func, site.held)
+                        for s in callee_func.calls
+                        if blocking_atom(s.node) == "wait"
+                    ):
+                        continue
+                    findings.append(
+                        self.finding(
+                            func.module,
+                            site.line,
+                            f"{func.qualname}: call to {callee_func.qualname} "
+                            f"may block ({', '.join(sorted(reasons))}) while "
+                            f"holding {held_names}",
+                        )
+                    )
+                    break
+        return findings
